@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race cover bench figures fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full scale into results/.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/ksbench -fig 5 > results/fig5.txt
+	$(GO) run ./cmd/ksbench -fig 6 > results/fig6.txt
+	$(GO) run ./cmd/ksbench -fig 7 > results/fig7.txt
+	$(GO) run ./cmd/ksbench -fig eq1 > results/eq1.txt
+	$(GO) run ./cmd/ksbench -fig costs > results/costs.txt
+	$(GO) run ./cmd/ksbench -fig 8 > results/fig8.txt
+	$(GO) run ./cmd/ksbench -fig 9 -fig9-max 60000 > results/fig9.txt
+	$(GO) run ./cmd/ksbench -fig ft > results/ft.txt
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,74 @@
+package keysearch
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+)
+
+// Cluster is a set of peers sharing one network — the unit the
+// examples and tests build. For in-memory clusters the whole network
+// lives in one process; over TCP each peer would normally be its own
+// process (see cmd/ksnode), but Cluster works there too.
+type Cluster struct {
+	Peers []*Peer
+	net   *inmem.Network
+}
+
+// NewLocalCluster builds an n-peer in-memory cluster with a converged
+// DHT ring, ready for Publish/Search. Background maintenance is
+// disabled; the ring is converged synchronously so behaviour is
+// deterministic.
+func NewLocalCluster(n int, cfg Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("keysearch: cluster needs at least one peer, got %d", n)
+	}
+	cfg.MaintenanceInterval = -1 // synchronous maintenance only
+	net := NewInMemoryTransport(1)
+	c := &Cluster{net: net, Peers: make([]*Peer, 0, n)}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		peer, err := NewPeer(net, Addr("peer-"+strconv.Itoa(i)), cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("peer %d: %w", i, err)
+		}
+		if i == 0 {
+			peer.Create()
+		} else if err := peer.Join(ctx, c.Peers[0].Addr()); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("join peer %d: %w", i, err)
+		}
+		c.Peers = append(c.Peers, peer)
+		c.converge(ctx)
+	}
+	return c, nil
+}
+
+// converge drives synchronous stabilization until pointers settle.
+func (c *Cluster) converge(ctx context.Context) {
+	for round := 0; round < 3*len(c.Peers)+3; round++ {
+		for _, p := range c.Peers {
+			_ = p.StabilizeOnce(ctx)
+		}
+	}
+}
+
+// Heal re-runs synchronous stabilization, e.g. after failing peers.
+func (c *Cluster) Heal(ctx context.Context) { c.converge(ctx) }
+
+// Network exposes the underlying in-memory network for fault
+// injection in tests.
+func (c *Cluster) Network() *inmem.Network { return c.net }
+
+// Close shuts down every peer and the network.
+func (c *Cluster) Close() {
+	for _, p := range c.Peers {
+		_ = p.Close()
+	}
+	if c.net != nil {
+		_ = c.net.Close()
+	}
+}

@@ -1,0 +1,302 @@
+// Command ksbench regenerates every table and figure of the paper's
+// evaluation (Section 4) against the synthetic PCHome-substitute
+// workload, printing the same series the paper plots.
+//
+// Examples:
+//
+//	ksbench -fig 5                  # keyword-set-size distribution
+//	ksbench -fig 6                  # load distribution, r = 6..16 + DII
+//	ksbench -fig 7                  # object vs node distributions
+//	ksbench -fig 8                  # cacheless query performance
+//	ksbench -fig 9                  # query performance with cache
+//	ksbench -fig eq1                # Equation (1) check
+//	ksbench -fig costs              # Section 3.5 operation costs
+//	ksbench -fig all -objects 20000 # everything, smaller corpus
+//
+// The full paper-scale corpus (131,180 objects, 178,000 queries) is
+// the default; use -objects and -queries to scale down for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/p2pkeyword/keysearch/internal/analytic"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ksbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ksbench", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, or all")
+		objects   = fs.Int("objects", corpus.DefaultObjects, "corpus size (paper: 131180)")
+		queries   = fs.Int("queries", 178000, "query-log length for fig 9 (paper: ~178000/day)")
+		templates = fs.Int("templates", 2000, "distinct query templates")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		fig8R     = fs.String("fig8-r", "8,10,12", "dimensions for figure 8")
+		fig8Q     = fs.Int("fig8-queries", 10, "sampled popular queries per (r, m)")
+		fig9R     = fs.String("fig9-r", "10,12", "dimensions for figure 9")
+		fig9Max   = fs.Int("fig9-max", 0, "cap on replayed queries (0 = full log)")
+		fig9Res   = fs.Int("fig9-maxresults", 20, "result-size cap for fig 9 query templates (see EXPERIMENTS.md)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "generating corpus (%d objects)...\n", *objects)
+	c, err := corpus.Generate(corpus.Config{Objects: *objects, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	out := os.Stdout
+
+	if want("5") {
+		sim.RenderFig5(out, sim.Fig5(c))
+		fmt.Fprintln(out)
+	}
+	if want("6") {
+		if err := runFig6(out, c); err != nil {
+			return err
+		}
+	}
+	if want("7") {
+		for _, r := range []int{6, 8, 10, 12, 13, 14, 15, 16} {
+			res, err := sim.Fig7(c, r)
+			if err != nil {
+				return err
+			}
+			sim.RenderFig7(out, res)
+			fmt.Fprintln(out)
+		}
+		if err := renderChooseDimension(out, c); err != nil {
+			return err
+		}
+	}
+	if want("eq1") {
+		renderEq1(out)
+	}
+
+	if want("8") {
+		fmt.Fprintf(os.Stderr, "generating fig8 query log (%d queries, %d templates)...\n", *queries, *templates)
+		log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+			Queries:   *queries,
+			Templates: *templates,
+			Seed:      *seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fig8 query log: top-10 templates account for %.1f%% of volume (paper: >60%%)\n\n",
+			100*log.TopShare(10))
+		if err := runFig8(out, c, log, parseInts(*fig8R), *fig8Q); err != nil {
+			return err
+		}
+	}
+	if want("9") {
+		fmt.Fprintf(os.Stderr, "generating fig9 query log (%d queries, %d templates, results ≤ %d)...\n",
+			*queries, *templates, *fig9Res)
+		log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+			Queries:            *queries,
+			Templates:          *templates,
+			Seed:               *seed + 1,
+			MaxTemplateResults: *fig9Res,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fig9 query log: top-10 templates account for %.1f%% of volume (paper: >60%%)\n\n",
+			100*log.TopShare(10))
+		if err := runFig9(out, c, log, parseInts(*fig9R), *fig9Max); err != nil {
+			return err
+		}
+	}
+	if want("costs") {
+		if err := runCosts(out, c); err != nil {
+			return err
+		}
+	}
+	if want("ft") {
+		if err := runFaultStudy(out, c, *seed); err != nil {
+			return err
+		}
+	}
+	if want("hotspot") {
+		log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+			Queries: *queries, Templates: *templates, Seed: *seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := sim.HotSpots(log, 10)
+		if err != nil {
+			return err
+		}
+		sim.RenderHotSpots(out, res)
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runFaultStudy regenerates the fault-tolerance comparison implied by
+// Sections 1 and 3.4: graceful hypercube degradation versus DII
+// query blocking under crash-stop failures.
+func runFaultStudy(out *os.File, c *corpus.Corpus, seed int64) error {
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries: 2000, Templates: 300, Seed: seed + 2,
+	})
+	if err != nil {
+		return err
+	}
+	queries := sim.FaultStudyQueries(log, 10)
+	fmt.Fprintf(os.Stderr, "fault study: %d queries over 2^10 nodes...\n", len(queries))
+	points, err := sim.FaultTolerance(c, 10, queries, []float64{0, 0.05, 0.1, 0.2, 0.3}, seed)
+	if err != nil {
+		return err
+	}
+	sim.RenderFaultStudy(out, 10, points)
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runFig6(out *os.File, c *corpus.Corpus) error {
+	var curves []sim.LoadCurve
+	for _, r := range []int{6, 8, 10, 12, 14, 16} {
+		for _, scheme := range []sim.LoadScheme{sim.SchemeHypercube, sim.SchemeDHT} {
+			lc, err := sim.Fig6Load(c, scheme, r)
+			if err != nil {
+				return err
+			}
+			curves = append(curves, lc)
+		}
+	}
+	for _, r := range []int{10, 12, 14} {
+		lc, err := sim.Fig6Load(c, sim.SchemeDII, r)
+		if err != nil {
+			return err
+		}
+		curves = append(curves, lc)
+	}
+	sim.RenderFig6(out, curves, []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75})
+	fmt.Fprintln(out)
+	return nil
+}
+
+func renderChooseDimension(out *os.File, c *corpus.Corpus) error {
+	r, err := analytic.ChooseDimension(c.SizePMF(), 6, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "analytic dimension choice from the Fig.5 histogram: r = %d (paper's empirical optimum: 10)\n\n", r)
+	return nil
+}
+
+func renderEq1(out *os.File) {
+	fmt.Fprintln(out, "Equation (1) — P(|One(F_h(K))| = j) and expectation")
+	fmt.Fprintf(out, "%-10s %-6s", "r / m", "E[j]")
+	for j := 1; j <= 8; j++ {
+		fmt.Fprintf(out, " %7s", "j="+strconv.Itoa(j))
+	}
+	fmt.Fprintln(out)
+	for _, rm := range [][2]int{{8, 3}, {10, 5}, {10, 7}, {12, 7}, {16, 7}} {
+		r, m := rm[0], rm[1]
+		e, _ := analytic.ExpectedOneBits(r, m)
+		fmt.Fprintf(out, "%-10s %-6.2f", fmt.Sprintf("r=%d m=%d", r, m), e)
+		for j := 1; j <= 8; j++ {
+			p, _ := analytic.OneBitsPMF(r, m, j)
+			fmt.Fprintf(out, " %7.4f", p)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+}
+
+func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, perM int) error {
+	recalls := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	for _, r := range rs {
+		fmt.Fprintf(os.Stderr, "fig8: deploying 2^%d index nodes and inserting corpus...\n", r)
+		d, err := sim.NewDeployment(r, 0)
+		if err != nil {
+			return err
+		}
+		if err := d.InsertCorpus(c); err != nil {
+			d.Close()
+			return err
+		}
+		var lines []sim.Fig8Line
+		for m := 1; m <= 5; m++ {
+			qs := log.PopularOfSize(m, perM)
+			if len(qs) == 0 {
+				continue
+			}
+			line, err := sim.Fig8(d, qs, recalls)
+			if err != nil {
+				d.Close()
+				return err
+			}
+			lines = append(lines, line)
+		}
+		sim.RenderFig8(out, lines)
+		fmt.Fprintln(out)
+		d.Close()
+	}
+	return nil
+}
+
+func runFig9(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, maxQueries int) error {
+	alphas := []float64{0, 1.0 / 48, 1.0 / 24, 1.0 / 12, 1.0 / 6, 1.0 / 3}
+	for _, r := range rs {
+		for _, recall := range []float64{0.5, 1.0} {
+			fmt.Fprintf(os.Stderr, "fig9: r=%d recall=%.0f%% replaying queries across %d cache sizes...\n",
+				r, 100*recall, len(alphas))
+			points, err := sim.Fig9(c, log, r, alphas, recall, maxQueries)
+			if err != nil {
+				return err
+			}
+			sim.RenderFig9(out, r, recall, points)
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+func runCosts(out *os.File, c *corpus.Corpus) error {
+	d, err := sim.NewDeployment(10, 0)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	costs, err := sim.OpCosts(d, c, 200)
+	if err != nil {
+		return err
+	}
+	sim.RenderOpCosts(out, costs)
+	fmt.Fprintln(out)
+	return nil
+}
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, err := strconv.Atoi(part); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestRunSampleDefault(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-objects", "500"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"ID", "Title", "URL", "Keyword", "500 records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sample output missing %q", want)
+		}
+	}
+}
+
+func TestRunRecordsTSV(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-records", "-objects", "50"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("records = %d, want 50", len(lines))
+	}
+	if fields := strings.Split(lines[0], "\t"); len(fields) != 6 {
+		t.Errorf("record has %d fields, want 6", len(fields))
+	}
+}
+
+func TestRunQueryLogTSV(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-querylog", "-objects", "2000", "-queries", "100", "-templates", "30"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("queries = %d, want 100", len(lines))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Command ksnode runs one keysearch peer as an OS process over TCP,
+// with a line-oriented console for publishing and searching. Start a
+// first node, then join more from other terminals:
+//
+//	ksnode -listen 127.0.0.1:7001
+//	ksnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Console commands:
+//
+//	publish <id> <kw1> [kw2 ...]   share an object held here
+//	unpublish <id> <kw1> [kw2 ...] withdraw it
+//	pin <kw1> [kw2 ...]            exact keyword-set search
+//	search <n> <kw1> [kw2 ...]     up to n superset matches
+//	fetch <id>                     resolve replica references
+//	stats                          local index/cache statistics
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ksnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ksnode", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:0", "address to listen on")
+		join   = fs.String("join", "", "address of an existing node (empty = start a new network)")
+		dim    = fs.Int("dim", 10, "hypercube dimensionality (must match the network)")
+		cache  = fs.Int("cache", 128, "per-node result cache capacity (object IDs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	keysearch.RegisterTypes()
+	net := keysearch.NewTCPTransport()
+	defer net.Close()
+
+	peer, err := keysearch.NewPeer(net, keysearch.Addr(*listen), keysearch.Config{
+		Dim:                 *dim,
+		CacheCapacity:       *cache,
+		MaintenanceInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+
+	ctx := context.Background()
+	if *join == "" {
+		peer.Create()
+		fmt.Printf("started new network; listening on %s\n", peer.Addr())
+	} else {
+		joinCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := peer.Join(joinCtx, keysearch.Addr(*join))
+		cancel()
+		if err != nil {
+			return fmt.Errorf("join %s: %w", *join, err)
+		}
+		fmt.Printf("joined network via %s; listening on %s\n", *join, peer.Addr())
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return nil
+		}
+		if err := dispatch(ctx, peer, fields); err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Print("> ")
+	}
+	return scanner.Err()
+}
+
+func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error {
+	opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	switch fields[0] {
+	case "publish":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: publish <id> <kw...>")
+		}
+		obj := keysearch.Object{ID: fields[1], Keywords: keysearch.NewKeywordSet(fields[2:]...)}
+		if err := peer.Publish(opCtx, obj, "local://"+fields[1]); err != nil {
+			return err
+		}
+		fmt.Printf("published %s %v\n", obj.ID, obj.Keywords)
+	case "unpublish":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: unpublish <id> <kw...>")
+		}
+		obj := keysearch.Object{ID: fields[1], Keywords: keysearch.NewKeywordSet(fields[2:]...)}
+		if err := peer.Unpublish(opCtx, obj, "local://"+fields[1]); err != nil {
+			return err
+		}
+		fmt.Printf("unpublished %s\n", obj.ID)
+	case "pin":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: pin <kw...>")
+		}
+		ids, stats, err := peer.PinSearch(opCtx, keysearch.NewKeywordSet(fields[1:]...))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v (%d messages)\n", ids, stats.Messages)
+	case "search":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: search <n> <kw...>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad threshold %q", fields[1])
+		}
+		res, err := peer.Search(opCtx, keysearch.NewKeywordSet(fields[2:]...), n, keysearch.SearchOptions{})
+		if err != nil {
+			return err
+		}
+		for _, m := range res.Matches {
+			fmt.Printf("  %s %v (+%d keywords)\n", m.ObjectID, m.Keywords(), m.Depth)
+		}
+		fmt.Printf("%d matches, %d nodes contacted, exhausted=%v\n",
+			len(res.Matches), res.Stats.NodesContacted, res.Exhausted)
+	case "fetch":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: fetch <id>")
+		}
+		refs, err := peer.Fetch(opCtx, fields[1])
+		if err != nil {
+			return err
+		}
+		for _, r := range refs {
+			fmt.Printf("  %s %s\n", r.Holder, r.Location)
+		}
+	case "stats":
+		st := peer.IndexStats()
+		hits, misses := peer.CacheStats()
+		fmt.Printf("index: %d vertices, %d entries, %d objects; cache: %d hits / %d misses\n",
+			st.Vertices, st.Entries, st.Objects, hits, misses)
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}

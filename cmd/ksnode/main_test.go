@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+// testPeer builds a single-peer in-memory network for console tests.
+func testPeer(t *testing.T) *keysearch.Peer {
+	t.Helper()
+	net := keysearch.NewInMemoryTransport(1)
+	t.Cleanup(func() { net.Close() })
+	peer, err := keysearch.NewPeer(net, "console-peer", keysearch.Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	peer.Create()
+	return peer
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestDispatchPublishSearchFetch(t *testing.T) {
+	peer := testPeer(t)
+	ctx := context.Background()
+
+	out, err := captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"publish", "song1", "mp3", "jazz"})
+	})
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if !strings.Contains(out, "published song1") {
+		t.Errorf("publish output: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"search", "5", "jazz"})
+	})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if !strings.Contains(out, "song1") || !strings.Contains(out, "1 matches") {
+		t.Errorf("search output: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"pin", "mp3", "jazz"})
+	})
+	if err != nil || !strings.Contains(out, "song1") {
+		t.Errorf("pin output: %q err: %v", out, err)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"fetch", "song1"})
+	})
+	if err != nil || !strings.Contains(out, "local://song1") {
+		t.Errorf("fetch output: %q err: %v", out, err)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"stats"})
+	})
+	if err != nil || !strings.Contains(out, "index:") {
+		t.Errorf("stats output: %q err: %v", out, err)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"unpublish", "song1", "mp3", "jazz"})
+	})
+	if err != nil || !strings.Contains(out, "unpublished") {
+		t.Errorf("unpublish output: %q err: %v", out, err)
+	}
+}
+
+func TestDispatchUsageErrors(t *testing.T) {
+	peer := testPeer(t)
+	ctx := context.Background()
+	for _, cmd := range [][]string{
+		{"publish"},
+		{"unpublish", "x"},
+		{"pin"},
+		{"search"},
+		{"search", "zero"},
+		{"search", "0", "kw"},
+		{"fetch"},
+		{"bogus"},
+	} {
+		if _, err := captureStdout(t, func() error {
+			return dispatch(ctx, peer, cmd)
+		}); err == nil {
+			t.Errorf("command %v accepted", cmd)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package keysearch
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPublishAndSearch hammers a cluster with parallel
+// publishers and searchers; run with -race. Searches may observe any
+// prefix of the publishes but must never error or return false
+// positives.
+func TestConcurrentPublishAndSearch(t *testing.T) {
+	c := newCluster(t, 6, Config{Dim: 8, CacheCapacity: 64})
+	ctx := context.Background()
+
+	const (
+		publishers = 4
+		perWorker  = 25
+		searchers  = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers+searchers)
+
+	for w := 0; w < publishers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := c.Peers[w%len(c.Peers)]
+			for i := 0; i < perWorker; i++ {
+				id := "conc-" + strconv.Itoa(w) + "-" + strconv.Itoa(i)
+				obj := Object{ID: id, Keywords: NewKeywordSet("shared", "w"+strconv.Itoa(w), "i"+strconv.Itoa(i%5))}
+				if err := peer.Publish(ctx, obj, "/"+id); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			peer := c.Peers[(s+2)%len(c.Peers)]
+			q := NewKeywordSet("shared")
+			for i := 0; i < 20; i++ {
+				res, err := peer.Search(ctx, q, 10, SearchOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, m := range res.Matches {
+					if !q.SubsetOf(m.Keywords()) {
+						errs <- ErrBadObject
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent workload: %v", err)
+		}
+	}
+
+	// Quiesced: an exhaustive search sees every published object.
+	res, err := c.Peers[0].Search(ctx, NewKeywordSet("shared"), All, SearchOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != publishers*perWorker {
+		t.Errorf("final matches = %d, want %d", len(res.Matches), publishers*perWorker)
+	}
+}
+
+// TestConcurrentCursors runs several cumulative cursors over the same
+// query concurrently; sessions are independent root-side state.
+func TestConcurrentCursors(t *testing.T) {
+	c := newCluster(t, 4, Config{Dim: 8})
+	ctx := context.Background()
+	const n = 18
+	for i := 0; i < n; i++ {
+		obj := Object{ID: "cc-" + strconv.Itoa(i), Keywords: NewKeywordSet("cursor", "x"+strconv.Itoa(i))}
+		if err := c.Peers[0].Publish(ctx, obj, "/"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cur, err := c.Peers[g%4].SearchCursor(NewKeywordSet("cursor"), SearchOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			seen := map[string]bool{}
+			for !cur.Exhausted() {
+				page, _, err := cur.Next(ctx, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, m := range page {
+					if seen[m.ObjectID] {
+						errs <- ErrExhausted // stand-in for "duplicate"
+						return
+					}
+					seen[m.ObjectID] = true
+				}
+			}
+			if len(seen) != n {
+				errs <- ErrNoSuchSession // stand-in for "incomplete"
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent cursors: %v", err)
+		}
+	}
+}

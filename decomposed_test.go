@@ -1,0 +1,80 @@
+package keysearch
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestDecomposedIndexOverCluster(t *testing.T) {
+	c := newCluster(t, 5, Config{Dim: 10})
+	ctx := context.Background()
+
+	classify := func(w string) string {
+		if strings.HasPrefix(w, "type:") {
+			return "type"
+		}
+		return "text"
+	}
+	dec, err := c.Peers[0].NewDecomposedIndex(classify, map[string]FamilyConfig{
+		"type": {Dim: 4},
+		"text": {Dim: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewDecomposedIndex: %v", err)
+	}
+
+	objects := []Object{
+		{ID: "song", Keywords: NewKeywordSet("type:audio", "jazz", "live")},
+		{ID: "clip", Keywords: NewKeywordSet("type:video", "jazz")},
+		{ID: "text", Keywords: NewKeywordSet("type:document", "history")},
+	}
+	for _, o := range objects {
+		if _, err := dec.Insert(ctx, o); err != nil {
+			t.Fatalf("Insert %s: %v", o.ID, err)
+		}
+	}
+
+	// Single-family query (text).
+	ids, _, err := dec.SupersetSearch(ctx, NewKeywordSet("jazz"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("jazz search = %v", ids)
+	}
+
+	// Cross-family intersection.
+	ids, _, err = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "song" {
+		t.Errorf("cross-family search = %v, want [song]", ids)
+	}
+
+	// The small type family exhausts within its own 2^4 cube.
+	_, st, err := dec.SupersetSearch(ctx, NewKeywordSet("type:video"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesContacted > 16 {
+		t.Errorf("type-family search contacted %d nodes, want ≤ 2^4", st.NodesContacted)
+	}
+
+	// Delete removes from all involved families.
+	if _, err := dec.Delete(ctx, objects[0]); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
+	if len(ids) != 0 {
+		t.Errorf("after delete: %v", ids)
+	}
+}
+
+func TestDecomposedIndexValidation(t *testing.T) {
+	c := newCluster(t, 1, Config{Dim: 6})
+	if _, err := c.Peers[0].NewDecomposedIndex(func(string) string { return "x" }, nil); err == nil {
+		t.Error("empty family map accepted")
+	}
+}

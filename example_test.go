@@ -1,0 +1,140 @@
+package keysearch_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+// Example shows the minimal publish-and-search flow on an in-process
+// cluster.
+func Example() {
+	cluster, err := keysearch.NewLocalCluster(3, keysearch.Config{Dim: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	obj := keysearch.Object{
+		ID:       "hinet",
+		Keywords: keysearch.NewKeywordSet("ISP", "network", "download"),
+	}
+	if err := cluster.Peers[0].Publish(ctx, obj, "/files/hinet"); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cluster.Peers[2].Search(ctx, keysearch.NewKeywordSet("network"),
+		keysearch.All, keysearch.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		fmt.Println(m.ObjectID, m.Keywords())
+	}
+	// Output:
+	// hinet {download, isp, network}
+}
+
+// ExamplePeer_PinSearch locates objects by their exact keyword set in
+// a single lookup.
+func ExamplePeer_PinSearch() {
+	cluster, err := keysearch.NewLocalCluster(3, keysearch.Config{Dim: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	k := keysearch.NewKeywordSet("tvbs", "news")
+	if err := cluster.Peers[0].Publish(ctx,
+		keysearch.Object{ID: "tvbs", Keywords: k}, "/www"); err != nil {
+		log.Fatal(err)
+	}
+	ids, stats, err := cluster.Peers[1].PinSearch(ctx, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids, stats.Messages)
+	// Output:
+	// [tvbs] 2
+}
+
+// ExampleCursor pages through a large result set cumulatively: the
+// responsible node keeps the traversal frontier between pages.
+func ExampleCursor() {
+	cluster, err := keysearch.NewLocalCluster(3, keysearch.Config{Dim: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		obj := keysearch.Object{
+			ID:       fmt.Sprintf("doc-%d", i),
+			Keywords: keysearch.NewKeywordSet("report", fmt.Sprintf("year-%d", 2000+i)),
+		}
+		if err := cluster.Peers[0].Publish(ctx, obj, "/docs"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cur, err := cluster.Peers[1].SearchCursor(keysearch.NewKeywordSet("report"),
+		keysearch.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages := 0
+	total := 0
+	for !cur.Exhausted() {
+		page, _, err := cur.Next(ctx, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pages++
+		total += len(page)
+	}
+	fmt.Printf("%d results over %d pages\n", total, pages)
+	// Output:
+	// 5 results over 3 pages
+}
+
+// ExampleCategorize groups search hits by their extra keywords,
+// powering "did you mean to narrow by …?" refinement UIs.
+func ExampleCategorize() {
+	cluster, err := keysearch.NewLocalCluster(2, keysearch.Config{Dim: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	for _, spec := range []struct {
+		id   string
+		tags []string
+	}{
+		{"exact", []string{"jazz"}},
+		{"piano", []string{"jazz", "piano"}},
+		{"live", []string{"jazz", "live"}},
+	} {
+		obj := keysearch.Object{ID: spec.id, Keywords: keysearch.NewKeywordSet(spec.tags...)}
+		if err := cluster.Peers[0].Publish(ctx, obj, "/m"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q := keysearch.NewKeywordSet("jazz")
+	res, err := cluster.Peers[1].Search(ctx, q, keysearch.All, keysearch.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cat := range keysearch.Categorize(q, res.Matches) {
+		fmt.Printf("+%s: %d\n", cat.ExtraKeywords(), len(cat.Matches))
+	}
+	// Output:
+	// +{}: 1
+	// +{live}: 1
+	// +{piano}: 1
+}

@@ -1,0 +1,132 @@
+// Command filesharing models the paper's motivating application: a
+// peer-to-peer file-sharing network where multimedia files are
+// described by a few metadata keywords. It demonstrates replica
+// handling (multiple peers publishing copies of the same file),
+// threshold searches, cumulative browsing, and withdrawal.
+//
+// Run with:
+//
+//	go run ./examples/filesharing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+// track is a shared music file with its metadata.
+type track struct {
+	id       string
+	keywords []string
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := keysearch.NewLocalCluster(8, keysearch.Config{Dim: 10, CacheCapacity: 256})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	catalog := []track{
+		{"blue-in-green", []string{"mp3", "jazz", "miles-davis", "1959"}},
+		{"so-what", []string{"mp3", "jazz", "miles-davis", "1959", "modal"}},
+		{"take-five", []string{"mp3", "jazz", "brubeck", "1959"}},
+		{"giant-steps", []string{"mp3", "jazz", "coltrane"}},
+		{"kind-of-blue-live", []string{"flac", "jazz", "miles-davis", "live"}},
+		{"thriller", []string{"mp3", "pop", "jackson", "1982"}},
+		{"billie-jean", []string{"mp3", "pop", "jackson", "1982", "single"}},
+	}
+
+	// Each track is published by two peers — replicas of the same
+	// object ID; the index keeps a single entry per object while the
+	// DHT records both copies.
+	for i, tr := range catalog {
+		obj := keysearch.Object{ID: tr.id, Keywords: keysearch.NewKeywordSet(tr.keywords...)}
+		for replica := 0; replica < 2; replica++ {
+			holder := cluster.Peers[(i+replica*3)%len(cluster.Peers)]
+			loc := "/music/" + tr.id + ".r" + strconv.Itoa(replica)
+			if err := holder.Publish(ctx, obj, loc); err != nil {
+				return fmt.Errorf("publish %s: %w", tr.id, err)
+			}
+		}
+	}
+	fmt.Printf("published %d tracks (2 replicas each) across %d peers\n\n",
+		len(catalog), len(cluster.Peers))
+
+	me := cluster.Peers[0]
+
+	// A broad search, general results first, capped at 4 hits.
+	query := keysearch.NewKeywordSet("mp3", "jazz")
+	res, err := me.Search(ctx, query, 4, keysearch.SearchOptions{Order: keysearch.TopDown})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search %v (threshold 4, general first) → %d hits, %d nodes contacted:\n",
+		query, len(res.Matches), res.Stats.NodesContacted)
+	for _, m := range res.Matches {
+		fmt.Printf("  %-18s %v\n", m.ObjectID, m.Keywords())
+	}
+
+	// The same search, most specific tracks first.
+	res, err = me.Search(ctx, query, 4, keysearch.SearchOptions{Order: keysearch.BottomUp})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsame search, specific first:\n")
+	for _, m := range res.Matches {
+		fmt.Printf("  %-18s %v (%d extra keywords)\n", m.ObjectID, m.Keywords(), m.Depth)
+	}
+
+	// Download: resolve replica references of the top hit.
+	top := res.Matches[0].ObjectID
+	refs, err := me.Fetch(ctx, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplicas of %q:\n", top)
+	for _, r := range refs {
+		fmt.Printf("  %s%s\n", r.Holder, r.Location)
+	}
+
+	// Cumulative browsing through everything tagged jazz, two at a
+	// time — the traversal frontier stays on the responsible node.
+	cur, err := me.SearchCursor(keysearch.NewKeywordSet("jazz"), keysearch.SearchOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbrowsing all jazz, 2 per page:\n")
+	for page := 1; !cur.Exhausted(); page++ {
+		hits, _, err := cur.Next(ctx, 2)
+		if err != nil {
+			return err
+		}
+		for _, m := range hits {
+			fmt.Printf("  page %d: %s\n", page, m.ObjectID)
+		}
+	}
+
+	// One holder withdraws its copy of a track; the other replica
+	// keeps the track searchable.
+	victim := catalog[0]
+	obj := keysearch.Object{ID: victim.id, Keywords: keysearch.NewKeywordSet(victim.keywords...)}
+	if err := cluster.Peers[0].Unpublish(ctx, obj, "/music/"+victim.id+".r0"); err != nil {
+		return err
+	}
+	refs, err = me.Fetch(ctx, victim.id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter one withdrawal, %q still has %d replica(s)\n", victim.id, len(refs))
+	return nil
+}

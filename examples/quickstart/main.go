@@ -1,0 +1,81 @@
+// Command quickstart is the smallest end-to-end tour of the keysearch
+// library: build an in-process cluster, publish objects with keyword
+// metadata, and run pin and superset searches.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A five-peer network with an 8-dimensional index hypercube
+	// (2^8 = 256 logical index nodes spread over the five peers).
+	cluster, err := keysearch.NewLocalCluster(5, keysearch.Config{Dim: 8})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	// Publish a few objects from different peers. Each object is
+	// described by a keyword set, like the Keyword field of the
+	// paper's website directory records.
+	objects := []keysearch.Object{
+		{ID: "hinet", Keywords: keysearch.NewKeywordSet("isp", "telecommunication", "network", "download")},
+		{ID: "tvbs", Keywords: keysearch.NewKeywordSet("tvbs", "news")},
+		{ID: "epaper", Keywords: keysearch.NewKeywordSet("news", "network", "daily")},
+	}
+	for i, obj := range objects {
+		publisher := cluster.Peers[i%len(cluster.Peers)]
+		if err := publisher.Publish(ctx, obj, "/files/"+obj.ID); err != nil {
+			return fmt.Errorf("publish %s: %w", obj.ID, err)
+		}
+		fmt.Printf("published %-8s with keywords %v\n", obj.ID, obj.Keywords)
+	}
+
+	searcher := cluster.Peers[4]
+
+	// Pin search: exact keyword set, one lookup.
+	ids, stats, err := searcher.PinSearch(ctx, keysearch.NewKeywordSet("tvbs", "news"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npin search {news, tvbs}: %v (%d node, %d messages)\n",
+		ids, stats.NodesContacted, stats.Messages)
+
+	// Superset search: every object that can be described by "news".
+	res, err := searcher.Search(ctx, keysearch.NewKeywordSet("news"), keysearch.All, keysearch.SearchOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsuperset search {news} found %d objects (%d nodes contacted):\n",
+		len(res.Matches), res.Stats.NodesContacted)
+	for _, m := range res.Matches {
+		fmt.Printf("  %-8s keywords %v (%d extra keyword(s))\n", m.ObjectID, m.Keywords(), m.Depth)
+	}
+
+	// Fetch replica references of a hit through the DHT.
+	refs, err := searcher.Fetch(ctx, res.Matches[0].ObjectID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplicas of %s:\n", res.Matches[0].ObjectID)
+	for _, r := range refs {
+		fmt.Printf("  held by %s at %s\n", r.Holder, r.Location)
+	}
+	return nil
+}

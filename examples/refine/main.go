@@ -1,0 +1,109 @@
+// Command refine walks through the paper's interactive search
+// scenario (Section 3.3): a user starts with a broad keyword set,
+// browses a few results at a time through a cumulative cursor, asks
+// the layer for refinement samples (one object per extra-keyword
+// category), and then narrows the query — whose search space is a
+// subcube of the original (Lemma 3.3).
+//
+// Run with:
+//
+//	go run ./examples/refine
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+
+	keysearch "github.com/p2pkeyword/keysearch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := keysearch.NewLocalCluster(6, keysearch.Config{Dim: 10})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	// A small photo-sharing corpus: everything is tagged "photo", with
+	// varying extra tags.
+	subjects := []string{"sunset", "beach", "city", "mountain"}
+	styles := []string{"bw", "hdr"}
+	n := 0
+	for _, subj := range subjects {
+		for i := 0; i < 4; i++ {
+			tags := []string{"photo", subj}
+			if i%2 == 1 {
+				tags = append(tags, styles[i/2%len(styles)])
+			}
+			id := subj + "-" + strconv.Itoa(i)
+			obj := keysearch.Object{ID: id, Keywords: keysearch.NewKeywordSet(tags...)}
+			if err := cluster.Peers[n%len(cluster.Peers)].Publish(ctx, obj, "/photos/"+id); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	fmt.Printf("published %d photos\n\n", n)
+
+	me := cluster.Peers[0]
+	broad := keysearch.NewKeywordSet("photo")
+
+	// Step 1: browse the broad query three results at a time.
+	cur, err := me.SearchCursor(broad, keysearch.SearchOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("browsing 'photo' (3 per page):")
+	var all []keysearch.Match
+	for page := 1; !cur.Exhausted() && page <= 3; page++ {
+		hits, stats, err := cur.Next(ctx, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  page %d (%d nodes contacted):", page, stats.NodesContacted)
+		for _, m := range hits {
+			fmt.Printf(" %s", m.ObjectID)
+		}
+		fmt.Println()
+		all = append(all, hits...)
+	}
+
+	// Step 2: ask for refinement samples — one object per extra
+	// keyword category seen so far.
+	fmt.Println("\nrefinement samples from the browsed results:")
+	for _, cat := range keysearch.SampleCategories(broad, all, 1) {
+		if cat.Extra == "" {
+			fmt.Printf("  exactly 'photo': e.g. %s\n", cat.Matches[0].ObjectID)
+			continue
+		}
+		fmt.Printf("  +%v: e.g. %s\n", cat.ExtraKeywords(), cat.Matches[0].ObjectID)
+	}
+
+	// Step 3: refine. The new query's subhypercube is contained in the
+	// old one, so the refined search is never broader.
+	broadRes, err := me.Search(ctx, broad, keysearch.All, keysearch.SearchOptions{NoCache: true})
+	if err != nil {
+		return err
+	}
+	refined := broad.Union(keysearch.NewKeywordSet("sunset"))
+	refinedRes, err := me.Search(ctx, refined, keysearch.All, keysearch.SearchOptions{NoCache: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbroad search contacted %d nodes; refined %v contacted %d (Lemma 3.3: never more)\n",
+		broadRes.Stats.NodesContacted, refined, refinedRes.Stats.NodesContacted)
+	fmt.Println("refined results:")
+	for _, m := range refinedRes.Matches {
+		fmt.Printf("  %-12s %v\n", m.ObjectID, m.Keywords())
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/p2pkeyword/keysearch
+
+go 1.22

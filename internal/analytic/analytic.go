@@ -1,0 +1,171 @@
+// Package analytic implements the closed-form results of Section 3.5:
+// the distribution of |One(F_h(K))| (Equation 1) — the number of
+// distinct hypercube dimensions hit by m keywords hashed uniformly
+// into r buckets — its expectation, and the dimension-selection
+// heuristic derived from the Figure 7 discussion (choose r so the
+// object distribution over |One(u)| tracks the binomial node
+// distribution).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// OneBitsPMF returns P(|One(F_h(K))| = j) for |K| = m keywords hashed
+// uniformly and independently into r dimensions (Equation 1):
+//
+//	P(j) = C(r, j) · Σ_{i=0..j} (-1)^i C(j, i) (1 - (i + r - j)/r)^m
+//
+// equivalently the classic occupancy probability that exactly j of r
+// buckets are non-empty after m balls. It returns 0 outside the
+// feasible range 1 ≤ j ≤ min(r, m) (or j = 0 when m = 0).
+func OneBitsPMF(r, m, j int) (float64, error) {
+	if r < 1 {
+		return 0, fmt.Errorf("analytic: r must be ≥ 1, got %d", r)
+	}
+	if m < 0 || j < 0 {
+		return 0, fmt.Errorf("analytic: m and j must be non-negative (m=%d, j=%d)", m, j)
+	}
+	if m == 0 {
+		if j == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if j == 0 || j > r || j > m {
+		return 0, nil
+	}
+	// Compute in log space for numerical stability with alternating
+	// signs accumulated in ordinary space: terms are modest for the
+	// r ≤ 64 regime this package targets, so direct evaluation with
+	// binomials as floats is accurate enough; guard against negative
+	// rounding at the end.
+	sum := 0.0
+	for i := 0; i <= j; i++ {
+		term := binom(j, i) * math.Pow(float64(j-i)/float64(r), float64(m))
+		if i%2 == 0 {
+			sum += term
+		} else {
+			sum -= term
+		}
+	}
+	p := binom(r, j) * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// OneBitsDistribution returns the full PMF over j = 0..min(r, m).
+func OneBitsDistribution(r, m int) ([]float64, error) {
+	maxJ := r
+	if m < r {
+		maxJ = m
+	}
+	out := make([]float64, maxJ+1)
+	for j := 0; j <= maxJ; j++ {
+		p, err := OneBitsPMF(r, m, j)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = p
+	}
+	return out, nil
+}
+
+// ExpectedOneBits returns E[|One(F_h(K))|] for |K| = m over r
+// dimensions. It uses the exact closed form r·(1 - (1 - 1/r)^m),
+// which equals the expectation of Equation 1's distribution.
+func ExpectedOneBits(r, m int) (float64, error) {
+	if r < 1 {
+		return 0, fmt.Errorf("analytic: r must be ≥ 1, got %d", r)
+	}
+	if m < 0 {
+		return 0, fmt.Errorf("analytic: m must be non-negative, got %d", m)
+	}
+	return float64(r) * (1 - math.Pow(1-1/float64(r), float64(m))), nil
+}
+
+// NodeOnesPMF returns the node-side distribution of Figure 7: the
+// fraction of the 2^r hypercube vertices with exactly x one-bits,
+// i.e. Binomial(r, 1/2).
+func NodeOnesPMF(r, x int) (float64, error) {
+	if r < 1 || r > 1023 {
+		return 0, fmt.Errorf("analytic: r out of range: %d", r)
+	}
+	if x < 0 || x > r {
+		return 0, nil
+	}
+	return binom(r, x) * math.Pow(0.5, float64(r)), nil
+}
+
+// ObjectOnesPMF returns the object-side distribution of Figure 7 for a
+// given keyword-set-size distribution sizePMF (sizePMF[m] =
+// P(|K_σ| = m)): the probability that an object's indexing vertex has
+// exactly x one-bits.
+func ObjectOnesPMF(r int, sizePMF []float64, x int) (float64, error) {
+	total := 0.0
+	for m, pm := range sizePMF {
+		if pm == 0 {
+			continue
+		}
+		pj, err := OneBitsPMF(r, m, x)
+		if err != nil {
+			return 0, err
+		}
+		total += pm * pj
+	}
+	return total, nil
+}
+
+// ChooseDimension selects the hypercube dimensionality r in
+// [minR, maxR] that minimizes the total-variation distance between the
+// object distribution (induced by the keyword-set-size distribution)
+// and the binomial node distribution — the paper's recipe for picking
+// r from Figure 5's histogram without running the experiment.
+func ChooseDimension(sizePMF []float64, minR, maxR int) (int, error) {
+	if minR < 1 || maxR < minR {
+		return 0, fmt.Errorf("analytic: invalid dimension range [%d, %d]", minR, maxR)
+	}
+	bestR, bestDist := minR, math.Inf(1)
+	for r := minR; r <= maxR; r++ {
+		dist := 0.0
+		for x := 0; x <= r; x++ {
+			pn, err := NodeOnesPMF(r, x)
+			if err != nil {
+				return 0, err
+			}
+			po, err := ObjectOnesPMF(r, sizePMF, x)
+			if err != nil {
+				return 0, err
+			}
+			dist += math.Abs(pn - po)
+		}
+		if dist < bestDist {
+			bestDist = dist
+			bestR = r
+		}
+	}
+	return bestR, nil
+}
+
+// binom returns C(n, k) as a float64, exact for the modest arguments
+// used here (n ≤ 64 keeps well inside float64 integer precision for
+// the products involved; larger n degrade gracefully).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}

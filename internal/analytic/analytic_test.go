@@ -1,0 +1,197 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOneBitsPMFValidation(t *testing.T) {
+	if _, err := OneBitsPMF(0, 1, 1); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := OneBitsPMF(4, -1, 1); err == nil {
+		t.Error("m<0 accepted")
+	}
+	if _, err := OneBitsPMF(4, 1, -1); err == nil {
+		t.Error("j<0 accepted")
+	}
+}
+
+func TestOneBitsPMFEdgeCases(t *testing.T) {
+	// m = 0: all mass at j = 0.
+	if p, _ := OneBitsPMF(8, 0, 0); p != 1 {
+		t.Errorf("P(j=0 | m=0) = %g", p)
+	}
+	// m = 1: all mass at j = 1.
+	if p, _ := OneBitsPMF(8, 1, 1); math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(j=1 | m=1) = %g", p)
+	}
+	// j beyond min(r, m) is impossible.
+	if p, _ := OneBitsPMF(8, 3, 4); p != 0 {
+		t.Errorf("P(j=4 | m=3) = %g", p)
+	}
+	if p, _ := OneBitsPMF(3, 10, 4); p != 0 {
+		t.Errorf("P(j=4 | r=3) = %g", p)
+	}
+}
+
+func TestOneBitsDistributionSumsToOne(t *testing.T) {
+	for _, tc := range []struct{ r, m int }{
+		{8, 1}, {8, 5}, {10, 7}, {12, 20}, {16, 3}, {64, 10},
+	} {
+		pmf, err := OneBitsDistribution(tc.r, tc.m)
+		if err != nil {
+			t.Fatalf("r=%d m=%d: %v", tc.r, tc.m, err)
+		}
+		sum := 0.0
+		for _, p := range pmf {
+			if p < 0 || p > 1 {
+				t.Fatalf("r=%d m=%d: probability %g out of range", tc.r, tc.m, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("r=%d m=%d: PMF sums to %g", tc.r, tc.m, sum)
+		}
+	}
+}
+
+func TestExpectedOneBitsMatchesPMF(t *testing.T) {
+	for _, tc := range []struct{ r, m int }{{8, 3}, {10, 7}, {12, 12}, {16, 5}} {
+		pmf, _ := OneBitsDistribution(tc.r, tc.m)
+		fromPMF := 0.0
+		for j, p := range pmf {
+			fromPMF += float64(j) * p
+		}
+		closed, err := ExpectedOneBits(tc.r, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fromPMF-closed) > 1e-8 {
+			t.Errorf("r=%d m=%d: E from PMF %g, closed form %g", tc.r, tc.m, fromPMF, closed)
+		}
+	}
+}
+
+func TestOneBitsPMFMatchesMonteCarlo(t *testing.T) {
+	// Equation (1) against simulation: throw m balls into r buckets,
+	// count non-empty buckets.
+	const trials = 200000
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range []struct{ r, m int }{{10, 7}, {8, 3}} {
+		counts := make([]int, tc.r+1)
+		var occupied [64]bool
+		for trial := 0; trial < trials; trial++ {
+			for i := 0; i < tc.r; i++ {
+				occupied[i] = false
+			}
+			j := 0
+			for b := 0; b < tc.m; b++ {
+				k := rng.Intn(tc.r)
+				if !occupied[k] {
+					occupied[k] = true
+					j++
+				}
+			}
+			counts[j]++
+		}
+		for j := 1; j <= min(tc.r, tc.m); j++ {
+			analytic, _ := OneBitsPMF(tc.r, tc.m, j)
+			empirical := float64(counts[j]) / trials
+			if math.Abs(analytic-empirical) > 0.005 {
+				t.Errorf("r=%d m=%d j=%d: analytic %g vs empirical %g",
+					tc.r, tc.m, j, analytic, empirical)
+			}
+		}
+	}
+}
+
+func TestNodeOnesPMF(t *testing.T) {
+	// Binomial(4, 1/2): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for x, w := range want {
+		got, err := NodeOnesPMF(4, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("NodeOnesPMF(4, %d) = %g, want %g", x, got, w)
+		}
+	}
+	if p, _ := NodeOnesPMF(4, 5); p != 0 {
+		t.Error("x > r should be 0")
+	}
+	if _, err := NodeOnesPMF(0, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+}
+
+func TestObjectOnesPMFMixesSizes(t *testing.T) {
+	// All objects have exactly 1 keyword → object distribution is a
+	// point mass at x=1.
+	sizePMF := []float64{0, 1} // P(m=1) = 1
+	p1, err := ObjectOnesPMF(10, sizePMF, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-1) > 1e-12 {
+		t.Errorf("P(x=1) = %g, want 1", p1)
+	}
+	p2, _ := ObjectOnesPMF(10, sizePMF, 2)
+	if p2 != 0 {
+		t.Errorf("P(x=2) = %g, want 0", p2)
+	}
+}
+
+func TestChooseDimensionPrefersMatchedR(t *testing.T) {
+	// With mean keyword-set size ≈ 7.3 (the paper's corpus), the best
+	// dimension lands around 10 — the paper's empirical optimum.
+	sizePMF := make([]float64, 31)
+	// Rough discretized unimodal distribution with mean ≈ 7.3.
+	weights := []float64{0, 0.5, 2, 5, 9, 12, 13, 12, 10, 8, 6, 5, 4, 3, 2.5, 2, 1.5, 1.2, 1, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.12, 0.1, 0.08, 0.06}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		sizePMF[i] = w / total
+	}
+	r, err := ChooseDimension(sizePMF, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 8 || r > 12 {
+		t.Errorf("ChooseDimension = %d, want ≈ 10", r)
+	}
+}
+
+func TestChooseDimensionValidation(t *testing.T) {
+	if _, err := ChooseDimension([]float64{1}, 0, 4); err == nil {
+		t.Error("minR=0 accepted")
+	}
+	if _, err := ChooseDimension([]float64{1}, 8, 4); err == nil {
+		t.Error("maxR<minR accepted")
+	}
+}
+
+func TestBinom(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binom(tt.n, tt.k); got != tt.want {
+			t.Errorf("binom(%d,%d) = %g, want %g", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

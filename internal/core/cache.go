@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// fifoCache is the per-node query-result cache of Section 4
+// (experiment 3): completed superset-search results keyed by the query
+// keyword set, evicted in FIFO order. Capacity is measured in object-ID
+// units, matching the paper's α · |O| / 2^r sizing relative to the
+// average index size per node.
+type fifoCache struct {
+	mu       sync.Mutex
+	capacity int
+	units    int
+	order    []string // insertion order of query keys
+	items    map[string]cachedResult
+	hits     uint64
+	misses   uint64
+}
+
+type cachedResult struct {
+	matches   []Match
+	exhausted bool
+	instance  string
+	query     keyword.Set
+}
+
+func newFIFOCache(capacity int) *fifoCache {
+	return &fifoCache{
+		capacity: capacity,
+		items:    make(map[string]cachedResult),
+	}
+}
+
+func (c *fifoCache) enabled() bool { return c.capacity > 0 }
+
+// cacheKey namespaces cached queries by index instance.
+func cacheKey(instance, queryKey string) string {
+	return instance + "\x00" + queryKey
+}
+
+// get returns a cached result able to satisfy a query of the given
+// threshold: the cached traversal either exhausted the subhypercube or
+// gathered at least threshold matches.
+func (c *fifoCache) get(queryKey string, threshold int) ([]Match, bool, bool) {
+	if !c.enabled() {
+		return nil, false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	item, ok := c.items[queryKey]
+	if !ok || (!item.exhausted && len(item.matches) < threshold) {
+		c.misses++
+		return nil, false, false
+	}
+	c.hits++
+	n := len(item.matches)
+	if threshold >= 0 && threshold < n {
+		n = threshold
+	}
+	out := make([]Match, n)
+	copy(out, item.matches)
+	exhausted := item.exhausted && n == len(item.matches)
+	return out, exhausted, true
+}
+
+// put stores a completed query result, evicting oldest entries until
+// the capacity constraint holds. Results larger than the whole cache
+// are not stored.
+func (c *fifoCache) put(instance, queryKey string, query keyword.Set, matches []Match, exhausted bool) {
+	if !c.enabled() || len(matches) > c.capacity {
+		return
+	}
+	key := cacheKey(instance, queryKey)
+	item := cachedResult{matches: cloneMatches(matches), exhausted: exhausted, instance: instance, query: query}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.items[key]; ok {
+		// Replace in place, keeping FIFO position.
+		c.units -= len(old.matches)
+		c.items[key] = item
+		c.units += len(matches)
+	} else {
+		c.items[key] = item
+		c.order = append(c.order, key)
+		c.units += len(matches)
+	}
+	for c.units > c.capacity && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		if item, ok := c.items[oldest]; ok {
+			c.units -= len(item.matches)
+			delete(c.items, oldest)
+		}
+	}
+}
+
+// invalidateSubsetsOf drops the instance's cached queries K with
+// K ⊆ changed, since an index mutation under keyword set 'changed' can
+// alter their results.
+func (c *fifoCache) invalidateSubsetsOf(instance string, changed keyword.Set) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.items) == 0 {
+		return
+	}
+	keep := c.order[:0]
+	for _, key := range c.order {
+		item, ok := c.items[key]
+		if !ok {
+			continue
+		}
+		if item.instance == instance && item.query.SubsetOf(changed) {
+			c.units -= len(item.matches)
+			delete(c.items, key)
+			continue
+		}
+		keep = append(keep, key)
+	}
+	c.order = keep
+}
+
+func (c *fifoCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// len returns the number of cached queries (test helper).
+func (c *fifoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func cloneMatches(ms []Match) []Match {
+	out := make([]Match, len(ms))
+	copy(out, ms)
+	return out
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+func TestCacheHitServesRepeatedQuery(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	corpus(t, d, 200, 51)
+	q := keyword.NewSet("isp")
+
+	first, err := d.client.SupersetSearch(ctx, q, 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CacheHit {
+		t.Error("first query claimed a cache hit")
+	}
+	second, err := d.client.SupersetSearch(ctx, q, 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.CacheHit {
+		t.Fatal("second identical query missed the cache")
+	}
+	if second.Stats.NodesContacted != 1 {
+		t.Errorf("cache hit contacted %d nodes, want 1 (root only)", second.Stats.NodesContacted)
+	}
+	if !equalStrings(matchIDs(second.Matches), matchIDs(first.Matches)) {
+		t.Error("cached result differs from original")
+	}
+}
+
+func TestCacheServesSmallerThreshold(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	corpus(t, d, 200, 53)
+	q := keyword.NewSet("news")
+	if _, err := d.client.SupersetSearch(ctx, q, 10, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.client.SupersetSearch(ctx, q, 3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit {
+		t.Error("smaller threshold should be served from cache")
+	}
+	if len(res.Matches) != 3 {
+		t.Errorf("got %d matches, want 3", len(res.Matches))
+	}
+}
+
+func TestCacheMissOnLargerThreshold(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	objects := corpus(t, d, 200, 57)
+	q := keyword.NewSet("news")
+	all := bruteForce(objects, q)
+	if len(all) < 6 {
+		t.Fatalf("sparse corpus: %d", len(all))
+	}
+	if _, err := d.client.SupersetSearch(ctx, q, 3, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.client.SupersetSearch(ctx, q, 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHit {
+		t.Error("larger threshold served from a partial cache entry")
+	}
+	if len(res.Matches) != 5 {
+		t.Errorf("got %d matches, want 5", len(res.Matches))
+	}
+}
+
+func TestCacheExhaustedEntryServesAnyThreshold(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	objects := corpus(t, d, 200, 59)
+	q := keyword.NewSet("mp3")
+	all := bruteForce(objects, q)
+	if _, err := d.client.SupersetSearch(ctx, q, All, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.client.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit {
+		t.Error("exhausted cached entry should satisfy any threshold")
+	}
+	if len(res.Matches) != len(all) {
+		t.Errorf("got %d, want %d", len(res.Matches), len(all))
+	}
+	if !res.Exhausted {
+		t.Error("cached exhaustive result lost Exhausted flag")
+	}
+}
+
+func TestCacheInvalidatedByInsert(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	q := keyword.NewSet("cachetest")
+	if _, err := d.client.Insert(ctx, obj("a", "cachetest", "one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.SupersetSearch(ctx, q, All, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// New matching object. Its index entry lands on some node; the
+	// ROOT's cached result must be invalidated only if the entry lives
+	// on the root server. To make the test deterministic, insert an
+	// object with exactly the query keyword set (which is always
+	// indexed at the root vertex itself).
+	if _, err := d.client.Insert(ctx, obj("b", "cachetest")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.client.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchIDs(res.Matches)
+	if !equalStrings(got, []string{"a", "b"}) {
+		t.Errorf("after insert, matches = %v, want [a b]", got)
+	}
+}
+
+func TestCacheBypass(t *testing.T) {
+	d := newDeployment(t, 9, 4, 1000)
+	ctx := context.Background()
+	corpus(t, d, 100, 61)
+	q := keyword.NewSet("isp")
+	if _, err := d.client.SupersetSearch(ctx, q, 5, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.client.SupersetSearch(ctx, q, 5, SearchOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHit {
+		t.Error("NoCache query reported a cache hit")
+	}
+}
+
+func TestFIFOCacheEviction(t *testing.T) {
+	c := newFIFOCache(10)
+	mk := func(n int, tag string) []Match {
+		ms := make([]Match, n)
+		for i := range ms {
+			ms[i] = Match{ObjectID: tag + strconv.Itoa(i)}
+		}
+		return ms
+	}
+	c.put("main", "q1", keyword.NewSet("a"), mk(4, "a"), true)
+	c.put("main", "q2", keyword.NewSet("b"), mk(4, "b"), true)
+	c.put("main", "q3", keyword.NewSet("c"), mk(4, "c"), true) // evicts q1
+	if _, _, ok := c.get(cacheKey("main", "q1"), 1); ok {
+		t.Error("q1 should have been evicted (FIFO)")
+	}
+	if _, _, ok := c.get(cacheKey("main", "q2"), 1); !ok {
+		t.Error("q2 should survive")
+	}
+	if _, _, ok := c.get(cacheKey("main", "q3"), 1); !ok {
+		t.Error("q3 should survive")
+	}
+}
+
+func TestFIFOCacheOversizedResultNotStored(t *testing.T) {
+	c := newFIFOCache(3)
+	ms := make([]Match, 5)
+	c.put("main", "big", keyword.NewSet("a"), ms, true)
+	if _, _, ok := c.get(cacheKey("main", "big"), 1); ok {
+		t.Error("oversized result stored")
+	}
+}
+
+func TestFIFOCacheDisabled(t *testing.T) {
+	c := newFIFOCache(0)
+	c.put("main", "q", keyword.NewSet("a"), []Match{{ObjectID: "x"}}, true)
+	if _, _, ok := c.get(cacheKey("main", "q"), 1); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestFIFOCacheInvalidateSubsets(t *testing.T) {
+	c := newFIFOCache(100)
+	c.put("main", "qa", keyword.NewSet("a"), []Match{{ObjectID: "1"}}, true)
+	c.put("main", "qab", keyword.NewSet("a", "b"), []Match{{ObjectID: "2"}}, true)
+	c.put("main", "qc", keyword.NewSet("c"), []Match{{ObjectID: "3"}}, true)
+	// An index change under {a, b, x} affects queries {a} and {a,b}
+	// but not {c}.
+	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b", "x"))
+	if _, _, ok := c.get(cacheKey("main", "qa"), 1); ok {
+		t.Error("query {a} should be invalidated")
+	}
+	if _, _, ok := c.get(cacheKey("main", "qab"), 1); ok {
+		t.Error("query {a,b} should be invalidated")
+	}
+	if _, _, ok := c.get(cacheKey("main", "qc"), 1); !ok {
+		t.Error("query {c} should survive")
+	}
+	if c.len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.len())
+	}
+}
+
+func TestFIFOCacheReplaceKeepsUnits(t *testing.T) {
+	c := newFIFOCache(10)
+	c.put("main", "q", keyword.NewSet("a"), make([]Match, 6), false)
+	c.put("main", "q", keyword.NewSet("a"), make([]Match, 2), true)
+	if c.units != 2 {
+		t.Errorf("units = %d after replace, want 2", c.units)
+	}
+	got, exhausted, ok := c.get(cacheKey("main", "q"), 2)
+	if !ok || !exhausted || len(got) != 2 {
+		t.Errorf("get after replace = %d matches, exhausted=%v, ok=%v", len(got), exhausted, ok)
+	}
+}
+
+func TestCacheHitCountersAdvance(t *testing.T) {
+	d := newDeployment(t, 9, 2, 1000)
+	ctx := context.Background()
+	corpus(t, d, 100, 63)
+	q := keyword.NewSet("isp")
+	d.client.SupersetSearch(ctx, q, 5, SearchOptions{})
+	d.client.SupersetSearch(ctx, q, 5, SearchOptions{})
+	rootSrv := d.serverFor(d.hasher.Vertex(q))
+	hits, misses := rootSrv.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if misses == 0 {
+		t.Error("no cache misses recorded")
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Client is the initiator-side API of the index scheme. Any peer (it
+// does not need to host index tables itself) can create a Client to
+// insert, delete and search objects.
+type Client struct {
+	instance string
+	hasher   keyword.Hasher
+	resolver Resolver
+	sender   transport.Sender
+}
+
+// DefaultInstance is the index-instance name used when none is given.
+const DefaultInstance = "main"
+
+// NewClient builds a client for the default index instance, sharing
+// the deployment's hasher, vertex resolver and transport.
+func NewClient(hasher keyword.Hasher, resolver Resolver, sender transport.Sender) (*Client, error) {
+	return NewInstanceClient(DefaultInstance, hasher, resolver, sender)
+}
+
+// NewInstanceClient builds a client for a named index instance.
+// Decomposed and replicated indexes use distinct instance names so
+// their entries stay separate even when they share physical nodes;
+// the resolver must be salted with the same instance name.
+func NewInstanceClient(instance string, hasher keyword.Hasher, resolver Resolver, sender transport.Sender) (*Client, error) {
+	if resolver == nil || sender == nil {
+		return nil, fmt.Errorf("core: client needs a Resolver and a Sender")
+	}
+	if instance == "" {
+		instance = DefaultInstance
+	}
+	return &Client{instance: instance, hasher: hasher, resolver: resolver, sender: sender}, nil
+}
+
+// Instance returns the index-instance name this client addresses.
+func (c *Client) Instance() string { return c.instance }
+
+// Hasher returns the deployment hasher (shared with servers).
+func (c *Client) Hasher() keyword.Hasher { return c.hasher }
+
+// route resolves the physical address hosting vertex v in this
+// client's instance.
+func (c *Client) route(ctx context.Context, v hypercube.Vertex) (transport.Addr, error) {
+	return c.resolver.Resolve(ctx, c.instance, v)
+}
+
+// ResolveRoot returns the physical address of the node responsible for
+// keyword set k in this client's instance — a diagnostic hook used by
+// failure-injection tests and monitoring.
+func (c *Client) ResolveRoot(ctx context.Context, k keyword.Set) (transport.Addr, error) {
+	return c.route(ctx, c.hasher.Vertex(k))
+}
+
+// send resolves the vertex and delivers body, retrying once through a
+// fresh resolution when a cached binding has gone stale (the node
+// departed and its key range re-homed).
+func (c *Client) send(ctx context.Context, v hypercube.Vertex, body any) (any, error) {
+	for attempt := 0; ; attempt++ {
+		addr, err := c.route(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.sender.Send(ctx, addr, body)
+		if err == nil {
+			return resp, nil
+		}
+		if inv, ok := c.resolver.(*OverlayResolver); ok && attempt == 0 {
+			inv.Invalidate(c.instance, v)
+			continue
+		}
+		return nil, err
+	}
+}
+
+// Insert places the index entry ⟨K_σ, σ⟩ at the node responsible for
+// the object's keyword set: one lookup plus one message, per Section
+// 3.5. Stats reports the cost.
+func (c *Client) Insert(ctx context.Context, obj Object) (Stats, error) {
+	if err := obj.Validate(); err != nil {
+		return Stats{}, err
+	}
+	v := c.hasher.Vertex(obj.Keywords)
+	_, err := c.send(ctx, v, msgInsertEntry{
+		Instance: c.instance,
+		Vertex:   uint64(v),
+		SetKey:   obj.Keywords.Key(),
+		ObjectID: obj.ID,
+	})
+	if err != nil {
+		return Stats{}, fmt.Errorf("insert %q: %w", obj.ID, err)
+	}
+	return Stats{NodesContacted: 1, Messages: 2}, nil
+}
+
+// Delete removes the index entry of the object. It reports whether the
+// entry existed.
+func (c *Client) Delete(ctx context.Context, obj Object) (bool, Stats, error) {
+	if err := obj.Validate(); err != nil {
+		return false, Stats{}, err
+	}
+	v := c.hasher.Vertex(obj.Keywords)
+	raw, err := c.send(ctx, v, msgDeleteEntry{
+		Instance: c.instance,
+		Vertex:   uint64(v),
+		SetKey:   obj.Keywords.Key(),
+		ObjectID: obj.ID,
+	})
+	if err != nil {
+		return false, Stats{}, fmt.Errorf("delete %q: %w", obj.ID, err)
+	}
+	resp, ok := raw.(respDeleteEntry)
+	if !ok {
+		return false, Stats{}, fmt.Errorf("delete %q: unexpected response %T", obj.ID, raw)
+	}
+	return resp.Found, Stats{NodesContacted: 1, Messages: 2}, nil
+}
+
+// PinSearch returns the IDs of objects associated with exactly the
+// keyword set K: one message for the query and one for the result.
+func (c *Client) PinSearch(ctx context.Context, k keyword.Set) ([]string, Stats, error) {
+	if k.IsEmpty() {
+		return nil, Stats{}, ErrEmptyQuery
+	}
+	v := c.hasher.Vertex(k)
+	raw, err := c.send(ctx, v, msgPinQuery{Instance: c.instance, Vertex: uint64(v), SetKey: k.Key()})
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("pin search %v: %w", k, err)
+	}
+	resp, ok := raw.(respPinQuery)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("pin search %v: unexpected response %T", k, raw)
+	}
+	return resp.ObjectIDs, Stats{NodesContacted: 1, Messages: 2}, nil
+}
+
+// SupersetSearch returns up to threshold objects whose keyword sets
+// contain K, exploring the subhypercube induced by F_h(K). threshold
+// must be positive; pass All for an unbounded search.
+func (c *Client) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) (Result, error) {
+	return c.search(ctx, k, threshold, opts, false, 0)
+}
+
+// All is a threshold meaning "every matching object".
+const All = int(^uint(0) >> 1)
+
+func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions, cumulative bool, sessionID uint64) (Result, error) {
+	if k.IsEmpty() {
+		return Result{}, ErrEmptyQuery
+	}
+	if threshold <= 0 {
+		return Result{}, fmt.Errorf("core: threshold %d must be positive", threshold)
+	}
+	opts = opts.withDefaults()
+	v := c.hasher.Vertex(k)
+	raw, err := c.send(ctx, v, msgTQuery{
+		Instance:   c.instance,
+		Dim:        c.hasher.Dim(),
+		Vertex:     uint64(v),
+		QueryKey:   k.Key(),
+		Threshold:  threshold,
+		Order:      opts.Order,
+		Cumulative: cumulative,
+		SessionID:  sessionID,
+		NoCache:    opts.NoCache,
+		WantTrace:  opts.Trace,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("superset search %v: %w", k, err)
+	}
+	resp, ok := raw.(respTQuery)
+	if !ok {
+		return Result{}, fmt.Errorf("superset search %v: unexpected response %T", k, raw)
+	}
+	if resp.ErrCode == errCodeNoSession {
+		return Result{}, ErrNoSuchSession
+	}
+	stats := Stats{
+		NodesContacted: resp.SubNodes,
+		Messages:       resp.SubMsgs + 2, // plus the initiator↔root round trip
+		Rounds:         resp.Rounds,
+		CacheHit:       resp.CacheHit,
+	}
+	if resp.CacheHit {
+		stats.NodesContacted = 1 // only the root was involved
+	}
+	return Result{
+		Matches:   resp.Matches,
+		Exhausted: resp.Exhausted,
+		Stats:     stats,
+		SessionID: resp.SessionID,
+		Trace:     resp.Trace,
+	}, nil
+}
+
+// Cursor pages through a cumulative superset search (Section 2.2's
+// "browse step by step" mode): consecutive Next calls return disjoint
+// result pages, with the traversal frontier retained at the root.
+type Cursor struct {
+	client    *Client
+	query     keyword.Set
+	opts      SearchOptions
+	sessionID uint64
+	exhausted bool
+}
+
+// CumulativeSearch starts a cumulative search and returns its cursor.
+// No traffic happens until the first Next call.
+func (c *Client) CumulativeSearch(k keyword.Set, opts SearchOptions) (*Cursor, error) {
+	if k.IsEmpty() {
+		return nil, ErrEmptyQuery
+	}
+	return &Cursor{client: c, query: k, opts: opts.withDefaults()}, nil
+}
+
+// Next returns the next page of up to pageSize matches. After the
+// subhypercube is exhausted it returns ErrExhausted.
+func (cur *Cursor) Next(ctx context.Context, pageSize int) ([]Match, Stats, error) {
+	if cur.exhausted {
+		return nil, Stats{}, ErrExhausted
+	}
+	res, err := cur.client.search(ctx, cur.query, pageSize, cur.opts, true, cur.sessionID)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cur.sessionID = res.SessionID
+	if res.Exhausted {
+		cur.exhausted = true
+	}
+	return res.Matches, res.Stats, nil
+}
+
+// Exhausted reports whether the traversal has covered the whole
+// subhypercube.
+func (cur *Cursor) Exhausted() bool { return cur.exhausted }

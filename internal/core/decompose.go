@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// Decomposed implements the decomposition remark of Section 3.4:
+// instead of one large hypercube indexing every keyword, the keyword
+// universe is partitioned into disjoint families (e.g. attribute
+// groups), each indexed by its own smaller hypercube. Smaller
+// dimensions shrink the subhypercubes searched per query; queries whose
+// keywords span several families are answered by searching each family
+// with its keyword projection and intersecting the object IDs.
+type Decomposed struct {
+	classify func(word string) string
+	parts    map[string]*Client
+}
+
+// NewDecomposed builds a decomposed index. classify maps a normalized
+// keyword to its family name; parts maps each family to the client of
+// that family's hypercube deployment. classify must be total over the
+// application's vocabulary and must return names present in parts.
+func NewDecomposed(classify func(word string) string, parts map[string]*Client) (*Decomposed, error) {
+	if classify == nil || len(parts) == 0 {
+		return nil, fmt.Errorf("core: decomposed index needs a classifier and at least one part")
+	}
+	for name, c := range parts {
+		if c == nil {
+			return nil, fmt.Errorf("core: decomposed part %q has no client", name)
+		}
+	}
+	return &Decomposed{classify: classify, parts: parts}, nil
+}
+
+// split projects a keyword set onto the families it touches.
+func (d *Decomposed) split(k keyword.Set) (map[string]keyword.Set, error) {
+	byFamily := make(map[string][]string)
+	for _, w := range k.Words() {
+		f := d.classify(w)
+		if _, ok := d.parts[f]; !ok {
+			return nil, fmt.Errorf("core: keyword %q classified into unknown family %q", w, f)
+		}
+		byFamily[f] = append(byFamily[f], w)
+	}
+	out := make(map[string]keyword.Set, len(byFamily))
+	for f, ws := range byFamily {
+		out[f] = keyword.NewSet(ws...)
+	}
+	return out, nil
+}
+
+// Insert indexes the object in every family its keywords touch, under
+// the projection of its keyword set onto that family.
+func (d *Decomposed) Insert(ctx context.Context, obj Object) (Stats, error) {
+	if err := obj.Validate(); err != nil {
+		return Stats{}, err
+	}
+	projections, err := d.split(obj.Keywords)
+	if err != nil {
+		return Stats{}, err
+	}
+	var total Stats
+	for _, f := range sortedFamilies(projections) {
+		st, err := d.parts[f].Insert(ctx, Object{ID: obj.ID, Keywords: projections[f]})
+		if err != nil {
+			return total, fmt.Errorf("family %q: %w", f, err)
+		}
+		total.NodesContacted += st.NodesContacted
+		total.Messages += st.Messages
+	}
+	return total, nil
+}
+
+// Delete removes the object's entries from every family its keywords
+// touch.
+func (d *Decomposed) Delete(ctx context.Context, obj Object) (Stats, error) {
+	if err := obj.Validate(); err != nil {
+		return Stats{}, err
+	}
+	projections, err := d.split(obj.Keywords)
+	if err != nil {
+		return Stats{}, err
+	}
+	var total Stats
+	for _, f := range sortedFamilies(projections) {
+		_, st, err := d.parts[f].Delete(ctx, Object{ID: obj.ID, Keywords: projections[f]})
+		if err != nil {
+			return total, fmt.Errorf("family %q: %w", f, err)
+		}
+		total.NodesContacted += st.NodesContacted
+		total.Messages += st.Messages
+	}
+	return total, nil
+}
+
+// SupersetSearch searches every family the query touches and
+// intersects the result object IDs. threshold bounds the per-family
+// fetch; because intersection can only shrink a result set, fewer than
+// threshold objects may be returned even when more exist — callers
+// needing exhaustive answers pass All.
+func (d *Decomposed) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) ([]string, Stats, error) {
+	if k.IsEmpty() {
+		return nil, Stats{}, ErrEmptyQuery
+	}
+	projections, err := d.split(k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var (
+		total     Stats
+		intersect map[string]bool
+	)
+	for _, f := range sortedFamilies(projections) {
+		res, err := d.parts[f].SupersetSearch(ctx, projections[f], threshold, opts)
+		if err != nil {
+			return nil, total, fmt.Errorf("family %q: %w", f, err)
+		}
+		total.NodesContacted += res.Stats.NodesContacted
+		total.Messages += res.Stats.Messages
+		ids := make(map[string]bool, len(res.Matches))
+		for _, m := range res.Matches {
+			ids[m.ObjectID] = true
+		}
+		if intersect == nil {
+			intersect = ids
+			continue
+		}
+		for id := range intersect {
+			if !ids[id] {
+				delete(intersect, id)
+			}
+		}
+	}
+	out := make([]string, 0, len(intersect))
+	for id := range intersect {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, total, nil
+}
+
+func sortedFamilies(m map[string]keyword.Set) []string {
+	fs := make([]string, 0, len(m))
+	for f := range m {
+		fs = append(fs, f)
+	}
+	sort.Strings(fs)
+	return fs
+}

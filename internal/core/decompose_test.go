@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// newDecomposedDeployment builds two family deployments ("type:" and
+// free-form keywords) plus the Decomposed wrapper over them.
+func newDecomposedDeployment(t *testing.T) (*Decomposed, *deployment, *deployment) {
+	t.Helper()
+	dType := newDeployment(t, 6, 2, 0)
+	dText := newDeployment(t, 10, 4, 0)
+	classify := func(w string) string {
+		if strings.HasPrefix(w, "type:") {
+			return "type"
+		}
+		return "text"
+	}
+	dec, err := NewDecomposed(classify, map[string]*Client{
+		"type": dType.client,
+		"text": dText.client,
+	})
+	if err != nil {
+		t.Fatalf("NewDecomposed: %v", err)
+	}
+	return dec, dType, dText
+}
+
+func TestDecomposedValidation(t *testing.T) {
+	if _, err := NewDecomposed(nil, nil); err == nil {
+		t.Error("NewDecomposed(nil) succeeded")
+	}
+	if _, err := NewDecomposed(func(string) string { return "x" }, map[string]*Client{"x": nil}); err == nil {
+		t.Error("nil part client accepted")
+	}
+}
+
+func TestDecomposedInsertAndSearchSingleFamily(t *testing.T) {
+	dec, _, _ := newDecomposedDeployment(t)
+	ctx := context.Background()
+	objects := []Object{
+		obj("song1", "type:audio", "jazz", "piano"),
+		obj("song2", "type:audio", "rock"),
+		obj("doc1", "type:document", "jazz", "history"),
+	}
+	for _, o := range objects {
+		if _, err := dec.Insert(ctx, o); err != nil {
+			t.Fatalf("Insert %s: %v", o.ID, err)
+		}
+	}
+	// Query entirely in the text family.
+	ids, _, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(ids, []string{"doc1", "song1"}) {
+		t.Errorf("jazz search = %v", ids)
+	}
+}
+
+func TestDecomposedCrossFamilyIntersection(t *testing.T) {
+	dec, _, _ := newDecomposedDeployment(t)
+	ctx := context.Background()
+	for _, o := range []Object{
+		obj("song1", "type:audio", "jazz", "piano"),
+		obj("song2", "type:audio", "rock"),
+		obj("doc1", "type:document", "jazz", "history"),
+	} {
+		if _, err := dec.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, st, err := dec.SupersetSearch(ctx, keyword.NewSet("type:audio", "jazz"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(ids, []string{"song1"}) {
+		t.Errorf("cross-family search = %v, want [song1]", ids)
+	}
+	if st.NodesContacted == 0 || st.Messages == 0 {
+		t.Errorf("stats not aggregated: %+v", st)
+	}
+}
+
+func TestDecomposedDelete(t *testing.T) {
+	dec, _, _ := newDecomposedDeployment(t)
+	ctx := context.Background()
+	o := obj("song1", "type:audio", "jazz")
+	if _, err := dec.Insert(ctx, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Delete(ctx, o); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("after delete, search = %v", ids)
+	}
+}
+
+func TestDecomposedSmallerSearchSpace(t *testing.T) {
+	// The decomposition argument of Section 3.4: searching the small
+	// "type" hypercube for a type-only query touches far fewer nodes
+	// than the equivalent query on a monolithic large hypercube.
+	dec, dType, _ := newDecomposedDeployment(t)
+	mono := newDeployment(t, 16, 4, 0)
+	ctx := context.Background()
+	for i, words := range [][]string{
+		{"type:audio", "jazz"},
+		{"type:audio", "rock"},
+		{"type:video", "jazz"},
+	} {
+		o := obj("o"+string(rune('a'+i)), words...)
+		if _, err := dec.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mono.client.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := keyword.NewSet("type:audio")
+	_, decStats, err := dec.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRes, err := mono.client.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decStats.NodesContacted >= monoRes.Stats.NodesContacted {
+		t.Errorf("decomposed search contacted %d nodes, monolithic %d — decomposition should shrink the search space",
+			decStats.NodesContacted, monoRes.Stats.NodesContacted)
+	}
+	_ = dType
+}
+
+func TestDecomposedUnknownFamily(t *testing.T) {
+	dec, err := NewDecomposed(func(w string) string { return "missing" }, map[string]*Client{
+		"present": mustClient(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = dec.SupersetSearch(context.Background(), keyword.NewSet("a"), 1, SearchOptions{})
+	if err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func mustClient(t *testing.T) *Client {
+	t.Helper()
+	d := newDeployment(t, 4, 1, 0)
+	return d.client
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Wire messages of the index protocol. Vertices travel as uint64 so
+// the messages are gob-friendly.
+type (
+	// msgInsertEntry places an index entry ⟨K_σ, σ⟩ at the logical
+	// vertex responsible for K_σ within one index instance.
+	msgInsertEntry struct {
+		Instance string
+		Vertex   uint64
+		SetKey   string
+		ObjectID string
+	}
+
+	// msgDeleteEntry removes an index entry.
+	msgDeleteEntry struct {
+		Instance string
+		Vertex   uint64
+		SetKey   string
+		ObjectID string
+	}
+	respDeleteEntry struct{ Found bool }
+
+	// msgPinQuery asks the vertex responsible for K for the objects
+	// indexed under exactly K.
+	msgPinQuery struct {
+		Instance string
+		Vertex   uint64
+		SetKey   string
+	}
+	respPinQuery struct{ ObjectIDs []string }
+
+	// msgTQuery is the initiator's superset-search request to the root
+	// node F_h(K) (the paper's T_QUERY(K, t, u, -, -)). If SessionID is
+	// nonzero the root continues a stored cumulative session instead of
+	// starting a new traversal; if Cumulative is set the root retains
+	// the frontier for later continuation.
+	msgTQuery struct {
+		Instance   string
+		Dim        int // hypercube dimensionality of the instance (0 = server default)
+		Vertex     uint64
+		QueryKey   string
+		Threshold  int
+		Order      TraversalOrder
+		Cumulative bool
+		SessionID  uint64
+		NoCache    bool
+		WantTrace  bool
+	}
+	respTQuery struct {
+		Matches     []Match
+		Exhausted   bool
+		SessionID   uint64
+		SubNodes    int // hypercube nodes contacted (including the root)
+		SubMsgs     int // messages exchanged by the root with them
+		Rounds      int // sequential message rounds (parallel: waves)
+		FailedNodes int // nodes skipped because they were unreachable
+		CacheHit    bool
+		ErrCode     int // protocol-level outcome (errCode*)
+		// Trace records per-node visit outcomes in traversal order
+		// when requested (WantTrace); used by the experiment harness
+		// to derive nodes-contacted-versus-recall curves.
+		Trace []TraceStep
+	}
+
+	// msgSubQuery is the root's per-node step (the paper's
+	// T_QUERY(K, c, u, d, v) sent to a frontier node w). The receiver
+	// examines the index table of Vertex for entries K' ⊇ QueryKey,
+	// returns up to Limit matches after skipping Skip of them, and —
+	// unless GenDim is negative — the child list
+	// L = {(x, i) : i < GenDim, i ∈ Zero(w)} (the paper's T_CONT).
+	msgSubQuery struct {
+		Instance string
+		Dim      int // hypercube dimensionality of the instance (0 = server default)
+		Vertex   uint64
+		Root     uint64 // the query's root vertex F_h(K) in this instance
+		QueryKey string
+		Limit    int
+		Skip     int
+		GenDim   int
+	}
+	respSubQuery struct {
+		Matches   []Match
+		Remaining int // matches at this node beyond the returned window
+		Children  []wireEdge
+	}
+
+	wireEdge struct {
+		Vertex uint64
+		Dim    int
+	}
+
+	respAck struct{}
+
+	// msgBulkInsert transfers a batch of index entries, used when a
+	// departing node re-homes its tables to its DHT successor.
+	msgBulkInsert struct {
+		Entries []BulkEntry
+	}
+
+	// msgHandoffRange asks a node to extract and return the index
+	// entries a newly joined node now owns: entries whose vertex key
+	// is NOT in (NewID, OwnerID] on the DHT ring.
+	msgHandoffRange struct {
+		NewID   uint64
+		OwnerID uint64
+	}
+	respHandoffRange struct {
+		Entries []BulkEntry
+	}
+)
+
+// BulkEntry is one transferable index entry.
+type BulkEntry struct {
+	Instance string
+	Vertex   uint64
+	SetKey   string
+	ObjectID string
+}
+
+// RegisterTypes registers the index-protocol messages with the
+// transport encoding registry; required once per process for the TCP
+// transport.
+func RegisterTypes() {
+	for _, v := range []any{
+		msgInsertEntry{}, respAck{},
+		msgDeleteEntry{}, respDeleteEntry{},
+		msgPinQuery{}, respPinQuery{},
+		msgTQuery{}, respTQuery{},
+		msgSubQuery{}, respSubQuery{},
+		msgBulkInsert{},
+		msgHandoffRange{}, respHandoffRange{},
+		Match{},
+	} {
+		transport.RegisterType(v)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+)
+
+// TestInstancesWithDifferentDimensionsShareServers exercises the
+// dimension-agnostic server: one physical fleet hosts a "wide" r=10
+// instance and a "narrow" r=5 instance (a decomposed attribute
+// family), and searches in each stay within their own cube geometry.
+func TestInstancesWithDifferentDimensionsShareServers(t *testing.T) {
+	net := inmem.New(1)
+	defer net.Close()
+	const nServers = 4
+	addrs := make([]transport.Addr, nServers)
+	for i := range addrs {
+		addrs[i] = transport.Addr("md-" + strconv.Itoa(i))
+	}
+	resolver := FuncResolver(func(v hypercube.Vertex) transport.Addr {
+		return addrs[int(uint64(v)%nServers)]
+	})
+	// Servers are configured with the wide hasher; the narrow instance
+	// declares its own dimensionality on the wire.
+	wide := keyword.MustNewHasher(10, 1)
+	narrow := keyword.MustNewHasher(5, 2)
+	for i := range addrs {
+		srv, err := NewServer(ServerConfig{Hasher: wide, Resolver: resolver, Sender: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Bind(addrs[i], srv.Handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wideClient, err := NewInstanceClient("wide", wide, resolver, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowClient, err := NewInstanceClient("narrow", narrow, resolver, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Index the same logical objects in both instances.
+	for i := 0; i < 20; i++ {
+		o := obj("o"+strconv.Itoa(i), "shared", "tag"+strconv.Itoa(i%4))
+		if _, err := wideClient.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := narrowClient.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := keyword.NewSet("shared")
+
+	wideRes, err := wideClient.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatalf("wide search: %v", err)
+	}
+	narrowRes, err := narrowClient.SupersetSearch(ctx, q, All, SearchOptions{})
+	if err != nil {
+		t.Fatalf("narrow search: %v", err)
+	}
+	if len(wideRes.Matches) != 20 || len(narrowRes.Matches) != 20 {
+		t.Fatalf("matches wide=%d narrow=%d, want 20/20", len(wideRes.Matches), len(narrowRes.Matches))
+	}
+	// The narrow instance's exhaustive traversal is bounded by its own
+	// cube: 2^(5-1) = 16 nodes, not 2^(10-1) = 512.
+	if narrowRes.Stats.NodesContacted > 16 {
+		t.Errorf("narrow search contacted %d nodes, want ≤ 16", narrowRes.Stats.NodesContacted)
+	}
+	if wideRes.Stats.NodesContacted != 512 {
+		t.Errorf("wide search contacted %d nodes, want 512", wideRes.Stats.NodesContacted)
+	}
+	// No cross-contamination: deleting from the narrow instance leaves
+	// the wide instance intact.
+	o0 := obj("o0", "shared", "tag0")
+	if found, _, err := narrowClient.Delete(ctx, o0); err != nil || !found {
+		t.Fatalf("narrow delete: %v %v", found, err)
+	}
+	wideIDs, _, err := wideClient.PinSearch(ctx, o0.Keywords)
+	if err != nil || len(wideIDs) == 0 {
+		t.Errorf("wide instance lost entry after narrow delete: %v, %v", wideIDs, err)
+	}
+}

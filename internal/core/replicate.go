@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// Replicated implements the index-replication remark of Section 3.4:
+// "replication can be done … by building a secondary hypercube". Each
+// replica is an independent index instance — its own hash seed and its
+// own vertex→node mapping — so the node responsible for a keyword set
+// differs across replicas and no single node failure can silence a
+// query. Writes fan out to every replica; reads go to the primary and
+// fail over to the next replica when the primary's responsible node is
+// unreachable.
+type Replicated struct {
+	clients []*Client // clients[0] is the primary
+}
+
+// NewReplicated builds a replicated index over the given per-instance
+// clients. At least one client is required; instances must be
+// distinct, and for failure independence each client should use a
+// different hash seed and resolver salt.
+func NewReplicated(clients ...*Client) (*Replicated, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("core: replicated index needs at least one client")
+	}
+	seen := make(map[string]bool, len(clients))
+	for i, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("core: replica %d is nil", i)
+		}
+		if seen[c.Instance()] {
+			return nil, fmt.Errorf("core: duplicate replica instance %q", c.Instance())
+		}
+		seen[c.Instance()] = true
+	}
+	return &Replicated{clients: clients}, nil
+}
+
+// Fanout returns the number of replicas.
+func (r *Replicated) Fanout() int { return len(r.clients) }
+
+// Primary returns the primary replica's client (e.g. for cumulative
+// cursors, which are pinned to one responsible node).
+func (r *Replicated) Primary() *Client { return r.clients[0] }
+
+// Replica returns the i-th replica's client (0 = primary).
+func (r *Replicated) Replica(i int) *Client {
+	if i < 0 || i >= len(r.clients) {
+		return nil
+	}
+	return r.clients[i]
+}
+
+// Insert places the object's index entry in every replica. The cost is
+// one message per replica — the storage/consistency price of fault
+// tolerance the paper notes. Partial failures are reported after all
+// replicas have been attempted; the entry is present in the replicas
+// that succeeded.
+func (r *Replicated) Insert(ctx context.Context, obj Object) (Stats, error) {
+	var (
+		total    Stats
+		firstErr error
+	)
+	for _, c := range r.clients {
+		st, err := c.Insert(ctx, obj)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %q: %w", c.Instance(), err)
+			}
+			continue
+		}
+		total.NodesContacted += st.NodesContacted
+		total.Messages += st.Messages
+	}
+	return total, firstErr
+}
+
+// Delete removes the object's entry from every replica. found reports
+// whether any replica held it.
+func (r *Replicated) Delete(ctx context.Context, obj Object) (bool, Stats, error) {
+	var (
+		total    Stats
+		found    bool
+		firstErr error
+	)
+	for _, c := range r.clients {
+		ok, st, err := c.Delete(ctx, obj)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %q: %w", c.Instance(), err)
+			}
+			continue
+		}
+		found = found || ok
+		total.NodesContacted += st.NodesContacted
+		total.Messages += st.Messages
+	}
+	return found, total, firstErr
+}
+
+// failover reports whether the error warrants trying the next replica:
+// transport-level unreachability rather than an application outcome.
+func failover(err error) bool {
+	return err != nil && !errors.Is(err, ErrEmptyQuery) && !errors.Is(err, ErrBadObject) &&
+		!errors.Is(err, ErrNoSuchSession)
+}
+
+// PinSearch queries the replicas in order and returns the first
+// non-empty answer. Trying the next replica on an empty answer (not
+// only on unreachability) covers the surrogate-remap case: after a
+// node crash the healed ring routes the vertex to a fresh node whose
+// table is empty, so the primary "succeeds" with no results even
+// though a replica still holds the entry.
+func (r *Replicated) PinSearch(ctx context.Context, k keyword.Set) ([]string, Stats, error) {
+	var (
+		lastErr  error
+		empty    []string
+		emptySt  Stats
+		answered bool
+	)
+	for _, c := range r.clients {
+		ids, st, err := c.PinSearch(ctx, k)
+		if err == nil {
+			if len(ids) > 0 {
+				return ids, st, nil
+			}
+			if !answered {
+				empty, emptySt, answered = ids, st, true
+			}
+			continue
+		}
+		if !failover(err) {
+			return nil, Stats{}, err
+		}
+		lastErr = err
+	}
+	if answered {
+		return empty, emptySt, nil
+	}
+	return nil, Stats{}, fmt.Errorf("all %d replicas failed: %w", len(r.clients), lastErr)
+}
+
+// SupersetSearch queries the primary replica, moving to the next
+// replica when the primary's responsible node is unreachable or its
+// answer is empty (see PinSearch for why empty answers fall through).
+// A degraded non-empty primary answer (some subcube nodes failed
+// mid-traversal) is returned as-is, matching the paper's observation
+// that partial failures only hide the failed nodes' entries.
+func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) (Result, error) {
+	var (
+		lastErr  error
+		empty    Result
+		answered bool
+	)
+	for _, c := range r.clients {
+		res, err := c.SupersetSearch(ctx, k, threshold, opts)
+		if err == nil {
+			if len(res.Matches) > 0 {
+				return res, nil
+			}
+			if !answered {
+				empty, answered = res, true
+			}
+			continue
+		}
+		if !failover(err) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	if answered {
+		return empty, nil
+	}
+	return Result{}, fmt.Errorf("all %d replicas failed: %w", len(r.clients), lastErr)
+}

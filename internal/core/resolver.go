@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Resolver implements the mapping g of Section 3.2: it resolves a
+// logical hypercube vertex of one index instance to the transport
+// address of the physical DHT node responsible for it. The instance
+// name salts the mapping so independent instances (replicas,
+// decomposed families) spread differently over the same nodes.
+type Resolver interface {
+	Resolve(ctx context.Context, instance string, v hypercube.Vertex) (transport.Addr, error)
+}
+
+// VertexKey derives the DHT key under which logical vertex v of index
+// instance 'instance' is placed; g(v) is the DHT surrogate of this key.
+// The instance name salts the mapping so that decomposed indexes (and
+// independent deployments) spread differently over the same ring.
+func VertexKey(instance string, v hypercube.Vertex) dht.ID {
+	return dht.HashString("hx:" + instance + ":" + strconv.FormatUint(uint64(v), 16))
+}
+
+// OverlayResolver resolves vertices through a dht.Overlay lookup,
+// caching (instance, vertex)→address bindings (the neighbor caching of
+// Section 3.4, remark 4). Invalidate drops a cached binding after a
+// send to it fails, so churn is handled by re-resolution.
+type OverlayResolver struct {
+	overlay dht.Overlay
+
+	mu    sync.Mutex
+	cache map[bindingKey]transport.Addr
+}
+
+type bindingKey struct {
+	instance string
+	vertex   hypercube.Vertex
+}
+
+var _ Resolver = (*OverlayResolver)(nil)
+
+// NewOverlayResolver builds a caching resolver over the overlay.
+func NewOverlayResolver(overlay dht.Overlay) *OverlayResolver {
+	return &OverlayResolver{
+		overlay: overlay,
+		cache:   make(map[bindingKey]transport.Addr),
+	}
+}
+
+// Resolve implements Resolver.
+func (r *OverlayResolver) Resolve(ctx context.Context, instance string, v hypercube.Vertex) (transport.Addr, error) {
+	key := bindingKey{instance: instance, vertex: v}
+	r.mu.Lock()
+	if addr, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return addr, nil
+	}
+	r.mu.Unlock()
+
+	addr, _, err := r.overlay.Lookup(ctx, VertexKey(instance, v))
+	if err != nil {
+		return "", fmt.Errorf("resolve vertex %d: %w", v, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = addr
+	r.mu.Unlock()
+	return addr, nil
+}
+
+// Invalidate forgets the cached binding for v in the given instance.
+func (r *OverlayResolver) Invalidate(instance string, v hypercube.Vertex) {
+	r.mu.Lock()
+	delete(r.cache, bindingKey{instance: instance, vertex: v})
+	r.mu.Unlock()
+}
+
+// CacheSize returns the number of cached bindings (diagnostic).
+func (r *OverlayResolver) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// FuncResolver adapts a plain instance-agnostic function to Resolver.
+// The experiment harness uses it to model the one-logical-node-per-
+// physical-node deployments of Section 4 without DHT traffic.
+type FuncResolver func(v hypercube.Vertex) transport.Addr
+
+var _ Resolver = (FuncResolver)(nil)
+
+// Resolve implements Resolver, ignoring the instance name.
+func (f FuncResolver) Resolve(_ context.Context, _ string, v hypercube.Vertex) (transport.Addr, error) {
+	addr := f(v)
+	if addr == "" {
+		return "", fmt.Errorf("core: no address for vertex %d", v)
+	}
+	return addr, nil
+}

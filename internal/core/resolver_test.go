@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+func staticOverlay(t *testing.T, n int) *dht.Static {
+	t.Helper()
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr("static-" + strconv.Itoa(i))
+	}
+	s, err := dht.NewStatic(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVertexKeyDistinguishesInstances(t *testing.T) {
+	a := VertexKey("main", 5)
+	b := VertexKey("replica-1", 5)
+	c := VertexKey("main", 6)
+	if a == b || a == c {
+		t.Errorf("vertex keys collide: %d %d %d", a, b, c)
+	}
+	if a != VertexKey("main", 5) {
+		t.Error("VertexKey not deterministic")
+	}
+}
+
+func TestOverlayResolverCachesBindings(t *testing.T) {
+	overlay := staticOverlay(t, 8)
+	r := NewOverlayResolver(overlay)
+	ctx := context.Background()
+
+	addr1, err := r.Resolve(ctx, "main", 3)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	before := overlay.Lookups()
+	addr2, err := r.Resolve(ctx, "main", 3)
+	if err != nil || addr2 != addr1 {
+		t.Fatalf("cached Resolve = %s, %v", addr2, err)
+	}
+	if overlay.Lookups() != before {
+		t.Error("cached resolve still hit the overlay")
+	}
+	if r.CacheSize() != 1 {
+		t.Errorf("CacheSize = %d", r.CacheSize())
+	}
+
+	// Different instances resolve (and cache) independently.
+	if _, err := r.Resolve(ctx, "replica-1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheSize() != 2 {
+		t.Errorf("CacheSize after second instance = %d", r.CacheSize())
+	}
+
+	r.Invalidate("main", 3)
+	if r.CacheSize() != 1 {
+		t.Errorf("CacheSize after invalidate = %d", r.CacheSize())
+	}
+	if _, err := r.Resolve(ctx, "main", 3); err != nil {
+		t.Fatal(err)
+	}
+	if overlay.Lookups() <= before {
+		t.Error("invalidated binding did not re-resolve")
+	}
+}
+
+func TestServerDrainMovesEverything(t *testing.T) {
+	d := newDeployment(t, 8, 2, 0)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := d.client.Insert(ctx, obj("dr-"+strconv.Itoa(i), "drain", "k"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before0 := d.servers[0].Stats().Objects
+	if before0+d.servers[1].Stats().Objects != 20 {
+		t.Fatalf("pre-drain objects = %d", before0+d.servers[1].Stats().Objects)
+	}
+
+	// Drain server 0 into server 1's endpoint.
+	moved, err := d.servers[0].DrainTo(ctx, d.net, d.addrs[1])
+	if err != nil {
+		t.Fatalf("DrainTo: %v", err)
+	}
+	if moved != before0 {
+		t.Fatalf("moved = %d, want %d", moved, before0)
+	}
+	if got := d.servers[0].Stats().Objects; got != 0 {
+		t.Errorf("drained server still holds %d objects", got)
+	}
+	if got := d.servers[1].Stats().Objects; got != 20 {
+		t.Errorf("receiver holds %d objects, want 20", got)
+	}
+	// Empty drain is a no-op.
+	if n, err := d.servers[0].DrainTo(ctx, d.net, d.addrs[1]); err != nil || n != 0 {
+		t.Errorf("empty drain = %d, %v", n, err)
+	}
+}
+
+func TestReplicatedAccessors(t *testing.T) {
+	_, _, rep, clients := newReplicatedDeployment(t, 6, 2)
+	if rep.Fanout() != 2 {
+		t.Errorf("Fanout = %d", rep.Fanout())
+	}
+	if rep.Primary() != clients[0] {
+		t.Error("Primary mismatch")
+	}
+	if rep.Replica(1) != clients[1] || rep.Replica(2) != nil || rep.Replica(-1) != nil {
+		t.Error("Replica accessor wrong")
+	}
+}
+
+func TestClientAccessors(t *testing.T) {
+	d := newDeployment(t, 8, 1, 0)
+	if d.client.Hasher().Dim() != 8 {
+		t.Errorf("Hasher dim = %d", d.client.Hasher().Dim())
+	}
+	if d.client.Instance() != DefaultInstance {
+		t.Errorf("Instance = %q", d.client.Instance())
+	}
+	addr, err := d.client.ResolveRoot(context.Background(), keyword.NewSet("x"))
+	if err != nil || addr == "" {
+		t.Errorf("ResolveRoot = %q, %v", addr, err)
+	}
+	if _, err := NewInstanceClient("x", keyword.MustNewHasher(4, 0), nil, nil); err == nil {
+		t.Error("nil deps accepted")
+	}
+}
+
+func TestSessionStoreEviction(t *testing.T) {
+	st := newSessionStore(2)
+	id1 := st.save(&session{queryKey: "a"})
+	id2 := st.save(&session{queryKey: "b"})
+	id3 := st.save(&session{queryKey: "c"}) // evicts id1
+	if st.len() != 2 {
+		t.Errorf("len = %d", st.len())
+	}
+	if st.take(id1) != nil {
+		t.Error("oldest session survived eviction")
+	}
+	if st.take(id2) == nil || st.take(id3) == nil {
+		t.Error("recent sessions lost")
+	}
+	if st.take(id2) != nil {
+		t.Error("take is not single-shot")
+	}
+
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// response error codes carried in respTQuery (the transport reports
+// genuine failures; these are protocol-level outcomes).
+const (
+	errCodeNone = iota
+	errCodeNoSession
+)
+
+// maxBottomUpFree bounds the free dimensions of a bottom-up traversal:
+// the root enumerates the whole subhypercube up front, so 2^free
+// vertices are materialized.
+const maxBottomUpFree = 22
+
+// runSearch is the root-side orchestration of a superset search: the
+// paper's Steps 1–3, driving the frontier queue U over the spanning
+// binomial tree SBT_{H_r}(F_h(K)).
+func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, error) {
+	query := keyword.ParseKey(msg.QueryKey)
+	if query.IsEmpty() {
+		return respTQuery{}, ErrEmptyQuery
+	}
+	if msg.Threshold <= 0 {
+		return respTQuery{}, fmt.Errorf("core: threshold %d must be positive", msg.Threshold)
+	}
+	order := msg.Order
+	if order == 0 {
+		order = TopDown
+	}
+	if !order.valid() {
+		return respTQuery{}, fmt.Errorf("core: invalid traversal order %d", order)
+	}
+	rootV := hypercube.Vertex(msg.Vertex)
+	cube, err := s.cubeFor(msg.Dim)
+	if err != nil {
+		return respTQuery{}, err
+	}
+
+	var sess *session
+	if msg.SessionID != 0 {
+		sess = s.sessions.take(msg.SessionID)
+		if sess == nil {
+			return respTQuery{ErrCode: errCodeNoSession}, nil
+		}
+	} else {
+		if !msg.Cumulative && !msg.NoCache {
+			if matches, exhausted, ok := s.cache.get(cacheKey(msg.Instance, msg.QueryKey), msg.Threshold); ok {
+				return respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true}, nil
+			}
+		}
+		var err error
+		sess, err = newSession(cube, msg.Instance, msg.QueryKey, query, rootV, order)
+		if err != nil {
+			return respTQuery{}, err
+		}
+	}
+
+	var trace *[]TraceStep
+	if msg.WantTrace {
+		trace = new([]TraceStep)
+	}
+	var (
+		collected []Match
+		nodes     int
+		msgs      int
+		failed    int
+		rounds    int
+	)
+	if sess.order == ParallelLevels {
+		collected, nodes, msgs, failed, rounds = s.traverseParallel(ctx, sess, rootV, msg.Threshold, trace)
+	} else {
+		collected, nodes, msgs, failed = s.traverseSequential(ctx, sess, rootV, msg.Threshold, trace)
+		rounds = nodes
+	}
+	exhausted := len(sess.work) == 0
+
+	resp := respTQuery{
+		Matches:     collected,
+		Exhausted:   exhausted,
+		SubNodes:    nodes,
+		SubMsgs:     msgs,
+		FailedNodes: failed,
+		Rounds:      rounds,
+	}
+	if trace != nil {
+		resp.Trace = *trace
+	}
+	if msg.Cumulative && !exhausted {
+		resp.SessionID = s.sessions.save(sess)
+	}
+	if msg.SessionID == 0 && !msg.Cumulative && !msg.NoCache && failed == 0 {
+		s.cache.put(msg.Instance, msg.QueryKey, query, collected, exhausted)
+	}
+	return resp, nil
+}
+
+// newSession builds the initial frontier for a fresh query.
+func newSession(cube hypercube.Cube, instance, queryKey string, query keyword.Set, rootV hypercube.Vertex, order TraversalOrder) (*session, error) {
+	sess := &session{instance: instance, cube: cube, queryKey: queryKey, query: query, order: order}
+	switch order {
+	case TopDown, ParallelLevels:
+		// The root itself is the first unit; its children are the
+		// paper's initial queue U (one neighbor per free dimension).
+		sess.work = []workUnit{{vertex: rootV, genDim: cube.Dim(), skip: 0}}
+	case BottomUp:
+		free := cube.Dim() - rootV.OnesCount()
+		if free > maxBottomUpFree {
+			return nil, fmt.Errorf("core: bottom-up traversal over %d free dimensions exceeds limit %d",
+				free, maxBottomUpFree)
+		}
+		levels := cube.InducedLevels(rootV)
+		for d := len(levels) - 1; d >= 0; d-- {
+			for _, v := range levels[d] {
+				sess.work = append(sess.work, workUnit{vertex: v, genDim: -1, skip: 0})
+			}
+		}
+	}
+	return sess, nil
+}
+
+// visitResult is the outcome of scanning one hypercube node.
+type visitResult struct {
+	matches   []Match
+	remaining int
+	children  []hypercube.ChildEdge
+	remote    bool
+	err       error
+}
+
+// visit scans one work unit: locally when the unit's vertex is the
+// query root hosted by this server, remotely via a T_QUERY/T_CONT
+// round trip otherwise.
+func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hypercube.Vertex, limit int) visitResult {
+	instance, queryKey, query := sess.instance, sess.queryKey, sess.query
+	if u.vertex == rootV {
+		matches, remaining := s.scanVertex(instance, u.vertex, rootV, query, u.skip, limit)
+		var children []hypercube.ChildEdge
+		if u.genDim >= 0 {
+			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
+		}
+		return visitResult{matches: matches, remaining: remaining, children: children}
+	}
+
+	msg := msgSubQuery{
+		Instance: instance,
+		Dim:      sess.cube.Dim(),
+		Vertex:   uint64(u.vertex),
+		Root:     uint64(rootV),
+		QueryKey: queryKey,
+		Limit:    limit,
+		Skip:     u.skip,
+		GenDim:   u.genDim,
+	}
+	var raw any
+	for attempt := 0; ; attempt++ {
+		addr, err := s.cfg.Resolver.Resolve(ctx, instance, u.vertex)
+		if err != nil {
+			return visitResult{remote: true, err: err}
+		}
+		raw, err = s.cfg.Sender.Send(ctx, addr, msg)
+		if err == nil {
+			break
+		}
+		// A stale cached binding (the node departed and the key
+		// re-homed) heals by invalidating and re-resolving once.
+		if inv, ok := s.cfg.Resolver.(*OverlayResolver); ok && attempt == 0 {
+			inv.Invalidate(instance, u.vertex)
+			continue
+		}
+		return visitResult{remote: true, err: err}
+	}
+	sq, ok := raw.(respSubQuery)
+	if !ok {
+		return visitResult{remote: true, err: fmt.Errorf("core: unexpected sub-query response %T", raw)}
+	}
+	children := make([]hypercube.ChildEdge, len(sq.Children))
+	for i, e := range sq.Children {
+		children[i] = hypercube.ChildEdge{To: hypercube.Vertex(e.Vertex), Dim: e.Dim}
+	}
+	return visitResult{matches: sq.Matches, remaining: sq.Remaining, children: children, remote: true}
+}
+
+// traverseSequential implements the paper's sequential Steps 1–3: pop
+// one frontier node at a time, scan it, append its children, stop as
+// soon as the threshold is met (T_STOP). Failed nodes are skipped —
+// their subtree is still reachable because the child list is
+// regenerable locally — and counted in failed.
+func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed int) {
+	need := threshold
+	for len(sess.work) > 0 && need > 0 {
+		u := sess.work[0]
+		sess.work = sess.work[1:]
+		res := s.visit(ctx, sess, u, rootV, need)
+		nodes++
+		if res.remote {
+			msgs += 2
+		}
+		if trace != nil {
+			*trace = append(*trace, TraceStep{
+				Vertex:  uint64(u.vertex),
+				Matches: len(res.matches),
+				Failed:  res.err != nil,
+			})
+		}
+		if res.err != nil {
+			failed++
+			if u.genDim >= 0 {
+				// Regenerate the failed node's children locally so the
+				// rest of its subtree is still explored.
+				sess.work = append(sess.work, asUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+			}
+			continue
+		}
+		collected = append(collected, res.matches...)
+		need -= len(res.matches)
+		if u.genDim >= 0 {
+			sess.work = append(sess.work, asUnits(res.children)...)
+		}
+		if res.remaining > 0 {
+			// Partially consumed node: resume it first on continuation.
+			sess.work = append([]workUnit{{vertex: u.vertex, genDim: -1, skip: u.skip + len(res.matches)}}, sess.work...)
+		}
+	}
+	return collected, nodes, msgs, failed
+}
+
+// traverseParallel queries all frontier nodes of a wave concurrently
+// (Section 3.5's level-synchronous variant). Results are consumed in
+// frontier order so the output matches TopDown; over-fetched matches
+// from nodes beyond the stopping point are discarded and those nodes
+// re-queued as match-only units for later continuation.
+func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, rounds int) {
+	need := threshold
+	for len(sess.work) > 0 && need > 0 {
+		rounds++
+		wave := sess.work
+		sess.work = nil
+		results := make([]visitResult, len(wave))
+
+		sem := make(chan struct{}, s.cfg.ParallelFanout)
+		var wg sync.WaitGroup
+		for i, u := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, u workUnit) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = s.visit(ctx, sess, u, rootV, need)
+			}(i, u)
+		}
+		wg.Wait()
+
+		var nextLevel []workUnit
+		for i, u := range wave {
+			res := results[i]
+			nodes++
+			if res.remote {
+				msgs += 2
+			}
+			consumable := len(res.matches)
+			if consumable > need {
+				consumable = need
+			}
+			if consumable < 0 {
+				consumable = 0
+			}
+			if trace != nil {
+				*trace = append(*trace, TraceStep{
+					Vertex:  uint64(u.vertex),
+					Matches: consumable,
+					Failed:  res.err != nil,
+				})
+			}
+			if res.err != nil {
+				failed++
+				if u.genDim >= 0 {
+					nextLevel = append(nextLevel, asUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+				}
+				continue
+			}
+			if u.genDim >= 0 {
+				nextLevel = append(nextLevel, asUnits(res.children)...)
+			}
+			if need > 0 {
+				take := len(res.matches)
+				if take > need {
+					take = need
+				}
+				collected = append(collected, res.matches[:take]...)
+				need -= take
+				if take < len(res.matches) || res.remaining > 0 {
+					sess.work = append(sess.work, workUnit{vertex: u.vertex, genDim: -1, skip: u.skip + take})
+				}
+			} else if len(res.matches) > 0 || res.remaining > 0 {
+				// Contacted but unconsumed: keep for continuation.
+				sess.work = append(sess.work, workUnit{vertex: u.vertex, genDim: -1, skip: u.skip})
+			}
+		}
+		sess.work = append(sess.work, nextLevel...)
+	}
+	return collected, nodes, msgs, failed, rounds
+}
+
+func asUnits(edges []hypercube.ChildEdge) []workUnit {
+	units := make([]workUnit, len(edges))
+	for i, e := range edges {
+		units[i] = workUnit{vertex: e.To, genDim: e.Dim, skip: 0}
+	}
+	return units
+}

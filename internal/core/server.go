@@ -1,0 +1,457 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// ServerConfig configures an index Server.
+type ServerConfig struct {
+	// Hasher fixes the hypercube dimensionality and keyword hash; it
+	// must be identical on every node of the deployment.
+	Hasher keyword.Hasher
+	// Resolver maps logical vertices to physical addresses (g).
+	Resolver Resolver
+	// Sender delivers protocol messages to other index servers.
+	Sender transport.Sender
+	// CacheCapacity is the root-result cache capacity in object-ID
+	// units (the paper's α·|O|/2^r); 0 disables caching.
+	CacheCapacity int
+	// MaxSessions bounds retained cumulative-search sessions
+	// (oldest evicted first). Default 256.
+	MaxSessions int
+	// ParallelFanout bounds concurrent sub-queries in ParallelLevels
+	// traversal. Default 32.
+	ParallelFanout int
+	// Owner, when set, validates that this node currently owns a DHT
+	// key before serving requests for it. Requests for keys the node
+	// no longer owns (its range was taken over by a joiner) are
+	// rejected so callers re-resolve — without this, stale resolver
+	// bindings would silently read empty tables on live former owners.
+	Owner func(key dht.ID) bool
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.ParallelFanout <= 0 {
+		c.ParallelFanout = 32
+	}
+	return c
+}
+
+// Server is the index service of one physical node. It stores the
+// index tables of every logical vertex the mapping g assigns to the
+// node, answers pin and sub-queries, and — for queries whose root
+// vertex it hosts — orchestrates the superset-search traversal.
+type Server struct {
+	cfg  ServerConfig
+	cube hypercube.Cube
+
+	mu       sync.Mutex
+	tables   map[string]map[hypercube.Vertex]*table // instance → vertex → Tbl
+	cache    *fifoCache
+	sessions *sessionStore
+}
+
+// table is Tbl_u for one logical vertex: entries ⟨keyword set, objects⟩.
+// sorted caches the deterministic scan order and is invalidated on
+// structural changes (scans vastly outnumber mutations in the paper's
+// workloads).
+type table struct {
+	entries map[string]*entry // keyed by Set.Key()
+	sorted  []string          // sorted keys of entries; nil when stale
+}
+
+// sortedKeys returns the table's entry keys in sorted order, rebuilding
+// the cached order if stale. Callers must hold the server mutex.
+func (t *table) sortedKeys() []string {
+	if t.sorted == nil {
+		t.sorted = make([]string, 0, len(t.entries))
+		for k := range t.entries {
+			t.sorted = append(t.sorted, k)
+		}
+		sort.Strings(t.sorted)
+	}
+	return t.sorted
+}
+
+type entry struct {
+	set       keyword.Set
+	objects   map[string]struct{}
+	sortedIDs []string // sorted object IDs; nil when stale
+}
+
+// ids returns the entry's object IDs in sorted order, rebuilding the
+// cached order if stale. Callers must hold the server mutex.
+func (e *entry) ids() []string {
+	if e.sortedIDs == nil {
+		e.sortedIDs = make([]string, 0, len(e.objects))
+		for id := range e.objects {
+			e.sortedIDs = append(e.sortedIDs, id)
+		}
+		sort.Strings(e.sortedIDs)
+	}
+	return e.sortedIDs
+}
+
+// NewServer builds an index server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Resolver == nil || cfg.Sender == nil {
+		return nil, fmt.Errorf("core: server needs a Resolver and a Sender")
+	}
+	cube, err := hypercube.New(cfg.Hasher.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		cube:     cube,
+		tables:   make(map[string]map[hypercube.Vertex]*table),
+		cache:    newFIFOCache(cfg.CacheCapacity),
+		sessions: newSessionStore(cfg.MaxSessions),
+	}, nil
+}
+
+// errNotOwner rejects requests routed to a node that no longer owns
+// the vertex key (e.g. through a stale cached binding after a join).
+var errNotOwner = errors.New("core: node does not own the requested vertex")
+
+// owns validates vertex ownership when an Owner hook is configured.
+func (s *Server) owns(instance string, v hypercube.Vertex) bool {
+	if s.cfg.Owner == nil {
+		return true
+	}
+	return s.cfg.Owner(VertexKey(instance, v))
+}
+
+// Handler processes index-protocol messages. Unknown message types
+// yield ErrUnhandledMessage so the endpoint can be muxed with other
+// layers (e.g. Chord).
+func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (any, error) {
+	switch msg := body.(type) {
+	case msgInsertEntry:
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, errNotOwner
+		}
+		s.insertEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
+		return respAck{}, nil
+	case msgDeleteEntry:
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, errNotOwner
+		}
+		found := s.deleteEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
+		return respDeleteEntry{Found: found}, nil
+	case msgPinQuery:
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, errNotOwner
+		}
+		return s.pinQuery(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
+	case msgSubQuery:
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, errNotOwner
+		}
+		return s.subQuery(msg), nil
+	case msgBulkInsert:
+		for _, e := range msg.Entries {
+			s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID)
+		}
+		return respAck{}, nil
+	case msgHandoffRange:
+		return respHandoffRange{Entries: s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))}, nil
+	case msgTQuery:
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, errNotOwner
+		}
+		return s.runSearch(ctx, msg)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnhandledMessage, body)
+	}
+}
+
+// insertEntry adds ⟨K, σ⟩ to the table of vertex v in the given index
+// instance and invalidates cached query results the new entry could
+// extend.
+func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, objectID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vertices, ok := s.tables[instance]
+	if !ok {
+		vertices = make(map[hypercube.Vertex]*table)
+		s.tables[instance] = vertices
+	}
+	tbl, ok := vertices[v]
+	if !ok {
+		tbl = &table{entries: make(map[string]*entry)}
+		vertices[v] = tbl
+	}
+	e, ok := tbl.entries[setKey]
+	if !ok {
+		e = &entry{set: keyword.ParseKey(setKey), objects: make(map[string]struct{})}
+		tbl.entries[setKey] = e
+		tbl.sorted = nil
+	}
+	if _, dup := e.objects[objectID]; !dup {
+		e.objects[objectID] = struct{}{}
+		e.sortedIDs = nil
+	}
+	s.cache.invalidateSubsetsOf(instance, e.set)
+}
+
+// deleteEntry removes ⟨K, σ⟩ from the table of vertex v in the given
+// instance.
+func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, objectID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vertices, ok := s.tables[instance]
+	if !ok {
+		return false
+	}
+	tbl, ok := vertices[v]
+	if !ok {
+		return false
+	}
+	e, ok := tbl.entries[setKey]
+	if !ok {
+		return false
+	}
+	if _, ok := e.objects[objectID]; !ok {
+		return false
+	}
+	delete(e.objects, objectID)
+	e.sortedIDs = nil
+	if len(e.objects) == 0 {
+		delete(tbl.entries, setKey)
+		tbl.sorted = nil
+		if len(tbl.entries) == 0 {
+			delete(vertices, v)
+			if len(vertices) == 0 {
+				delete(s.tables, instance)
+			}
+		}
+	}
+	s.cache.invalidateSubsetsOf(instance, e.set)
+	return true
+}
+
+// pinQuery returns the objects indexed under exactly the given set.
+func (s *Server) pinQuery(instance string, v hypercube.Vertex, setKey string) respPinQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tbl, ok := s.tables[instance][v]
+	if !ok {
+		return respPinQuery{}
+	}
+	e, ok := tbl.entries[setKey]
+	if !ok {
+		return respPinQuery{}
+	}
+	ids := e.ids()
+	out := make([]string, len(ids))
+	copy(out, ids)
+	return respPinQuery{ObjectIDs: out}
+}
+
+// subQuery scans the table of msg.Vertex for entries whose keyword set
+// contains the query, returning a deterministic window of matches and,
+// when msg.GenDim ≥ 0, the SBT child list of the vertex.
+func (s *Server) subQuery(msg msgSubQuery) respSubQuery {
+	query := keyword.ParseKey(msg.QueryKey)
+	root := hypercube.Vertex(msg.Root)
+	matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(msg.Vertex), root, query, msg.Skip, msg.Limit)
+	resp := respSubQuery{Matches: matches, Remaining: remaining}
+	if msg.GenDim >= 0 {
+		cube, err := s.cubeFor(msg.Dim)
+		if err != nil {
+			return resp // malformed dim: return matches without children
+		}
+		edges := cube.InducedChildEdges(root, hypercube.Vertex(msg.Vertex), msg.GenDim)
+		resp.Children = make([]wireEdge, len(edges))
+		for i, e := range edges {
+			resp.Children[i] = wireEdge{Vertex: uint64(e.To), Dim: e.Dim}
+		}
+	}
+	return resp
+}
+
+// cubeFor returns the hypercube geometry for an instance's declared
+// dimensionality (0 falls back to the server's default).
+func (s *Server) cubeFor(dim int) (hypercube.Cube, error) {
+	if dim == 0 || dim == s.cube.Dim() {
+		return s.cube, nil
+	}
+	return hypercube.New(dim)
+}
+
+// scanVertex collects matches ⟨K', O⟩ with K' ⊇ query from vertex v's
+// table in deterministic (sorted) order. limit < 0 means unlimited.
+// remaining reports matches present beyond the returned window.
+func (s *Server) scanVertex(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tbl, ok := s.tables[instance][v]
+	if !ok {
+		return nil, 0
+	}
+	setKeys := tbl.sortedKeys()
+
+	depth := -1 // computed lazily; same for all entries of this vertex w.r.t. query root
+	var out []Match
+	remaining := 0
+	seen := 0
+	for _, k := range setKeys {
+		e := tbl.entries[k]
+		if !query.SubsetOf(e.set) {
+			continue
+		}
+		for _, id := range e.ids() {
+			if seen < skip {
+				seen++
+				continue
+			}
+			if limit >= 0 && len(out) >= limit {
+				remaining++
+				continue
+			}
+			if depth < 0 {
+				depth = hypercube.Hamming(root, v)
+			}
+			out = append(out, Match{
+				ObjectID: id,
+				SetKey:   k,
+				Vertex:   uint64(v),
+				Depth:    depth,
+			})
+		}
+	}
+	return out, remaining
+}
+
+// TableStats summarizes this server's storage load (diagnostics and
+// the load-distribution experiments).
+type TableStats struct {
+	Vertices int // logical vertices with at least one entry
+	Entries  int // ⟨keyword set, objects⟩ entries
+	Objects  int // total object IDs indexed (with multiplicity)
+}
+
+// Stats returns current storage counters, aggregated over every index
+// instance the node hosts.
+func (s *Server) Stats() TableStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st TableStats
+	for _, vertices := range s.tables {
+		st.Vertices += len(vertices)
+		for _, tbl := range vertices {
+			st.Entries += len(tbl.entries)
+			for _, e := range tbl.entries {
+				st.Objects += len(e.objects)
+			}
+		}
+	}
+	return st
+}
+
+// CacheStats exposes cache effectiveness counters.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.cache.stats()
+}
+
+// extractRange removes and returns the entries a newly joined
+// predecessor now owns: those whose vertex key is outside (newID,
+// ownerID] — mirroring Chord's reference handoff on join.
+func (s *Server) extractRange(newID, ownerID dht.ID) []BulkEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []BulkEntry
+	for instance, vertices := range s.tables {
+		for v, tbl := range vertices {
+			key := VertexKey(instance, v)
+			if dht.Between(key, newID, ownerID) {
+				continue // still ours
+			}
+			for setKey, e := range tbl.entries {
+				for id := range e.objects {
+					out = append(out, BulkEntry{
+						Instance: instance,
+						Vertex:   uint64(v),
+						SetKey:   setKey,
+						ObjectID: id,
+					})
+				}
+			}
+			delete(vertices, v)
+		}
+		if len(vertices) == 0 {
+			delete(s.tables, instance)
+		}
+	}
+	return out
+}
+
+// PullHandoff asks the node at addr (the local node's ring successor)
+// for the index entries the local node now owns after joining, and
+// installs them locally. It returns the number of entries received.
+func (s *Server) PullHandoff(ctx context.Context, sender transport.Sender, addr transport.Addr, newID, ownerID uint64) (int, error) {
+	raw, err := sender.Send(ctx, addr, msgHandoffRange{NewID: newID, OwnerID: ownerID})
+	if err != nil {
+		return 0, fmt.Errorf("index handoff from %s: %w", addr, err)
+	}
+	resp, ok := raw.(respHandoffRange)
+	if !ok {
+		return 0, fmt.Errorf("index handoff from %s: unexpected response %T", addr, raw)
+	}
+	for _, e := range resp.Entries {
+		s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID)
+	}
+	return len(resp.Entries), nil
+}
+
+// Drain removes and returns every index entry this server hosts, for
+// transfer to another node on graceful departure.
+func (s *Server) Drain() []BulkEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []BulkEntry
+	for instance, vertices := range s.tables {
+		for v, tbl := range vertices {
+			for setKey, e := range tbl.entries {
+				for id := range e.objects {
+					out = append(out, BulkEntry{
+						Instance: instance,
+						Vertex:   uint64(v),
+						SetKey:   setKey,
+						ObjectID: id,
+					})
+				}
+			}
+		}
+	}
+	s.tables = make(map[string]map[hypercube.Vertex]*table)
+	return out
+}
+
+// DrainTo drains every entry and re-homes the batch at addr (the
+// departing node's DHT successor, which owns its key range after the
+// split). It returns the number of entries transferred.
+func (s *Server) DrainTo(ctx context.Context, sender transport.Sender, addr transport.Addr) (int, error) {
+	entries := s.Drain()
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if _, err := sender.Send(ctx, addr, msgBulkInsert{Entries: entries}); err != nil {
+		return 0, fmt.Errorf("drain %d entries to %s: %w", len(entries), addr, err)
+	}
+	return len(entries), nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// session is the root-side state of a cumulative superset search
+// (Section 3.3: "the root node keeps the queue U for subsequent
+// queries"). A session freezes the traversal frontier — the pending
+// work units — so consecutive searches with the same keyword set
+// return disjoint result pages.
+type session struct {
+	instance string
+	cube     hypercube.Cube
+	queryKey string
+	query    keyword.Set
+	order    TraversalOrder
+	// work is the pending frontier: for TopDown/ParallelLevels the
+	// paper's queue U (plus a possible partially-consumed node at the
+	// head); for BottomUp the remaining vertices in descending-depth
+	// order.
+	work []workUnit
+}
+
+// workUnit is one pending node visit: scan 'vertex', skipping the
+// first 'skip' matches; generate SBT children only when genDim ≥ 0
+// (a node's children are generated exactly once, on first visit).
+type workUnit struct {
+	vertex hypercube.Vertex
+	genDim int
+	skip   int
+}
+
+// sessionStore retains at most max sessions, evicting the oldest.
+type sessionStore struct {
+	mu     sync.Mutex
+	max    int
+	nextID uint64
+	order  []uint64
+	items  map[uint64]*session
+}
+
+func newSessionStore(max int) *sessionStore {
+	return &sessionStore{max: max, items: make(map[uint64]*session)}
+}
+
+// save stores sess and returns its new ID.
+func (st *sessionStore) save(sess *session) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	id := st.nextID
+	st.items[id] = sess
+	st.order = append(st.order, id)
+	for len(st.items) > st.max && len(st.order) > 0 {
+		oldest := st.order[0]
+		st.order = st.order[1:]
+		delete(st.items, oldest)
+	}
+	return id
+}
+
+// take removes and returns the session with the given ID.
+func (st *sessionStore) take(id uint64) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sess, ok := st.items[id]
+	if !ok {
+		return nil
+	}
+	delete(st.items, id)
+	for i, sid := range st.order {
+		if sid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+	return sess
+}
+
+// len returns the number of live sessions (test helper).
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.items)
+}

@@ -1,0 +1,213 @@
+// Package corpus generates the synthetic workload standing in for the
+// paper's proprietary PCHome dataset (Section 4): a directory of
+// website records whose Keyword fields drive the index, plus a query
+// log with the popularity skew the paper reports.
+//
+// The substitution preserves the two properties every experiment in
+// Section 4 depends on:
+//
+//  1. the keyword-set-size distribution (Figure 5): right-skewed,
+//     unimodal, mean ≈ 7.3 keywords per object, tail to ~30;
+//  2. Zipf-distributed keyword popularity, which drives the load
+//     imbalance of the inverted-index baseline and the non-empty
+//     result sets of popular queries.
+//
+// All generation is deterministic given Config.Seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/randx"
+)
+
+// DefaultObjects matches the paper's corpus size (131,180 records).
+const DefaultObjects = 131180
+
+// DefaultSizeWeights is the keyword-set-size distribution calibrated
+// to Figure 5: index i holds the relative weight of size i (index 0
+// unused). Mean ≈ 7.3.
+func DefaultSizeWeights() []float64 {
+	return []float64{
+		0,                                    // size 0 never occurs
+		1, 4, 8, 12, 14, 13, 11, 9.5, 7.5, 6, // 1..10
+		4, 3.4, 2.2, 2, 1.2, 1.2, 0.7, 0.7, 0.4, 0.3, // 11..20
+		0.22, 0.16, 0.12, 0.09, 0.07, 0.05, 0.04, 0.03, 0.02, 0.015, // 21..30
+	}
+}
+
+// Config parameterizes corpus generation.
+type Config struct {
+	// Objects is the number of records; default DefaultObjects.
+	Objects int
+	// VocabSize is the keyword vocabulary size; default 40,000.
+	VocabSize int
+	// ZipfExponent skews keyword popularity; default 1.0 (classic
+	// Zipf's law, per the paper's introduction).
+	ZipfExponent float64
+	// SizeWeights is the keyword-set-size distribution (index = size);
+	// default DefaultSizeWeights.
+	SizeWeights []float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects == 0 {
+		c.Objects = DefaultObjects
+	}
+	if c.VocabSize == 0 {
+		c.VocabSize = 40000
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 1.0
+	}
+	if c.SizeWeights == nil {
+		c.SizeWeights = DefaultSizeWeights()
+	}
+	return c
+}
+
+// Record mirrors the paper's Table 1 schema: a website directory entry
+// whose Keyword field is the indexable keyword set.
+type Record struct {
+	ID          string
+	Title       string
+	URL         string
+	Category    string
+	Description string
+	Keywords    keyword.Set
+}
+
+// Corpus is a generated object set.
+type Corpus struct {
+	cfg     Config
+	records []Record
+	vocab   []string
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Objects < 1 {
+		return nil, fmt.Errorf("corpus: need at least one object, got %d", cfg.Objects)
+	}
+	if cfg.VocabSize < len(cfg.SizeWeights) {
+		return nil, fmt.Errorf("corpus: vocabulary (%d) smaller than maximum keyword-set size (%d)",
+			cfg.VocabSize, len(cfg.SizeWeights)-1)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := randx.NewZipf(rng, cfg.VocabSize, cfg.ZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, 0, len(cfg.SizeWeights))
+	weights := make([]float64, 0, len(cfg.SizeWeights))
+	for size, w := range cfg.SizeWeights {
+		if size == 0 || w == 0 {
+			continue
+		}
+		sizes = append(sizes, size)
+		weights = append(weights, w)
+	}
+	sizeDist, err := randx.NewHistogram(rng, sizes, weights)
+	if err != nil {
+		return nil, err
+	}
+
+	vocab := make([]string, cfg.VocabSize)
+	for i := range vocab {
+		vocab[i] = "kw" + strconv.Itoa(i)
+	}
+
+	c := &Corpus{cfg: cfg, vocab: vocab, records: make([]Record, 0, cfg.Objects)}
+	for i := 0; i < cfg.Objects; i++ {
+		size := sizeDist.Sample()
+		words := make(map[string]bool, size)
+		// Draw distinct keywords; Zipf repeats are resampled, which
+		// preserves marginal popularity closely enough for the
+		// workload's purposes.
+		for len(words) < size {
+			words[vocab[zipf.Sample()-1]] = true
+		}
+		list := make([]string, 0, size)
+		for w := range words {
+			list = append(list, w)
+		}
+		id := strconv.Itoa(i + 1)
+		c.records = append(c.records, Record{
+			ID:          id,
+			Title:       "Site " + id,
+			URL:         "http://site-" + id + ".example.tw",
+			Category:    fmt.Sprintf("%010d", rng.Intn(1_000_000_000)),
+			Description: "Synthetic directory record " + id,
+			Keywords:    keyword.NewSet(list...),
+		})
+	}
+	return c, nil
+}
+
+// Records returns the full record list (not copied; treat as
+// read-only).
+func (c *Corpus) Records() []Record { return c.records }
+
+// Len returns the number of records.
+func (c *Corpus) Len() int { return len(c.records) }
+
+// Vocab returns the vocabulary, most popular keyword first.
+func (c *Corpus) Vocab() []string { return c.vocab }
+
+// SizeHistogram returns counts of keyword-set sizes (index = size),
+// the data behind Figure 5.
+func (c *Corpus) SizeHistogram() []int {
+	maxSize := 0
+	for _, r := range c.records {
+		if n := r.Keywords.Len(); n > maxSize {
+			maxSize = n
+		}
+	}
+	hist := make([]int, maxSize+1)
+	for _, r := range c.records {
+		hist[r.Keywords.Len()]++
+	}
+	return hist
+}
+
+// SizePMF returns the empirical keyword-set-size distribution
+// (index = size), suitable for analytic.ObjectOnesPMF and
+// analytic.ChooseDimension.
+func (c *Corpus) SizePMF() []float64 {
+	hist := c.SizeHistogram()
+	pmf := make([]float64, len(hist))
+	n := float64(len(c.records))
+	for i, cnt := range hist {
+		pmf[i] = float64(cnt) / n
+	}
+	return pmf
+}
+
+// MeanKeywords returns the average keyword-set size (the paper
+// reports 7.3).
+func (c *Corpus) MeanKeywords() float64 {
+	total := 0
+	for _, r := range c.records {
+		total += r.Keywords.Len()
+	}
+	return float64(total) / float64(len(c.records))
+}
+
+// KeywordFrequencies returns, for every keyword that occurs, the
+// number of records containing it — the per-keyword load of a
+// distributed inverted index.
+func (c *Corpus) KeywordFrequencies() map[string]int {
+	freq := make(map[string]int)
+	for _, r := range c.records {
+		for _, w := range r.Keywords.Words() {
+			freq[w]++
+		}
+	}
+	return freq
+}

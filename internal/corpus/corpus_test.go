@@ -1,0 +1,222 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+)
+
+func smallCorpus(t *testing.T, n int, seed int64) *Corpus {
+	t.Helper()
+	c, err := Generate(Config{Objects: n, VocabSize: 5000, Seed: seed})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return c
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c, err := Generate(Config{Objects: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2000 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	for _, r := range c.Records()[:10] {
+		if r.ID == "" || r.Title == "" || r.URL == "" || len(r.Category) != 10 {
+			t.Errorf("malformed record: %+v", r)
+		}
+		if r.Keywords.IsEmpty() {
+			t.Errorf("record %s has no keywords", r.ID)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Objects: -1}); err == nil {
+		t.Error("negative objects accepted")
+	}
+	if _, err := Generate(Config{Objects: 10, VocabSize: 3}); err == nil {
+		t.Error("tiny vocabulary accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallCorpus(t, 500, 42)
+	b := smallCorpus(t, 500, 42)
+	for i := range a.Records() {
+		if !a.Records()[i].Keywords.Equal(b.Records()[i].Keywords) {
+			t.Fatalf("record %d differs across same-seed runs", i)
+		}
+	}
+	c := smallCorpus(t, 500, 43)
+	same := 0
+	for i := range a.Records() {
+		if a.Records()[i].Keywords.Equal(c.Records()[i].Keywords) {
+			same++
+		}
+	}
+	if same > 250 {
+		t.Errorf("different seeds produced %d/500 identical records", same)
+	}
+}
+
+func TestMeanKeywordsMatchesPaper(t *testing.T) {
+	c := smallCorpus(t, 20000, 7)
+	mean := c.MeanKeywords()
+	// The paper reports 7.3 keywords per object on average.
+	if mean < 6.8 || mean > 7.8 {
+		t.Errorf("mean keyword-set size = %.2f, want ≈ 7.3", mean)
+	}
+}
+
+func TestSizeHistogramShape(t *testing.T) {
+	c := smallCorpus(t, 20000, 9)
+	hist := c.SizeHistogram()
+	if hist[0] != 0 {
+		t.Error("size-0 objects exist")
+	}
+	// Unimodal-ish: the mode should be in 4..8 and the tail thin.
+	mode, modeCount := 0, 0
+	total := 0
+	for s, n := range hist {
+		total += n
+		if n > modeCount {
+			mode, modeCount = s, n
+		}
+	}
+	if mode < 4 || mode > 8 {
+		t.Errorf("mode at size %d, want 4..8", mode)
+	}
+	if total != c.Len() {
+		t.Errorf("histogram total %d != corpus %d", total, c.Len())
+	}
+	tail := 0
+	for s := 20; s < len(hist); s++ {
+		tail += hist[s]
+	}
+	if float64(tail)/float64(total) > 0.05 {
+		t.Errorf("tail (size ≥ 20) holds %.1f%% of objects", 100*float64(tail)/float64(total))
+	}
+}
+
+func TestSizePMFSumsToOne(t *testing.T) {
+	c := smallCorpus(t, 5000, 11)
+	sum := 0.0
+	for _, p := range c.SizePMF() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("SizePMF sums to %g", sum)
+	}
+}
+
+func TestKeywordFrequenciesZipfSkewed(t *testing.T) {
+	c := smallCorpus(t, 20000, 13)
+	freq := c.KeywordFrequencies()
+	// The most popular keyword should appear in far more records than
+	// the 100th keyword (by construction rank-0 is drawn most often).
+	top := freq["kw0"]
+	hundredth := freq["kw99"]
+	if top == 0 {
+		t.Fatal("kw0 never used")
+	}
+	if hundredth > 0 && top < 5*hundredth {
+		t.Errorf("kw0 freq %d vs kw99 freq %d — insufficient skew", top, hundredth)
+	}
+}
+
+func TestQueryLogDefaults(t *testing.T) {
+	c := smallCorpus(t, 5000, 17)
+	log, err := GenerateQueryLog(c, QueryLogConfig{Queries: 20000, Templates: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 20000 {
+		t.Errorf("Len = %d", log.Len())
+	}
+	for _, q := range log.Queries()[:50] {
+		if q.Keywords.IsEmpty() || q.Keywords.Len() > 5 {
+			t.Errorf("query size %d out of range", q.Keywords.Len())
+		}
+		if q.Template < 1 || q.Template > 500 {
+			t.Errorf("template rank %d out of range", q.Template)
+		}
+	}
+}
+
+func TestQueryLogTopTenShare(t *testing.T) {
+	c := smallCorpus(t, 5000, 19)
+	log, err := GenerateQueryLog(c, QueryLogConfig{Queries: 50000, Templates: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := log.TopShare(10)
+	// Paper footnote: top-10 queries > 60 % of daily volume.
+	if share < 0.55 || share > 0.80 {
+		t.Errorf("top-10 share = %.2f, want ≈ 0.6-0.7", share)
+	}
+}
+
+func TestQueryTemplatesMatchCorpusObjects(t *testing.T) {
+	c := smallCorpus(t, 3000, 23)
+	log, err := GenerateQueryLog(c, QueryLogConfig{Queries: 1000, Templates: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every template must be a subset of at least one object's
+	// keywords (i.e. return results).
+	for ti, tmpl := range log.Templates() {
+		found := false
+		for _, r := range c.Records() {
+			if tmpl.SubsetOf(r.Keywords) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("template %d (%v) matches no object", ti, tmpl)
+		}
+	}
+}
+
+func TestPopularOfSize(t *testing.T) {
+	c := smallCorpus(t, 5000, 29)
+	log, err := GenerateQueryLog(c, QueryLogConfig{Queries: 1000, Templates: 600, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m <= 5; m++ {
+		qs := log.PopularOfSize(m, 5)
+		if len(qs) == 0 {
+			t.Errorf("no templates of size %d", m)
+			continue
+		}
+		for _, q := range qs {
+			if q.Len() != m {
+				t.Errorf("PopularOfSize(%d) returned size %d", m, q.Len())
+			}
+		}
+	}
+}
+
+func TestQueryLogValidation(t *testing.T) {
+	c := smallCorpus(t, 100, 31)
+	if _, err := GenerateQueryLog(nil, QueryLogConfig{}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := GenerateQueryLog(c, QueryLogConfig{Queries: -1}); err == nil {
+		t.Error("negative queries accepted")
+	}
+}
+
+func TestQueryLogDeterministic(t *testing.T) {
+	c := smallCorpus(t, 2000, 37)
+	a, _ := GenerateQueryLog(c, QueryLogConfig{Queries: 500, Templates: 100, Seed: 11})
+	b, _ := GenerateQueryLog(c, QueryLogConfig{Queries: 500, Templates: 100, Seed: 11})
+	for i := range a.Queries() {
+		if !a.Queries()[i].Keywords.Equal(b.Queries()[i].Keywords) {
+			t.Fatal("same-seed query logs diverge")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/randx"
+)
+
+// Query is one entry of the synthetic query log.
+type Query struct {
+	Keywords keyword.Set
+	// Template is the popularity rank of the query template this
+	// query was drawn from (1 = most popular).
+	Template int
+}
+
+// QueryLogConfig parameterizes query-log generation.
+type QueryLogConfig struct {
+	// Queries is the log length; default 178,000 (the paper's
+	// one-day volume).
+	Queries int
+	// Templates is the number of distinct query templates; default
+	// 2,000.
+	Templates int
+	// PopularityExponent is the Zipf exponent over templates; the
+	// default 1.3 puts ≈ 64 % of the volume on the top-10 templates,
+	// matching the paper's footnote ("the ten most popular queries
+	// account for more than 60 % of the total queries per day").
+	PopularityExponent float64
+	// SizeWeights is the distribution of query keyword-set sizes
+	// m = 1..len-1; the default is the head-heavy mix typical of web
+	// query logs (the paper evaluates m = 1..5).
+	SizeWeights []float64
+	// MaxTemplateResults rejects candidate templates matching more
+	// than this many corpus objects, reflecting that real query-log
+	// entries name specific things rather than the corpus's most
+	// generic keyword. Default 200; set to -1 to disable the cap.
+	MaxTemplateResults int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c QueryLogConfig) withDefaults() QueryLogConfig {
+	if c.Queries == 0 {
+		c.Queries = 178000
+	}
+	if c.Templates == 0 {
+		c.Templates = 2000
+	}
+	if c.PopularityExponent == 0 {
+		c.PopularityExponent = 1.3
+	}
+	if c.SizeWeights == nil {
+		c.SizeWeights = []float64{0, 45, 30, 15, 7, 3}
+	}
+	if c.MaxTemplateResults == 0 {
+		c.MaxTemplateResults = 200
+	}
+	return c
+}
+
+// QueryLog is a generated day of queries.
+type QueryLog struct {
+	queries    []Query
+	templates  []keyword.Set // by popularity rank (index 0 = rank 1)
+	resultSize []int         // ground-truth |O_K| per template
+}
+
+// GenerateQueryLog derives a query log from a corpus. Templates are
+// built by projecting random corpus objects onto m of their keywords,
+// so every template matches at least one object (queries that return
+// nothing exercise no interesting code path and the paper's
+// measurements are over result-bearing queries).
+func GenerateQueryLog(c *Corpus, cfg QueryLogConfig) (*QueryLog, error) {
+	cfg = cfg.withDefaults()
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("corpus: query log needs a non-empty corpus")
+	}
+	if cfg.Queries < 1 || cfg.Templates < 1 {
+		return nil, fmt.Errorf("corpus: queries (%d) and templates (%d) must be positive",
+			cfg.Queries, cfg.Templates)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sizes := make([]int, 0, len(cfg.SizeWeights))
+	weights := make([]float64, 0, len(cfg.SizeWeights))
+	for size, w := range cfg.SizeWeights {
+		if size == 0 || w == 0 {
+			continue
+		}
+		sizes = append(sizes, size)
+		weights = append(weights, w)
+	}
+	sizeDist, err := randx.NewHistogram(rng, sizes, weights)
+	if err != nil {
+		return nil, err
+	}
+
+	records := c.Records()
+	postings := buildPostings(records)
+	templates := make([]keyword.Set, 0, cfg.Templates)
+	resultSize := make([]int, 0, cfg.Templates)
+	seen := make(map[string]bool, cfg.Templates)
+	for attempts := 0; len(templates) < cfg.Templates; attempts++ {
+		if attempts > cfg.Templates*200 {
+			return nil, fmt.Errorf("corpus: could not derive %d distinct templates (corpus too small or result cap too tight?)", cfg.Templates)
+		}
+		m := sizeDist.Sample()
+		rec := records[rng.Intn(len(records))]
+		words := rec.Keywords.Words()
+		if len(words) < m {
+			continue
+		}
+		idx := randx.SampleWithoutReplacement(rng, len(words), m)
+		sel := make([]string, m)
+		for i, j := range idx {
+			sel[i] = words[j]
+		}
+		set := keyword.NewSet(sel...)
+		key := set.Key()
+		if seen[key] {
+			continue
+		}
+		n := postings.countMatches(set)
+		if cfg.MaxTemplateResults > 0 && n > cfg.MaxTemplateResults {
+			continue
+		}
+		seen[key] = true
+		templates = append(templates, set)
+		resultSize = append(resultSize, n)
+	}
+
+	pop, err := randx.NewZipf(rng, cfg.Templates, cfg.PopularityExponent)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]Query, cfg.Queries)
+	for i := range queries {
+		rank := pop.Sample()
+		queries[i] = Query{Keywords: templates[rank-1], Template: rank}
+	}
+	return &QueryLog{queries: queries, templates: templates, resultSize: resultSize}, nil
+}
+
+// postingsIndex is a transient word → record-index inverted map used
+// to count ground-truth result sizes during template generation.
+type postingsIndex map[string][]int
+
+func buildPostings(records []Record) postingsIndex {
+	p := make(postingsIndex)
+	for i, r := range records {
+		for _, w := range r.Keywords.Words() {
+			p[w] = append(p[w], i)
+		}
+	}
+	return p
+}
+
+// countMatches returns |O_K| for the keyword set: the number of
+// records containing every keyword. Lists are intersected rarest
+// first.
+func (p postingsIndex) countMatches(k keyword.Set) int {
+	words := k.Words()
+	if len(words) == 0 {
+		return 0
+	}
+	sort.Slice(words, func(i, j int) bool { return len(p[words[i]]) < len(p[words[j]]) })
+	base := p[words[0]]
+	if len(words) == 1 {
+		return len(base)
+	}
+	count := 0
+	for _, rec := range base {
+		all := true
+		for _, w := range words[1:] {
+			if !containsSorted(p[w], rec) {
+				all = false
+				break
+			}
+		}
+		if all {
+			count++
+		}
+	}
+	return count
+}
+
+// containsSorted reports whether x occurs in the ascending slice s.
+func containsSorted(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// Queries returns the log entries in arrival order.
+func (l *QueryLog) Queries() []Query { return l.queries }
+
+// Len returns the log length.
+func (l *QueryLog) Len() int { return len(l.queries) }
+
+// Templates returns the distinct query templates by popularity rank.
+func (l *QueryLog) Templates() []keyword.Set { return l.templates }
+
+// ResultSize returns the ground-truth |O_K| of the template with
+// popularity rank (1-based), as counted against the generating corpus.
+func (l *QueryLog) ResultSize(rank int) int {
+	if rank < 1 || rank > len(l.resultSize) {
+		return 0
+	}
+	return l.resultSize[rank-1]
+}
+
+// TopShare returns the fraction of the log attributable to the k most
+// frequent templates (the paper's footnote reports > 60 % for k = 10).
+func (l *QueryLog) TopShare(k int) float64 {
+	counts := make(map[int]int)
+	for _, q := range l.queries {
+		counts[q.Template]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, n := range counts {
+		all = append(all, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	if k > len(all) {
+		k = len(all)
+	}
+	top := 0
+	for _, n := range all[:k] {
+		top += n
+	}
+	return float64(top) / float64(len(l.queries))
+}
+
+// PopularOfSize returns up to count popular templates with exactly m
+// keywords, most popular first — the per-size query samples of
+// Figure 8.
+func (l *QueryLog) PopularOfSize(m, count int) []keyword.Set {
+	out := make([]keyword.Set, 0, count)
+	for _, t := range l.templates {
+		if t.Len() == m {
+			out = append(out, t)
+			if len(out) == count {
+				break
+			}
+		}
+	}
+	return out
+}

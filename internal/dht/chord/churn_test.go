@@ -1,0 +1,161 @@
+package chord
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+)
+
+// TestChurnRingStaysConsistent drives several rounds of joins and
+// crash-stops, verifying after each round that the surviving ring
+// converges to the sorted cycle and that lookups from every node agree
+// on key ownership.
+func TestChurnRingStaysConsistent(t *testing.T) {
+	net := inmem.New(1)
+	defer net.Close()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+
+	alive := buildRing(t, net, 6)
+	nextID := 6
+
+	for round := 0; round < 4; round++ {
+		// Two joins.
+		for j := 0; j < 2; j++ {
+			addr := transport.Addr(fmt.Sprintf("chord-%d", nextID))
+			nextID++
+			node := New(addr, net, Config{})
+			if _, err := net.Bind(addr, node.Handler); err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Join(ctx, alive[0].Addr()); err != nil {
+				t.Fatalf("round %d join: %v", round, err)
+			}
+			alive = append(alive, node)
+			converge(ctx, alive)
+		}
+		// One crash.
+		victimIdx := rng.Intn(len(alive))
+		victim := alive[victimIdx]
+		net.SetDown(victim.Addr(), true)
+		alive = append(alive[:victimIdx], alive[victimIdx+1:]...)
+		converge(ctx, alive)
+
+		sort.Slice(alive, func(i, j int) bool { return alive[i].ID() < alive[j].ID() })
+		checkRing(t, alive)
+
+		// Ownership agreement: every node resolves random keys to the
+		// same successor, and it is the correct one.
+		for trial := 0; trial < 20; trial++ {
+			id := dht.ID(rng.Uint64())
+			idx := sort.Search(len(alive), func(i int) bool { return alive[i].ID() >= id })
+			if idx == len(alive) {
+				idx = 0
+			}
+			want := alive[idx].Addr()
+			for _, n := range alive {
+				got, _, err := n.Lookup(ctx, id)
+				if err != nil {
+					t.Fatalf("round %d lookup from %s: %v", round, n.Addr(), err)
+				}
+				if got != want {
+					t.Fatalf("round %d: %s resolves %d to %s, want %s",
+						round, n.Addr(), id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestChurnReferencesSurviveJoins verifies that key handoff keeps every
+// reference readable while the ring grows (joins only — crash-stops
+// lose unreplicated state by design).
+func TestChurnReferencesSurviveJoins(t *testing.T) {
+	net := inmem.New(1)
+	defer net.Close()
+	ctx := context.Background()
+
+	nodes := buildRing(t, net, 3)
+	const objects = 100
+	for i := 0; i < objects; i++ {
+		ref := dht.Reference{ObjectID: fmt.Sprintf("grow-%d", i), Holder: "h", Location: "/"}
+		if _, err := nodes[0].Insert(ctx, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 5; j++ {
+		addr := transport.Addr(fmt.Sprintf("grower-%d", j))
+		node := New(addr, net, Config{})
+		if _, err := net.Bind(addr, node.Handler); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Join(ctx, nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		converge(ctx, nodes)
+
+		for i := 0; i < objects; i++ {
+			id := fmt.Sprintf("grow-%d", i)
+			src := nodes[(i+j)%len(nodes)]
+			if _, err := src.Read(ctx, id); err != nil {
+				t.Fatalf("after join %d, Read %s via %s: %v", j, id, src.Addr(), err)
+			}
+		}
+	}
+	// Conservation: references are spread, none duplicated or lost.
+	total := 0
+	for _, n := range nodes {
+		total += n.RefCount()
+	}
+	if total != objects {
+		t.Errorf("total refs = %d, want %d", total, objects)
+	}
+}
+
+// TestConcurrentLookupsDuringMaintenance hammers lookups from multiple
+// goroutines while stabilization runs, exercising the locking paths.
+func TestConcurrentLookupsDuringMaintenance(t *testing.T) {
+	net := inmem.New(1)
+	defer net.Close()
+	ctx := context.Background()
+	nodes := buildRing(t, net, 8)
+
+	done := make(chan struct{})
+	errc := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-done:
+					errc <- nil
+					return
+				default:
+				}
+				src := nodes[rng.Intn(len(nodes))]
+				if _, _, err := src.Lookup(ctx, dht.ID(rng.Uint64())); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 50; round++ {
+		for _, n := range nodes {
+			_ = n.MaintainOnce(ctx)
+		}
+	}
+	close(done)
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("concurrent lookup failed: %v", err)
+		}
+	}
+}

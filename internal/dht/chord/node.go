@@ -1,0 +1,310 @@
+// Package chord is a from-scratch implementation of the Chord
+// distributed hash table (Stoica et al., SIGCOMM 2001) providing the
+// generalized DOLR substrate of Section 2.1 of the keyword-search
+// paper: deterministic key→node mapping with surrogate routing
+// (successor-of-ID), finger-table routing, successor lists for fault
+// tolerance, and reference storage with handoff on join.
+package chord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// NodeInfo identifies a ring member.
+type NodeInfo struct {
+	ID   dht.ID
+	Addr transport.Addr
+}
+
+// zero reports whether the info is unset.
+func (ni NodeInfo) zero() bool { return ni.Addr == "" }
+
+// Config tunes a Chord node.
+type Config struct {
+	// SuccessorListLen is the number of successors kept for fault
+	// tolerance (Chord's r parameter). Default 4.
+	SuccessorListLen int
+	// MaxLookupSteps bounds iterative lookups. Default 256.
+	MaxLookupSteps int
+	// RPCTimeout bounds each remote call. Default 2s.
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 4
+	}
+	if c.MaxLookupSteps <= 0 {
+		c.MaxLookupSteps = 256
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Node is one Chord ring member. Create it with New, then call Create
+// (first node) or Join (subsequent nodes). Node implements dht.Overlay.
+type Node struct {
+	self NodeInfo
+	net  transport.Sender
+	cfg  Config
+
+	mu          sync.Mutex
+	joined      bool
+	predecessor NodeInfo
+	successors  []NodeInfo // successors[0] is the immediate successor
+	fingers     [64]NodeInfo
+	nextFinger  int
+	refs        map[string]map[refKey]dht.Reference // objectID → holder set
+
+	maintStop chan struct{}
+	maintDone chan struct{}
+}
+
+var _ dht.Overlay = (*Node)(nil)
+
+type refKey struct {
+	holder   transport.Addr
+	location string
+}
+
+// New constructs a node identified by hashing addr into the ID space.
+// The node's RPC handler must be reachable at addr; wire it with
+// Handler (typically through a transport mux shared with the index
+// layer).
+func New(addr transport.Addr, net transport.Sender, cfg Config) *Node {
+	return &Node{
+		self: NodeInfo{ID: dht.HashString(string(addr)), Addr: addr},
+		net:  net,
+		cfg:  cfg.withDefaults(),
+		refs: make(map[string]map[refKey]dht.Reference),
+	}
+}
+
+// Info returns this node's identity.
+func (n *Node) Info() NodeInfo { return n.self }
+
+// ID returns this node's ring identifier.
+func (n *Node) ID() dht.ID { return n.self.ID }
+
+// Addr returns this node's transport address.
+func (n *Node) Addr() transport.Addr { return n.self.Addr }
+
+// Create starts a new single-node ring.
+func (n *Node) Create() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.joined = true
+	n.predecessor = n.self
+	n.successors = []NodeInfo{n.self}
+	for i := range n.fingers {
+		n.fingers[i] = n.self
+	}
+}
+
+// Join adds this node to the ring containing the node at seed. It
+// locates its successor, installs it, and asks it to hand over the
+// references this node is now responsible for.
+func (n *Node) Join(ctx context.Context, seed transport.Addr) error {
+	n.mu.Lock()
+	if n.joined {
+		n.mu.Unlock()
+		return fmt.Errorf("chord: node %s already joined", n.self.Addr)
+	}
+	n.mu.Unlock()
+
+	succ, _, err := n.findSuccessorVia(ctx, seed, n.self.ID)
+	if err != nil {
+		return fmt.Errorf("join via %s: %w", seed, err)
+	}
+	n.mu.Lock()
+	n.joined = true
+	n.predecessor = NodeInfo{}
+	n.successors = []NodeInfo{succ}
+	for i := range n.fingers {
+		n.fingers[i] = succ
+	}
+	n.mu.Unlock()
+
+	// Take over the key range (predecessor(succ), n.ID] from the
+	// successor. Best effort: stabilization converges regardless.
+	resp, err := n.call(ctx, succ.Addr, rpcHandoff{NewNode: n.self})
+	if err == nil {
+		if h, ok := resp.(respHandoff); ok {
+			n.mu.Lock()
+			for _, ref := range h.Refs {
+				n.storeRefLocked(ref)
+			}
+			n.mu.Unlock()
+		}
+	}
+	// Announce ourselves so the ring converges quickly even before the
+	// first maintenance tick.
+	return n.StabilizeOnce(ctx)
+}
+
+// Owns reports whether this node is currently responsible for key:
+// key lies in (predecessor, self]. When the predecessor is unknown the
+// node answers optimistically (stabilization will correct ownership).
+func (n *Node) Owns(key dht.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.joined {
+		return false
+	}
+	if n.predecessor.zero() {
+		return true
+	}
+	return dht.Between(key, n.predecessor.ID, n.self.ID)
+}
+
+// Successor returns the current immediate successor.
+func (n *Node) Successor() NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.successors) == 0 {
+		return n.self
+	}
+	return n.successors[0]
+}
+
+// Predecessor returns the current predecessor (zero if unknown).
+func (n *Node) Predecessor() NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.predecessor
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeInfo, len(n.successors))
+	copy(out, n.successors)
+	return out
+}
+
+// StartMaintenance launches the periodic stabilize / fix-fingers /
+// check-predecessor loop. Call StopMaintenance (or Shutdown) to stop
+// it; the loop owns no other resources.
+func (n *Node) StartMaintenance(interval time.Duration) {
+	n.mu.Lock()
+	if n.maintStop != nil {
+		n.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	n.maintStop = stop
+	n.maintDone = done
+	n.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPCTimeout)
+				_ = n.MaintainOnce(ctx)
+				cancel()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopMaintenance stops the maintenance loop and waits for it to exit.
+func (n *Node) StopMaintenance() {
+	n.mu.Lock()
+	stop, done := n.maintStop, n.maintDone
+	n.maintStop, n.maintDone = nil, nil
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Shutdown stops maintenance and marks the node as left. It does not
+// transfer keys (crash-stop model); the ring heals via successor lists.
+func (n *Node) Shutdown() {
+	n.StopMaintenance()
+	n.mu.Lock()
+	n.joined = false
+	n.mu.Unlock()
+}
+
+// Leave departs the ring gracefully: it hands every stored reference
+// to the successor and tells both neighbors to splice this node out,
+// then shuts down. Best effort — unreachable neighbors degrade to the
+// crash-stop path, which stabilization heals.
+func (n *Node) Leave(ctx context.Context) error {
+	n.StopMaintenance()
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return dht.ErrNotJoined
+	}
+	n.joined = false
+	var succ NodeInfo
+	if len(n.successors) > 0 {
+		succ = n.successors[0]
+	}
+	pred := n.predecessor
+	var refs []dht.Reference
+	for _, holders := range n.refs {
+		for _, r := range holders {
+			refs = append(refs, r)
+		}
+	}
+	n.refs = make(map[string]map[refKey]dht.Reference)
+	n.mu.Unlock()
+
+	if succ.zero() || succ.ID == n.self.ID {
+		return nil // singleton ring: nothing to hand off
+	}
+	var firstErr error
+	if _, err := n.call(ctx, succ.Addr, rpcDepart{
+		Leaver:      n.self,
+		Predecessor: pred,
+		Refs:        refs,
+	}); err != nil {
+		firstErr = fmt.Errorf("depart to successor %s: %w", succ.Addr, err)
+	}
+	if !pred.zero() && pred.ID != n.self.ID {
+		if _, err := n.call(ctx, pred.Addr, rpcDepart{
+			Leaver:    n.self,
+			Successor: succ,
+		}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("depart to predecessor %s: %w", pred.Addr, err)
+		}
+	}
+	return firstErr
+}
+
+// MaintainOnce runs one round of stabilize, fix-fingers and
+// check-predecessor. The experiment harness calls this directly for
+// deterministic convergence instead of running the background loop.
+func (n *Node) MaintainOnce(ctx context.Context) error {
+	if err := n.StabilizeOnce(ctx); err != nil {
+		return err
+	}
+	n.CheckPredecessorOnce(ctx)
+	return n.FixFingersOnce(ctx)
+}
+
+func (n *Node) call(ctx context.Context, to transport.Addr, body any) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.RPCTimeout)
+	defer cancel()
+	return n.net.Send(ctx, to, body)
+}

@@ -1,0 +1,300 @@
+package chord
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// ErrUnhandled is returned (wrapped) by Handler for message types that
+// are not Chord RPCs, letting transport.Mux try other layers. It is
+// the shared transport sentinel.
+var ErrUnhandled = transport.ErrUnhandled
+
+// RPC message types. All are registered with the transport layer by
+// RegisterTypes so that both the in-memory and TCP transports can
+// carry them.
+type (
+	// rpcFindClosest asks a node for one routing step toward ID's
+	// successor (iterative Chord lookup).
+	rpcFindClosest struct{ ID dht.ID }
+	// respFindClosest: if Done, Node is ID's successor; otherwise Node
+	// is the next node to ask (closest preceding finger).
+	respFindClosest struct {
+		Done bool
+		Node NodeInfo
+	}
+
+	rpcGetPredecessor  struct{}
+	respGetPredecessor struct {
+		Known bool
+		Node  NodeInfo
+	}
+
+	rpcNotify struct{ Candidate NodeInfo }
+	respOK    struct{}
+
+	rpcGetSuccessorList  struct{}
+	respGetSuccessorList struct{ Successors []NodeInfo }
+
+	rpcPing struct{}
+
+	rpcInsertRef  struct{ Ref dht.Reference }
+	respInsertRef struct{ First bool }
+
+	rpcDeleteRef  struct{ Ref dht.Reference }
+	respDeleteRef struct {
+		Found     bool
+		Remaining int
+	}
+
+	rpcReadRefs  struct{ ObjectID string }
+	respReadRefs struct {
+		Found bool
+		Refs  []dht.Reference
+	}
+
+	// rpcHandoff asks the receiver to transfer references now owned by
+	// the joining node NewNode.
+	rpcHandoff  struct{ NewNode NodeInfo }
+	respHandoff struct{ Refs []dht.Reference }
+
+	// rpcDepart notifies the receiver that a neighbor is leaving
+	// gracefully: the successor receives the leaver's references and
+	// adopts its predecessor; the predecessor adopts the leaver's
+	// successor.
+	rpcDepart struct {
+		Leaver      NodeInfo
+		Predecessor NodeInfo // set when sent to the successor
+		Successor   NodeInfo // set when sent to the predecessor
+		Refs        []dht.Reference
+	}
+)
+
+// RegisterTypes registers every Chord RPC message with the transport
+// encoding registry. It must be called once per process before using
+// the TCP transport; it is harmless (and still recommended) for the
+// in-memory transport.
+func RegisterTypes() {
+	for _, v := range []any{
+		rpcFindClosest{}, respFindClosest{},
+		rpcGetPredecessor{}, respGetPredecessor{},
+		rpcNotify{}, respOK{},
+		rpcGetSuccessorList{}, respGetSuccessorList{},
+		rpcPing{},
+		rpcInsertRef{}, respInsertRef{},
+		rpcDeleteRef{}, respDeleteRef{},
+		rpcReadRefs{}, respReadRefs{},
+		rpcHandoff{}, respHandoff{},
+		rpcDepart{},
+	} {
+		transport.RegisterType(v)
+	}
+}
+
+// Handler processes Chord RPCs addressed to this node. Non-Chord
+// message types yield ErrUnhandled so callers can mux several
+// protocol layers on one endpoint.
+func (n *Node) Handler(ctx context.Context, from transport.Addr, body any) (any, error) {
+	switch msg := body.(type) {
+	case rpcFindClosest:
+		return n.handleFindClosest(msg), nil
+	case rpcGetPredecessor:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return respGetPredecessor{Known: !n.predecessor.zero(), Node: n.predecessor}, nil
+	case rpcNotify:
+		n.handleNotify(msg.Candidate)
+		return respOK{}, nil
+	case rpcGetSuccessorList:
+		return respGetSuccessorList{Successors: n.SuccessorList()}, nil
+	case rpcPing:
+		return respOK{}, nil
+	case rpcInsertRef:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return respInsertRef{First: n.storeRefLocked(msg.Ref)}, nil
+	case rpcDeleteRef:
+		return n.handleDeleteRef(msg.Ref), nil
+	case rpcReadRefs:
+		return n.handleReadRefs(msg.ObjectID), nil
+	case rpcHandoff:
+		return n.handleHandoff(msg.NewNode), nil
+	case rpcDepart:
+		n.handleDepart(msg)
+		return respOK{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnhandled, body)
+	}
+}
+
+func (n *Node) handleFindClosest(msg rpcFindClosest) respFindClosest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	succ := n.self
+	if len(n.successors) > 0 {
+		succ = n.successors[0]
+	}
+	if dht.Between(msg.ID, n.self.ID, succ.ID) {
+		return respFindClosest{Done: true, Node: succ}
+	}
+	next := n.closestPrecedingLocked(msg.ID)
+	if next.zero() || next.ID == n.self.ID {
+		// No better route known; the successor is our best guess.
+		return respFindClosest{Done: true, Node: succ}
+	}
+	return respFindClosest{Done: false, Node: next}
+}
+
+// closestPrecedingLocked returns the closest known node preceding id,
+// scanning fingers then the successor list (Chord §4.3, extended with
+// the successor list for robustness).
+func (n *Node) closestPrecedingLocked(id dht.ID) NodeInfo {
+	best := NodeInfo{}
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if !f.zero() && dht.BetweenOpen(f.ID, n.self.ID, id) {
+			best = f
+			break
+		}
+	}
+	for _, s := range n.successors {
+		if !s.zero() && dht.BetweenOpen(s.ID, n.self.ID, id) {
+			if best.zero() || dht.BetweenOpen(best.ID, n.self.ID, s.ID) {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func (n *Node) handleNotify(candidate NodeInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if candidate.ID == n.self.ID {
+		return
+	}
+	if n.predecessor.zero() || n.predecessor.ID == n.self.ID ||
+		dht.BetweenOpen(candidate.ID, n.predecessor.ID, n.self.ID) {
+		n.predecessor = candidate
+	}
+}
+
+func (n *Node) handleDeleteRef(ref dht.Reference) respDeleteRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	holders, ok := n.refs[ref.ObjectID]
+	if !ok {
+		return respDeleteRef{Found: false}
+	}
+	key := refKey{holder: ref.Holder, location: ref.Location}
+	if _, ok := holders[key]; !ok {
+		return respDeleteRef{Found: false, Remaining: len(holders)}
+	}
+	delete(holders, key)
+	if len(holders) == 0 {
+		delete(n.refs, ref.ObjectID)
+	}
+	return respDeleteRef{Found: true, Remaining: len(holders)}
+}
+
+func (n *Node) handleReadRefs(objectID string) respReadRefs {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	holders, ok := n.refs[objectID]
+	if !ok {
+		return respReadRefs{Found: false}
+	}
+	refs := make([]dht.Reference, 0, len(holders))
+	for _, r := range holders {
+		refs = append(refs, r)
+	}
+	return respReadRefs{Found: true, Refs: refs}
+}
+
+// handleHandoff transfers to the joining node every reference whose
+// key it now owns: keys in (predecessor(new), newID] — from this
+// node's perspective, keys not in (newID, self.ID].
+func (n *Node) handleHandoff(newNode NodeInfo) respHandoff {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var moved []dht.Reference
+	for objectID, holders := range n.refs {
+		key := dht.HashString(objectID)
+		if dht.Between(key, newNode.ID, n.self.ID) {
+			continue // still ours
+		}
+		for _, r := range holders {
+			moved = append(moved, r)
+		}
+		delete(n.refs, objectID)
+	}
+	return respHandoff{Refs: moved}
+}
+
+// storeRefLocked stores ref and reports whether it is the object's
+// first known reference.
+func (n *Node) storeRefLocked(ref dht.Reference) bool {
+	holders, ok := n.refs[ref.ObjectID]
+	if !ok {
+		holders = make(map[refKey]dht.Reference)
+		n.refs[ref.ObjectID] = holders
+	}
+	first := len(holders) == 0
+	holders[refKey{holder: ref.Holder, location: ref.Location}] = ref
+	return first
+}
+
+// handleDepart splices a gracefully leaving neighbor out of the ring:
+// refs (sent to the successor) are absorbed, and the leaver's other
+// neighbor replaces it in our pointers.
+func (n *Node) handleDepart(msg rpcDepart) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ref := range msg.Refs {
+		n.storeRefLocked(ref)
+	}
+	if !msg.Predecessor.zero() &&
+		(n.predecessor.zero() || n.predecessor.ID == msg.Leaver.ID) {
+		if msg.Predecessor.ID == n.self.ID {
+			n.predecessor = n.self
+		} else {
+			n.predecessor = msg.Predecessor
+		}
+	}
+	if !msg.Successor.zero() && len(n.successors) > 0 && n.successors[0].ID == msg.Leaver.ID {
+		if msg.Successor.ID == n.self.ID {
+			n.successors = []NodeInfo{n.self}
+		} else {
+			n.successors[0] = msg.Successor
+		}
+		n.fingers[0] = n.successors[0]
+	}
+	// Purge the leaver from fingers and the successor list so routing
+	// stops trying it.
+	for i := range n.fingers {
+		if n.fingers[i].ID == msg.Leaver.ID {
+			n.fingers[i] = n.successors[0]
+		}
+	}
+	keep := n.successors[:0]
+	for _, s := range n.successors {
+		if s.ID != msg.Leaver.ID {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) == 0 {
+		keep = append(keep, n.self)
+	}
+	n.successors = keep
+}
+
+// RefCount returns the number of distinct objects whose references
+// this node stores (test/diagnostic helper).
+func (n *Node) RefCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.refs)
+}

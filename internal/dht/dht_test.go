@@ -1,0 +1,202 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+func TestHashKeyDeterministic(t *testing.T) {
+	a := HashKey([]byte("hello"))
+	b := HashKey([]byte("hello"))
+	if a != b {
+		t.Error("HashKey not deterministic")
+	}
+	if HashString("hello") != a {
+		t.Error("HashString disagrees with HashKey")
+	}
+	if HashKey([]byte("hello")) == HashKey([]byte("world")) {
+		t.Error("suspicious collision between distinct keys")
+	}
+}
+
+func TestHashKeyUniformity(t *testing.T) {
+	// Bucket 64-bit hashes into 16 ranges; each should get ~1/16.
+	const n = 16000
+	counts := make([]int, 16)
+	for i := 0; i < n; i++ {
+		counts[HashString("key-"+strconv.Itoa(i))>>60]++
+	}
+	for b, c := range counts {
+		if c < 750 || c > 1250 {
+			t.Errorf("bucket %d has %d keys, want ≈1000", b, c)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		id, from, to ID
+		want         bool
+	}{
+		{5, 1, 10, true},
+		{10, 1, 10, true},
+		{1, 1, 10, false},
+		{11, 1, 10, false},
+		{0, 10, 2, true},   // wrap: (10, 2] contains 0
+		{15, 10, 2, true},  // wrap: contains 15
+		{5, 10, 2, false},  // wrap: excludes 5
+		{2, 10, 2, true},   // wrap: includes to
+		{10, 10, 2, false}, // wrap: excludes from
+		{7, 7, 7, true},    // degenerate: full ring
+		{3, 7, 7, true},
+	}
+	for _, tt := range tests {
+		if got := Between(tt.id, tt.from, tt.to); got != tt.want {
+			t.Errorf("Between(%d, %d, %d) = %v, want %v", tt.id, tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	tests := []struct {
+		id, from, to ID
+		want         bool
+	}{
+		{5, 1, 10, true},
+		{10, 1, 10, false},
+		{1, 1, 10, false},
+		{0, 10, 2, true},
+		{2, 10, 2, false},
+		{10, 10, 2, false},
+		{7, 7, 7, false}, // degenerate: everything but from
+		{3, 7, 7, true},
+	}
+	for _, tt := range tests {
+		if got := BetweenOpen(tt.id, tt.from, tt.to); got != tt.want {
+			t.Errorf("BetweenOpen(%d, %d, %d) = %v, want %v", tt.id, tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestPropertyBetweenComplement(t *testing.T) {
+	// For from != to, exactly one of Between(id, from, to) and
+	// Between(id, to, from) holds unless id == from or id == to.
+	f := func(id, from, to ID) bool {
+		if from == to {
+			return true
+		}
+		a := Between(id, from, to)
+		b := Between(id, to, from)
+		switch id {
+		case from:
+			return !a && b
+		case to:
+			return a && !b
+		default:
+			return a != b
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticOverlayLookup(t *testing.T) {
+	s, err := NewStatic(addrs(16))
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	ctx := context.Background()
+	// The surrogate of a member's own ID is that member.
+	for _, a := range addrs(16) {
+		got, hops, err := s.Lookup(ctx, HashString(string(a)))
+		if err != nil || got != a || hops != 1 {
+			t.Errorf("Lookup(%s) = %s, %d, %v", a, got, hops, err)
+		}
+	}
+}
+
+func TestStaticOverlaySurrogateIsSuccessor(t *testing.T) {
+	members := addrs(8)
+	s, err := NewStatic(members)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	// Brute-force successor: the member whose ID minimizes the
+	// clockwise distance (mid - id) mod 2^64.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		id := ID(rng.Uint64())
+		var want transport.Addr
+		bestDist := ^uint64(0)
+		for _, m := range members {
+			mid := HashString(string(m))
+			dist := uint64(mid - id)
+			if dist <= bestDist {
+				bestDist = dist
+				want = m
+			}
+		}
+		if got := s.SuccessorOf(id); got != want {
+			t.Fatalf("SuccessorOf(%d) = %s, want %s", id, got, want)
+		}
+	}
+}
+
+func TestStaticOverlayRefLifecycle(t *testing.T) {
+	s, err := NewStatic(addrs(4))
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	ctx := context.Background()
+	ref1 := Reference{ObjectID: "obj", Holder: "n1", Location: "/a"}
+	ref2 := Reference{ObjectID: "obj", Holder: "n2", Location: "/b"}
+
+	if _, err := s.Read(ctx, "obj"); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("Read missing: %v", err)
+	}
+	if _, err := s.Insert(ctx, ref1); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := s.Insert(ctx, ref2); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	refs, err := s.Read(ctx, "obj")
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("Read = %v, %v; want 2 refs", refs, err)
+	}
+	remaining, err := s.Delete(ctx, ref1)
+	if err != nil || remaining != 1 {
+		t.Fatalf("Delete = %d, %v; want 1 remaining", remaining, err)
+	}
+	if _, err := s.Delete(ctx, ref1); !errors.Is(err, ErrNoSuchReference) {
+		t.Errorf("double delete: %v", err)
+	}
+	remaining, err = s.Delete(ctx, ref2)
+	if err != nil || remaining != 0 {
+		t.Fatalf("Delete last = %d, %v", remaining, err)
+	}
+	if _, err := s.Read(ctx, "obj"); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("Read after all deletes: %v", err)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	if _, err := NewStatic(nil); err == nil {
+		t.Error("NewStatic(nil) succeeded")
+	}
+}
+
+func addrs(n int) []transport.Addr {
+	out := make([]transport.Addr, n)
+	for i := range out {
+		out[i] = transport.Addr("node-" + strconv.Itoa(i))
+	}
+	return out
+}

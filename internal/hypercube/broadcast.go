@@ -1,0 +1,72 @@
+package hypercube
+
+import "fmt"
+
+// Broadcast support over spanning binomial trees (the paper's
+// reference [3], Johnsson & Ho: optimum broadcasting in hypercubes).
+// A message injected at the root reaches all 2^(r-|One(u)|) vertices
+// of the induced subhypercube in |Zero(u)| steps, each vertex
+// forwarding to its SBT children.
+
+// BroadcastStep describes one transmission of a broadcast schedule:
+// in round Round, From forwards to To.
+type BroadcastStep struct {
+	Round int
+	From  Vertex
+	To    Vertex
+}
+
+// BroadcastSchedule returns the transmission schedule for broadcasting
+// from u over SBT_{H_r}(u): steps grouped by round, where round i
+// transmits across dimension edges at tree depth i. The schedule has
+// exactly 2^(r-|One(u)|) - 1 transmissions and depth |Zero(u)| rounds,
+// both optimal.
+func (c Cube) BroadcastSchedule(u Vertex) []BroadcastStep {
+	if !c.Valid(u) {
+		return nil
+	}
+	var steps []BroadcastStep
+	levels := c.InducedLevels(u)
+	for depth := 1; depth < len(levels); depth++ {
+		for _, v := range levels[depth] {
+			parent, _, err := c.InducedParent(u, v)
+			if err != nil {
+				continue // unreachable: levels only contain subcube vertices
+			}
+			steps = append(steps, BroadcastStep{Round: depth, From: parent, To: v})
+		}
+	}
+	return steps
+}
+
+// ValidateBroadcast checks that a schedule delivers to every vertex of
+// the subcube exactly once, from an already-informed sender, in
+// non-decreasing rounds — the correctness conditions of SBT broadcast.
+// It is used by property tests and available for diagnostics.
+func (c Cube) ValidateBroadcast(u Vertex, steps []BroadcastStep) error {
+	informed := map[Vertex]bool{u: true}
+	lastRound := 0
+	for i, st := range steps {
+		if st.Round < lastRound {
+			return fmt.Errorf("hypercube: step %d round %d after round %d", i, st.Round, lastRound)
+		}
+		lastRound = st.Round
+		if !informed[st.From] {
+			return fmt.Errorf("hypercube: step %d sender %s not yet informed", i, st.From.StringR(c.r))
+		}
+		if informed[st.To] {
+			return fmt.Errorf("hypercube: step %d receiver %s informed twice", i, st.To.StringR(c.r))
+		}
+		if Hamming(st.From, st.To) != 1 {
+			return fmt.Errorf("hypercube: step %d is not an edge transmission", i)
+		}
+		if !c.InSubcube(u, st.To) || !c.InSubcube(u, st.From) {
+			return fmt.Errorf("hypercube: step %d leaves the subcube", i)
+		}
+		informed[st.To] = true
+	}
+	if want := c.SubcubeSize(u); uint64(len(informed)) != want {
+		return fmt.Errorf("hypercube: broadcast reached %d of %d vertices", len(informed), want)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBroadcastScheduleFigure4(t *testing.T) {
+	c := MustNew(4)
+	u, _ := ParseVertex("0100")
+	steps := c.BroadcastSchedule(u)
+	// 8-vertex subcube: 7 transmissions over 3 rounds.
+	if len(steps) != 7 {
+		t.Fatalf("steps = %d, want 7", len(steps))
+	}
+	if steps[len(steps)-1].Round != 3 {
+		t.Errorf("last round = %d, want 3", steps[len(steps)-1].Round)
+	}
+	if err := c.ValidateBroadcast(u, steps); err != nil {
+		t.Errorf("ValidateBroadcast: %v", err)
+	}
+}
+
+func TestBroadcastScheduleInvalidRoot(t *testing.T) {
+	c := MustNew(4)
+	if steps := c.BroadcastSchedule(Vertex(1 << 10)); steps != nil {
+		t.Error("schedule produced for vertex outside cube")
+	}
+}
+
+func TestPropertyBroadcastIsOptimalAndValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		steps := c.BroadcastSchedule(u)
+		if err := c.ValidateBroadcast(u, steps); err != nil {
+			return false
+		}
+		// Optimal transmission count and depth.
+		if uint64(len(steps)) != c.SubcubeSize(u)-1 {
+			return false
+		}
+		free := c.Dim() - u.OnesCount()
+		maxRound := 0
+		for _, st := range steps {
+			if st.Round > maxRound {
+				maxRound = st.Round
+			}
+		}
+		return free == 0 || maxRound == free
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateBroadcastDetectsViolations(t *testing.T) {
+	c := MustNew(3)
+	u := Vertex(0)
+	good := c.BroadcastSchedule(u)
+
+	// Duplicate delivery.
+	bad := append(append([]BroadcastStep{}, good...), good[len(good)-1])
+	if err := c.ValidateBroadcast(u, bad); err == nil {
+		t.Error("duplicate delivery accepted")
+	}
+	// Uninformed sender (reverse order).
+	rev := make([]BroadcastStep, len(good))
+	for i, st := range good {
+		rev[len(good)-1-i] = st
+	}
+	if err := c.ValidateBroadcast(u, rev); err == nil {
+		t.Error("reversed schedule accepted")
+	}
+	// Missing vertex.
+	if err := c.ValidateBroadcast(u, good[:len(good)-1]); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+	// Non-edge transmission.
+	nonEdge := append([]BroadcastStep{}, good...)
+	nonEdge[len(nonEdge)-1].To = nonEdge[len(nonEdge)-1].From ^ 0b011
+	if err := c.ValidateBroadcast(u, nonEdge); err == nil {
+		t.Error("non-edge transmission accepted")
+	}
+}

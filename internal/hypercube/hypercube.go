@@ -1,0 +1,195 @@
+// Package hypercube implements the r-dimensional hypercube vector space
+// underlying the keyword index scheme of Joung, Fang and Yang (ICDCS 2005):
+// vertices as r-bit vectors, induced subhypercubes, and spanning binomial
+// trees (SBTs) used for superset search.
+//
+// Throughout the package, bit i of a vertex (counting from the right,
+// i.e. the least significant bit is dimension 0) corresponds to the i-th
+// dimension of the hypercube, matching the paper's u[i] notation.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// MaxDim is the largest supported hypercube dimensionality. Vertices are
+// stored in a uint64, so at most 64 dimensions are representable.
+const MaxDim = 64
+
+// Vertex is a node of an r-dimensional hypercube, encoded as an r-bit
+// binary string in the low r bits of a uint64.
+type Vertex uint64
+
+// Bit reports the i-th bit of v (the paper's u[i]).
+func (v Vertex) Bit(i int) bool {
+	return v>>uint(i)&1 == 1
+}
+
+// One returns the set One(v) = {i : v[i] = 1} as an ascending slice of
+// dimension indices, considering only the low r bits.
+func (v Vertex) One(r int) []int {
+	ones := make([]int, 0, bits.OnesCount64(uint64(v)))
+	for i := 0; i < r; i++ {
+		if v.Bit(i) {
+			ones = append(ones, i)
+		}
+	}
+	return ones
+}
+
+// Zero returns the set Zero(v) = {i : v[i] = 0, 0 <= i < r} as an
+// ascending slice of dimension indices.
+func (v Vertex) Zero(r int) []int {
+	zeros := make([]int, 0, r-bits.OnesCount64(uint64(v)))
+	for i := 0; i < r; i++ {
+		if !v.Bit(i) {
+			zeros = append(zeros, i)
+		}
+	}
+	return zeros
+}
+
+// OnesCount returns |One(v)|, the number of set bits.
+func (v Vertex) OnesCount() int {
+	return bits.OnesCount64(uint64(v))
+}
+
+// Contains reports whether v contains u in the paper's sense:
+// u[i] => v[i] for all i, i.e. One(u) ⊆ One(v).
+func (v Vertex) Contains(u Vertex) bool {
+	return uint64(u)&^uint64(v) == 0
+}
+
+// Neighbor returns v's neighbor in dimension i (v with bit i flipped).
+func (v Vertex) Neighbor(i int) Vertex {
+	return v ^ Vertex(1)<<uint(i)
+}
+
+// Hamming returns the Hamming distance between u and v.
+func Hamming(u, v Vertex) int {
+	return bits.OnesCount64(uint64(u ^ v))
+}
+
+// String renders v as a plain binary string of its significant bits
+// (use StringR for fixed-width rendering).
+func (v Vertex) String() string {
+	return strconv.FormatUint(uint64(v), 2)
+}
+
+// StringR renders v as an r-bit binary string, most significant
+// dimension first, matching the paper's figures (e.g. "0100").
+func (v Vertex) StringR(r int) string {
+	buf := make([]byte, r)
+	for i := 0; i < r; i++ {
+		if v.Bit(r - 1 - i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// ParseVertex parses an r-bit binary string (MSB first) into a Vertex.
+func ParseVertex(s string) (Vertex, error) {
+	if len(s) == 0 || len(s) > MaxDim {
+		return 0, fmt.Errorf("hypercube: vertex string %q must have 1..%d bits", s, MaxDim)
+	}
+	var v Vertex
+	for _, c := range s {
+		switch c {
+		case '0':
+			v <<= 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return 0, fmt.Errorf("hypercube: vertex string %q contains non-binary rune %q", s, c)
+		}
+	}
+	return v, nil
+}
+
+// Cube describes an r-dimensional hypercube H_r.
+type Cube struct {
+	r int
+}
+
+// New returns the hypercube H_r. It returns an error if r is outside
+// [1, MaxDim].
+func New(r int) (Cube, error) {
+	if r < 1 || r > MaxDim {
+		return Cube{}, fmt.Errorf("hypercube: dimension %d outside [1, %d]", r, MaxDim)
+	}
+	return Cube{r: r}, nil
+}
+
+// MustNew is New for statically-known dimensions; it panics on an
+// invalid r and is intended for tests and package-level defaults.
+func MustNew(r int) Cube {
+	c, err := New(r)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the dimensionality r.
+func (c Cube) Dim() int { return c.r }
+
+// Size returns the number of vertices 2^r.
+func (c Cube) Size() uint64 {
+	if c.r == 64 {
+		return 0 // 2^64 overflows; callers must special-case r = 64.
+	}
+	return 1 << uint(c.r)
+}
+
+// Mask returns a Vertex with the low r bits set.
+func (c Cube) Mask() Vertex {
+	if c.r == 64 {
+		return ^Vertex(0)
+	}
+	return Vertex(1)<<uint(c.r) - 1
+}
+
+// Valid reports whether v is a vertex of H_r (no bits above r-1).
+func (c Cube) Valid(v Vertex) bool {
+	return v&^c.Mask() == 0
+}
+
+// SubcubeSize returns |H_r(u)| = 2^(r - |One(u)|), the number of
+// vertices in the subhypercube induced by u.
+func (c Cube) SubcubeSize(u Vertex) uint64 {
+	free := c.r - u.OnesCount()
+	if free >= 64 {
+		return 0
+	}
+	return 1 << uint(free)
+}
+
+// InSubcube reports whether w is a vertex of the subhypercube H_r(u)
+// induced by u, i.e. whether w contains u.
+func (c Cube) InSubcube(u, w Vertex) bool {
+	return c.Valid(w) && w.Contains(u)
+}
+
+// SubcubeVertices enumerates all vertices of H_r(u) in ascending order
+// of the free-bit pattern. It is intended for tests and small cubes; the
+// slice has 2^(r-|One(u)|) entries.
+func (c Cube) SubcubeVertices(u Vertex) []Vertex {
+	free := u.Zero(c.r)
+	n := uint64(1) << uint(len(free))
+	out := make([]Vertex, 0, n)
+	for pattern := uint64(0); pattern < n; pattern++ {
+		w := u
+		for bit, dim := range free {
+			if pattern>>uint(bit)&1 == 1 {
+				w |= Vertex(1) << uint(dim)
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package hypercube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVertexBitOneZero(t *testing.T) {
+	// Paper example: v = 010100 has One(v) = {2, 4}, Zero(v) = {0,1,3,5}.
+	v, err := ParseVertex("010100")
+	if err != nil {
+		t.Fatalf("ParseVertex: %v", err)
+	}
+	if got, want := v.One(6), []int{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("One = %v, want %v", got, want)
+	}
+	if got, want := v.Zero(6), []int{0, 1, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Zero = %v, want %v", got, want)
+	}
+	if v.OnesCount() != 2 {
+		t.Errorf("OnesCount = %d, want 2", v.OnesCount())
+	}
+}
+
+func TestParseVertexErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"nonbinary", "01012"},
+		{"too long", string(make([]byte, 65))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseVertex(tt.in); err == nil {
+				t.Errorf("ParseVertex(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseVertexRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "0100", "111000111", "0000000000000001"} {
+		v, err := ParseVertex(s)
+		if err != nil {
+			t.Fatalf("ParseVertex(%q): %v", s, err)
+		}
+		if got := v.StringR(len(s)); got != s {
+			t.Errorf("StringR(ParseVertex(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, r := range []int{0, -1, 65} {
+		if _, err := New(r); err == nil {
+			t.Errorf("New(%d) succeeded, want error", r)
+		}
+	}
+	for _, r := range []int{1, 16, 64} {
+		c, err := New(r)
+		if err != nil {
+			t.Errorf("New(%d): %v", r, err)
+		}
+		if c.Dim() != r {
+			t.Errorf("Dim = %d, want %d", c.Dim(), r)
+		}
+	}
+}
+
+func TestCubeSizeAndMask(t *testing.T) {
+	c := MustNew(10)
+	if c.Size() != 1024 {
+		t.Errorf("Size = %d, want 1024", c.Size())
+	}
+	if c.Mask() != 0x3FF {
+		t.Errorf("Mask = %x, want 3ff", c.Mask())
+	}
+	if !c.Valid(0x3FF) || c.Valid(0x400) {
+		t.Error("Valid boundary check failed")
+	}
+}
+
+func TestContains(t *testing.T) {
+	tests := []struct {
+		v, u string
+		want bool
+	}{
+		{"0100", "0100", true},
+		{"0110", "0100", true},
+		{"1111", "0100", true},
+		{"0010", "0100", false},
+		{"1011", "0100", false},
+		{"0000", "0000", true},
+		{"1111", "0000", true},
+	}
+	for _, tt := range tests {
+		v, _ := ParseVertex(tt.v)
+		u, _ := ParseVertex(tt.u)
+		if got := v.Contains(u); got != tt.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", tt.v, tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestSubcubeVerticesMatchesFigure3(t *testing.T) {
+	// Figure 3(b): H_4(0100) has the 8 vertices containing 0100.
+	c := MustNew(4)
+	u, _ := ParseVertex("0100")
+	got := c.SubcubeVertices(u)
+	want := []string{"0100", "0101", "0110", "0111", "1100", "1101", "1110", "1111"}
+	if len(got) != len(want) {
+		t.Fatalf("subcube size = %d, want %d", len(got), len(want))
+	}
+	seen := make(map[string]bool, len(got))
+	for _, v := range got {
+		seen[v.StringR(4)] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("subcube missing vertex %s", w)
+		}
+	}
+	if c.SubcubeSize(u) != 8 {
+		t.Errorf("SubcubeSize = %d, want 8", c.SubcubeSize(u))
+	}
+}
+
+func TestSBTChildrenFullCube(t *testing.T) {
+	// In SBT(u) over the full cube, the root's children complement each
+	// of the r bits, and a node's children complement bits below its
+	// lowest differing bit.
+	c := MustNew(3)
+	u := Vertex(0)
+	root := c.SBTChildren(u, u)
+	if len(root) != 3 {
+		t.Fatalf("root children = %d, want 3", len(root))
+	}
+	// Vertex 100 differs from root at dim 2, so children flip dims 1, 0.
+	v, _ := ParseVertex("100")
+	kids := c.SBTChildren(u, v)
+	wantKids := []string{"110", "101"}
+	if len(kids) != 2 || kids[0].StringR(3) != wantKids[0] || kids[1].StringR(3) != wantKids[1] {
+		t.Errorf("children of 100 = %v, want %v", kids, wantKids)
+	}
+	// Vertex 001 has lowest differing bit 0, so no children.
+	if kids := c.SBTChildren(u, 1); len(kids) != 0 {
+		t.Errorf("children of 001 = %v, want none", kids)
+	}
+}
+
+func TestSBTParent(t *testing.T) {
+	c := MustNew(4)
+	u, _ := ParseVertex("0100")
+	if _, ok := c.SBTParent(u, u); ok {
+		t.Error("root must have no parent")
+	}
+	v, _ := ParseVertex("0111") // differs from 0100 at dims 0,1; parent flips dim 0.
+	p, ok := c.SBTParent(u, v)
+	if !ok || p.StringR(4) != "0110" {
+		t.Errorf("parent(0111) = %s, want 0110", p.StringR(4))
+	}
+}
+
+func TestInducedParentRejectsOutsideSubcube(t *testing.T) {
+	c := MustNew(4)
+	u, _ := ParseVertex("0100")
+	w, _ := ParseVertex("0010")
+	if _, _, err := c.InducedParent(u, w); err == nil {
+		t.Error("InducedParent accepted vertex outside subcube")
+	}
+}
+
+func TestInducedLevelsFigure4(t *testing.T) {
+	// Figure 4(b): SBT_{H_4}(0100) has 1 + 3 + 3 + 1 vertices by level.
+	c := MustNew(4)
+	u, _ := ParseVertex("0100")
+	levels := c.InducedLevels(u)
+	wantSizes := []int{1, 3, 3, 1}
+	if len(levels) != len(wantSizes) {
+		t.Fatalf("levels = %d, want %d", len(levels), len(wantSizes))
+	}
+	for d, lvl := range levels {
+		if len(lvl) != wantSizes[d] {
+			t.Errorf("level %d size = %d, want %d", d, len(lvl), wantSizes[d])
+		}
+		for _, v := range lvl {
+			if Hamming(u, v) != d {
+				t.Errorf("vertex %s at level %d has Hamming distance %d",
+					v.StringR(4), d, Hamming(u, v))
+			}
+		}
+	}
+}
+
+// propRoot draws a random (r, root) pair for property tests.
+func propRoot(rng *rand.Rand) (Cube, Vertex) {
+	r := 1 + rng.Intn(12)
+	c := MustNew(r)
+	u := Vertex(rng.Uint64()) & c.Mask()
+	return c, u
+}
+
+func TestPropertySBTSpansSubcubeExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		seen := make(map[Vertex]int)
+		c.WalkInducedBFS(u, func(v Vertex, depth, genDim int) bool {
+			seen[v]++
+			return true
+		})
+		if uint64(len(seen)) != c.SubcubeSize(u) {
+			return false
+		}
+		for _, v := range c.SubcubeVertices(u) {
+			if seen[v] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDepthEqualsHammingDistance(t *testing.T) {
+	// Lemma 3.2's structural basis: depth in the induced SBT equals the
+	// number of extra one-bits relative to the root.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		ok := true
+		c.WalkInducedBFS(u, func(v Vertex, depth, genDim int) bool {
+			if depth != Hamming(u, v) || !v.Contains(u) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParentChildConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		ok := true
+		c.WalkInducedBFS(u, func(v Vertex, depth, genDim int) bool {
+			for _, child := range c.InducedChildren(u, v) {
+				p, has, err := c.InducedParent(u, child)
+				if err != nil || !has || p != v {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBFSOrderIsNonDecreasingDepth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		last := -1
+		ok := true
+		c.WalkInducedBFS(u, func(v Vertex, depth, genDim int) bool {
+			if depth < last {
+				ok = false
+				return false
+			}
+			last = depth
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLevelsAreBinomialCoefficients(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, u := propRoot(rng)
+		free := c.Dim() - u.OnesCount()
+		levels := c.InducedLevels(u)
+		if len(levels) != free+1 {
+			return false
+		}
+		// level d must have C(free, d) vertices.
+		binom := 1
+		for d, lvl := range levels {
+			if len(lvl) != binom {
+				return false
+			}
+			binom = binom * (free - d) / (d + 1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkInducedBFSEarlyStop(t *testing.T) {
+	c := MustNew(6)
+	visits := 0
+	c.WalkInducedBFS(0, func(v Vertex, depth, genDim int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("visits = %d, want 5", visits)
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	v, _ := ParseVertex("0100")
+	if got := v.Neighbor(0).StringR(4); got != "0101" {
+		t.Errorf("Neighbor(0) = %s, want 0101", got)
+	}
+	if got := v.Neighbor(2).StringR(4); got != "0000" {
+		t.Errorf("Neighbor(2) = %s, want 0000", got)
+	}
+	if v.Neighbor(1).Neighbor(1) != v {
+		t.Error("Neighbor is not an involution")
+	}
+}

@@ -1,0 +1,158 @@
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The spanning binomial tree (SBT) of Definition 3.2. For a root u and a
+// vertex v, let p be the lowest dimension at which v and u differ
+// (p = r when v = u). Then v's parent complements bit p, and v's
+// children complement each bit j < p. Every vertex at depth d in the
+// tree has Hamming distance exactly d from the root.
+//
+// The induced tree SBT_{H_r}(u) restricts the same construction to the
+// subhypercube H_r(u): only the free dimensions Zero(u) participate, and
+// since every tree vertex contains u, child edges always set a 0 bit.
+
+// branchDim returns the branching dimension p for vertex v relative to
+// root u: the lowest differing dimension, or r when v == u.
+func (c Cube) branchDim(u, v Vertex) int {
+	d := uint64(u ^ v)
+	if d == 0 {
+		return c.r
+	}
+	return bits.TrailingZeros64(d)
+}
+
+// SBTDepth returns v's depth in SBT(u) (equivalently in SBT_{H_r}(u)
+// when v contains u): the Hamming distance from the root.
+func (c Cube) SBTDepth(u, v Vertex) int {
+	return Hamming(u, v)
+}
+
+// SBTParent returns v's parent in the spanning binomial tree rooted at
+// u over the full hypercube H_r. The second result is false when v is
+// the root (which has no parent).
+func (c Cube) SBTParent(u, v Vertex) (Vertex, bool) {
+	p := c.branchDim(u, v)
+	if p == c.r {
+		return 0, false
+	}
+	return v.Neighbor(p), true
+}
+
+// SBTChildren returns v's children in SBT(u) over the full hypercube:
+// v with bit j complemented for every j below the branching dimension.
+func (c Cube) SBTChildren(u, v Vertex) []Vertex {
+	p := c.branchDim(u, v)
+	children := make([]Vertex, 0, p)
+	for j := p - 1; j >= 0; j-- {
+		children = append(children, v.Neighbor(j))
+	}
+	return children
+}
+
+// InducedParent returns v's parent in the induced tree SBT_{H_r}(u).
+// It returns an error if v is not a vertex of the subhypercube H_r(u),
+// and (0, false, nil) when v is the root.
+func (c Cube) InducedParent(u, v Vertex) (Vertex, bool, error) {
+	if !c.InSubcube(u, v) {
+		return 0, false, fmt.Errorf("hypercube: vertex %s not in subcube induced by %s",
+			v.StringR(c.r), u.StringR(c.r))
+	}
+	p := c.branchDim(u, v)
+	if p == c.r {
+		return 0, false, nil
+	}
+	return v.Neighbor(p), true, nil
+}
+
+// InducedChildren returns v's children in SBT_{H_r}(u): v with bit j
+// set for every free dimension j in Zero(u) below the branching
+// dimension. The result is ordered from the highest dimension down,
+// matching the paper's child list L = {(x, i) : i < d, i ∈ Zero(w)}.
+func (c Cube) InducedChildren(u, v Vertex) []Vertex {
+	p := c.branchDim(u, v)
+	children := make([]Vertex, 0, p)
+	for j := p - 1; j >= 0; j-- {
+		if !u.Bit(j) && !v.Bit(j) {
+			children = append(children, v.Neighbor(j))
+		}
+	}
+	return children
+}
+
+// ChildEdge is a frontier entry of the paper's superset-search queue U:
+// a tree vertex plus the dimension index at which it was generated from
+// its parent. Children of To are restricted to dimensions below Dim.
+type ChildEdge struct {
+	To  Vertex
+	Dim int
+}
+
+// InducedChildEdges returns v's children in SBT_{H_r}(u) as ChildEdges,
+// i.e. the pairs (x, i) the paper's T_QUERY handler appends to the list
+// L. generatedDim must be the dimension at which v itself was generated
+// (use c.Dim() for the root).
+func (c Cube) InducedChildEdges(u, v Vertex, generatedDim int) []ChildEdge {
+	edges := make([]ChildEdge, 0, generatedDim)
+	for j := generatedDim - 1; j >= 0; j-- {
+		if !u.Bit(j) && !v.Bit(j) {
+			edges = append(edges, ChildEdge{To: v.Neighbor(j), Dim: j})
+		}
+	}
+	return edges
+}
+
+// RootChildEdges returns the initial frontier of a superset search
+// rooted at u: u's neighbor in every free dimension, paired with that
+// dimension, highest dimension first.
+func (c Cube) RootChildEdges(u Vertex) []ChildEdge {
+	return c.InducedChildEdges(u, u, c.r)
+}
+
+// InducedLevels enumerates the vertices of SBT_{H_r}(u) grouped by
+// depth: result[d] holds all vertices at depth d (Hamming distance d
+// from u). Level 0 is [u] itself. Intended for the parallel
+// level-synchronous traversal and for tests; the total number of
+// vertices is 2^(r-|One(u)|).
+func (c Cube) InducedLevels(u Vertex) [][]Vertex {
+	free := c.r - u.OnesCount()
+	levels := make([][]Vertex, free+1)
+	levels[0] = []Vertex{u}
+	frontier := c.RootChildEdges(u)
+	depth := 1
+	for len(frontier) > 0 {
+		verts := make([]Vertex, len(frontier))
+		next := make([]ChildEdge, 0, len(frontier))
+		for i, e := range frontier {
+			verts[i] = e.To
+			next = append(next, c.InducedChildEdges(u, e.To, e.Dim)...)
+		}
+		levels[depth] = verts
+		frontier = next
+		depth++
+	}
+	return levels[:depth]
+}
+
+// WalkInducedBFS visits every vertex of SBT_{H_r}(u) in breadth-first
+// order starting from the root, calling fn(v, depth, genDim) for each.
+// If fn returns false the walk stops early. genDim is the dimension at
+// which v was generated (c.Dim() for the root), which callers need to
+// compute v's own children.
+func (c Cube) WalkInducedBFS(u Vertex, fn func(v Vertex, depth, genDim int) bool) {
+	if !fn(u, 0, c.r) {
+		return
+	}
+	queue := c.RootChildEdges(u)
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if !fn(e.To, c.SBTDepth(u, e.To), e.Dim) {
+			return
+		}
+		queue = append(queue, c.InducedChildEdges(u, e.To, e.Dim)...)
+	}
+}

@@ -1,0 +1,197 @@
+package invindex
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+)
+
+type deployment struct {
+	net     *inmem.Network
+	servers []*Server
+	addrs   []transport.Addr
+	client  *Client
+}
+
+func newDeployment(t *testing.T, r, nServers int) *deployment {
+	t.Helper()
+	net := inmem.New(1)
+	t.Cleanup(func() { net.Close() })
+	addrs := make([]transport.Addr, nServers)
+	servers := make([]*Server, nServers)
+	for i := range addrs {
+		addrs[i] = transport.Addr("dii-" + strconv.Itoa(i))
+		servers[i] = NewServer()
+		if _, err := net.Bind(addrs[i], servers[i].Handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resolver := core.FuncResolver(func(v hypercube.Vertex) transport.Addr {
+		return addrs[int(uint64(v)%uint64(nServers))]
+	})
+	client, err := NewClient(r, resolver, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &deployment{net: net, servers: servers, addrs: addrs, client: client}
+}
+
+func obj(id string, words ...string) core.Object {
+	return core.Object{ID: id, Keywords: keyword.NewSet(words...)}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(0, nil, nil); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := NewClient(8, nil, nil); err == nil {
+		t.Error("nil resolver accepted")
+	}
+}
+
+func TestNodeForDeterministicAndBounded(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		w := "word" + strconv.Itoa(i)
+		v := NodeFor(w, 10)
+		if v != NodeFor(w, 10) {
+			t.Fatal("NodeFor not deterministic")
+		}
+		if uint64(v) >= 1<<10 {
+			t.Fatalf("NodeFor(%q, 10) = %d out of range", w, v)
+		}
+	}
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	d := newDeployment(t, 10, 4)
+	ctx := context.Background()
+	objects := []core.Object{
+		obj("hinet", "isp", "network", "download"),
+		obj("tvbs", "tvbs", "news"),
+		obj("portal", "news", "network"),
+	}
+	for _, o := range objects {
+		st, err := d.client.Insert(ctx, o)
+		if err != nil {
+			t.Fatalf("Insert %s: %v", o.ID, err)
+		}
+		// One message round trip per keyword (the paper's k-lookup cost).
+		if st.Messages != 2*o.Keywords.Len() {
+			t.Errorf("insert %s messages = %d, want %d", o.ID, st.Messages, 2*o.Keywords.Len())
+		}
+	}
+
+	ids, st, err := d.client.Search(ctx, keyword.NewSet("news"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(ids, []string{"portal", "tvbs"}) {
+		t.Errorf("news search = %v", ids)
+	}
+	if st.NodesContacted != 1 {
+		t.Errorf("single-keyword search contacted %d nodes", st.NodesContacted)
+	}
+
+	ids, st, err = d.client.Search(ctx, keyword.NewSet("news", "network"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(ids, []string{"portal"}) {
+		t.Errorf("intersection = %v", ids)
+	}
+	if st.NodesContacted != 2 {
+		t.Errorf("two-keyword search contacted %d nodes", st.NodesContacted)
+	}
+
+	if _, err := d.client.Delete(ctx, objects[2]); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = d.client.Search(ctx, keyword.NewSet("news", "network"))
+	if len(ids) != 0 {
+		t.Errorf("after delete, intersection = %v", ids)
+	}
+}
+
+func TestSearchEmptyIntersectionShortCircuits(t *testing.T) {
+	d := newDeployment(t, 10, 2)
+	ctx := context.Background()
+	d.client.Insert(ctx, obj("a", "only-a"))
+	ids, _, err := d.client.Search(ctx, keyword.NewSet("missing", "only-a", "another"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("got %v", ids)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	d := newDeployment(t, 8, 1)
+	if _, _, err := d.client.Search(context.Background(), keyword.Set{}); !errors.Is(err, core.ErrEmptyQuery) {
+		t.Errorf("empty search: %v", err)
+	}
+	if _, err := d.client.Insert(context.Background(), core.Object{}); !errors.Is(err, core.ErrBadObject) {
+		t.Errorf("bad insert: %v", err)
+	}
+}
+
+func TestLoadCountsReferences(t *testing.T) {
+	d := newDeployment(t, 8, 1)
+	ctx := context.Background()
+	d.client.Insert(ctx, obj("a", "x", "y", "z"))
+	d.client.Insert(ctx, obj("b", "x"))
+	if got := d.servers[0].Load(); got != 4 {
+		t.Errorf("Load = %d, want 4 (3 + 1 keyword references)", got)
+	}
+}
+
+func TestStorageRedundancyVersusHypercube(t *testing.T) {
+	// The storage-redundancy claim of the paper: DII stores one
+	// reference per keyword per object, the hypercube scheme exactly
+	// one per object.
+	d := newDeployment(t, 10, 4)
+	ctx := context.Background()
+	totalKeywords := 0
+	for i := 0; i < 30; i++ {
+		words := []string{"w" + strconv.Itoa(i%7), "v" + strconv.Itoa(i%5), "u" + strconv.Itoa(i%3)}
+		totalKeywords += keyword.NewSet(words...).Len()
+		if _, err := d.client.Insert(ctx, obj("o"+strconv.Itoa(i), words...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := 0
+	for _, s := range d.servers {
+		load += s.Load()
+	}
+	if load != totalKeywords {
+		t.Errorf("total DII load = %d, want %d (sum of keyword-set sizes)", load, totalKeywords)
+	}
+}
+
+func TestHandlerRejectsUnknown(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Handler(context.Background(), "", 42); !errors.Is(err, core.ErrUnhandledMessage) {
+		t.Errorf("unknown message: %v", err)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+// Package keyword implements keyword sets and the hash mappings of the
+// hypercube index scheme: the uniform dimension hash h : W → {0..r-1}
+// and the node mapping F_h : 2^W → V of Section 3.3.
+package keyword
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+)
+
+// ErrEmptySet is returned when an operation requires a non-empty
+// keyword set.
+var ErrEmptySet = errors.New("keyword: empty keyword set")
+
+// Normalize canonicalizes a raw keyword: trimmed, lower-cased, and with
+// ASCII control characters removed. Objects and queries must agree on
+// keyword spelling for the deterministic mapping to work, so both go
+// through Normalize.
+func Normalize(raw string) string {
+	w := strings.ToLower(strings.TrimSpace(raw))
+	if strings.IndexFunc(w, isControl) < 0 {
+		return w
+	}
+	var b strings.Builder
+	b.Grow(len(w))
+	for _, r := range w {
+		if !isControl(r) {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func isControl(r rune) bool { return r < 0x20 || r == 0x7f }
+
+// Set is an immutable, deduplicated, sorted keyword set K ⊆ W.
+// The zero value is the empty set.
+type Set struct {
+	words []string
+}
+
+// NewSet builds a Set from raw keywords, normalizing and deduplicating.
+// Empty keywords (after normalization) are dropped.
+func NewSet(raw ...string) Set {
+	words := make([]string, 0, len(raw))
+	seen := make(map[string]bool, len(raw))
+	for _, r := range raw {
+		w := Normalize(r)
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return Set{words: words}
+}
+
+// Words returns the keywords in sorted order. The result is a copy.
+func (s Set) Words() []string {
+	out := make([]string, len(s.words))
+	copy(out, s.words)
+	return out
+}
+
+// Len returns |K|.
+func (s Set) Len() int { return len(s.words) }
+
+// IsEmpty reports whether the set has no keywords.
+func (s Set) IsEmpty() bool { return len(s.words) == 0 }
+
+// Has reports whether the set contains word (already-normalized form).
+func (s Set) Has(word string) bool {
+	i := sort.SearchStrings(s.words, word)
+	return i < len(s.words) && s.words[i] == word
+}
+
+// SubsetOf reports whether s ⊆ other (the paper's "other can be
+// described by s" relation when other is an object's keyword set).
+func (s Set) SubsetOf(other Set) bool {
+	if s.Len() > other.Len() {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.words) && j < len(other.words) {
+		switch {
+		case s.words[i] == other.words[j]:
+			i++
+			j++
+		case s.words[i] > other.words[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(s.words)
+}
+
+// Equal reports whether the two sets hold exactly the same keywords.
+func (s Set) Equal(other Set) bool {
+	if len(s.words) != len(other.words) {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ other.
+func (s Set) Union(other Set) Set {
+	return NewSet(append(s.Words(), other.words...)...)
+}
+
+// Diff returns the keywords of s not present in other.
+func (s Set) Diff(other Set) Set {
+	out := make([]string, 0, len(s.words))
+	for _, w := range s.words {
+		if !other.Has(w) {
+			out = append(out, w)
+		}
+	}
+	return Set{words: out}
+}
+
+// Key returns a canonical string encoding of the set, usable as a map
+// key and as the wire representation of keyword_set in index entries.
+// Keywords are joined with '\x1f' (unit separator), which Normalize
+// strips from keywords, so the encoding is unambiguous; ParseKey is the
+// inverse.
+func (s Set) Key() string {
+	return strings.Join(s.words, "\x1f")
+}
+
+// ParseKey reconstructs a Set from Key's encoding.
+func ParseKey(key string) Set {
+	if key == "" {
+		return Set{}
+	}
+	return NewSet(strings.Split(key, "\x1f")...)
+}
+
+// String renders the set as {a, b, c} for logs and errors.
+func (s Set) String() string {
+	return "{" + strings.Join(s.words, ", ") + "}"
+}
+
+// Hasher maps keywords to hypercube dimensions and keyword sets to
+// hypercube vertices. It implements h and F_h of Section 3.3 for a
+// fixed dimensionality r and seed. The same (r, seed) pair must be
+// shared by every node of a deployment.
+type Hasher struct {
+	r    int
+	seed uint64
+}
+
+// NewHasher returns a Hasher for an r-dimensional hypercube. The seed
+// perturbs h so that decomposed indexes (or unlucky vocabularies) can
+// use independent hash functions.
+func NewHasher(r int, seed uint64) (Hasher, error) {
+	if r < 1 || r > hypercube.MaxDim {
+		return Hasher{}, fmt.Errorf("keyword: dimension %d outside [1, %d]", r, hypercube.MaxDim)
+	}
+	return Hasher{r: r, seed: seed}, nil
+}
+
+// MustNewHasher is NewHasher for statically-known parameters.
+func MustNewHasher(r int, seed uint64) Hasher {
+	h, err := NewHasher(r, seed)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dim returns the hypercube dimensionality r.
+func (h Hasher) Dim() int { return h.r }
+
+// Seed returns the hash seed.
+func (h Hasher) Seed() uint64 { return h.seed }
+
+// Hash implements h(w): a uniform map from a keyword to a dimension in
+// {0, …, r-1}. It uses 64-bit FNV-1a over the seed and the normalized
+// keyword.
+func (h Hasher) Hash(word string) int {
+	f := fnv.New64a()
+	var seedBuf [8]byte
+	binary.LittleEndian.PutUint64(seedBuf[:], h.seed)
+	f.Write(seedBuf[:])   //nolint:errcheck // fnv never fails
+	f.Write([]byte(word)) //nolint:errcheck
+	return int(f.Sum64() % uint64(h.r))
+}
+
+// Vertex implements F_h(K): the hypercube vertex whose one-bits are the
+// hashed dimensions of K's keywords. The empty set maps to vertex 0.
+func (h Hasher) Vertex(k Set) hypercube.Vertex {
+	var v hypercube.Vertex
+	for _, w := range k.words {
+		v |= hypercube.Vertex(1) << uint(h.Hash(w))
+	}
+	return v
+}
+
+// Dimensions returns the distinct dimensions {h(w) : w ∈ K} in
+// ascending order; |Dimensions| = |One(F_h(K))|.
+func (h Hasher) Dimensions(k Set) []int {
+	return h.Vertex(k).One(h.r)
+}

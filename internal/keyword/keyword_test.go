@@ -1,0 +1,244 @@
+package keyword
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"  MP3 ", "mp3"},
+		{"News", "news"},
+		{"", ""},
+		{"a\x1fb", "ab"},
+		{"TVBS\n", "tvbs"},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewSetDedupAndSort(t *testing.T) {
+	s := NewSet("news", "ISP", "isp", "  Network ", "", "download")
+	want := []string{"download", "isp", "network", "news"}
+	if got := s.Words(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestSetHas(t *testing.T) {
+	s := NewSet("isp", "news")
+	if !s.Has("isp") || !s.Has("news") || s.Has("mp3") {
+		t.Error("Has membership wrong")
+	}
+	var empty Set
+	if empty.Has("isp") {
+		t.Error("empty set Has = true")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []string{"a"}, true},
+		{[]string{"a"}, nil, false},
+		{[]string{"a"}, []string{"a", "b"}, true},
+		{[]string{"a", "c"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "d"}, []string{"a", "b", "c"}, false},
+		{[]string{"a", "b"}, []string{"a", "b"}, true},
+	}
+	for _, tt := range tests {
+		a, b := NewSet(tt.a...), NewSet(tt.b...)
+		if got := a.SubsetOf(b); got != tt.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", a, b, got, tt.want)
+		}
+	}
+}
+
+func TestEqualUnionDiff(t *testing.T) {
+	a := NewSet("isp", "news")
+	b := NewSet("news", "isp")
+	if !a.Equal(b) {
+		t.Error("Equal failed on same sets")
+	}
+	c := NewSet("news", "mp3")
+	if a.Equal(c) {
+		t.Error("Equal true on different sets")
+	}
+	u := a.Union(c)
+	if got := u.Words(); !reflect.DeepEqual(got, []string{"isp", "mp3", "news"}) {
+		t.Errorf("Union = %v", got)
+	}
+	d := a.Diff(c)
+	if got := d.Words(); !reflect.DeepEqual(got, []string{"isp"}) {
+		t.Errorf("Diff = %v", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	sets := []Set{
+		{},
+		NewSet("isp"),
+		NewSet("isp", "telecommunication", "network", "download"),
+	}
+	for _, s := range sets {
+		got := ParseKey(s.Key())
+		if !got.Equal(s) {
+			t.Errorf("ParseKey(Key(%v)) = %v", s, got)
+		}
+	}
+}
+
+func TestNewHasherValidation(t *testing.T) {
+	if _, err := NewHasher(0, 0); err == nil {
+		t.Error("NewHasher(0) succeeded")
+	}
+	if _, err := NewHasher(65, 0); err == nil {
+		t.Error("NewHasher(65) succeeded")
+	}
+	h, err := NewHasher(10, 7)
+	if err != nil {
+		t.Fatalf("NewHasher: %v", err)
+	}
+	if h.Dim() != 10 || h.Seed() != 7 {
+		t.Errorf("Dim/Seed = %d/%d", h.Dim(), h.Seed())
+	}
+}
+
+func TestHashDeterministicAndInRange(t *testing.T) {
+	h := MustNewHasher(10, 42)
+	for i := 0; i < 1000; i++ {
+		w := "word" + strconv.Itoa(i)
+		d := h.Hash(w)
+		if d < 0 || d >= 10 {
+			t.Fatalf("Hash(%q) = %d out of range", w, d)
+		}
+		if d != h.Hash(w) {
+			t.Fatalf("Hash(%q) not deterministic", w)
+		}
+	}
+}
+
+func TestHashSeedChangesMapping(t *testing.T) {
+	h1 := MustNewHasher(16, 1)
+	h2 := MustNewHasher(16, 2)
+	diff := 0
+	for i := 0; i < 200; i++ {
+		w := "word" + strconv.Itoa(i)
+		if h1.Hash(w) != h2.Hash(w) {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Errorf("only %d/200 keywords moved under a different seed", diff)
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	const r, n = 16, 16000
+	h := MustNewHasher(r, 3)
+	counts := make([]int, r)
+	for i := 0; i < n; i++ {
+		counts[h.Hash("kw-"+strconv.Itoa(i))]++
+	}
+	// Each bucket expects n/r = 1000; allow ±25 %.
+	for d, c := range counts {
+		if c < 750 || c > 1250 {
+			t.Errorf("dimension %d received %d keywords, want ≈1000", d, c)
+		}
+	}
+}
+
+func TestVertexSetsHashedBits(t *testing.T) {
+	h := MustNewHasher(12, 9)
+	k := NewSet("isp", "news", "download")
+	v := h.Vertex(k)
+	wantBits := map[int]bool{}
+	for _, w := range k.Words() {
+		wantBits[h.Hash(w)] = true
+	}
+	if got := v.OnesCount(); got != len(wantBits) {
+		t.Errorf("OnesCount = %d, want %d", got, len(wantBits))
+	}
+	for _, d := range h.Dimensions(k) {
+		if !wantBits[d] {
+			t.Errorf("unexpected dimension %d set", d)
+		}
+	}
+	if h.Vertex(Set{}) != 0 {
+		t.Error("empty set must map to vertex 0")
+	}
+}
+
+func TestPropertySupersetMapsIntoSubcube(t *testing.T) {
+	// Lemma 3.1's basis: K1 ⊆ K2 implies F_h(K2) contains F_h(K1).
+	h := MustNewHasher(14, 5)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = "w" + strconv.Itoa(rng.Intn(200))
+		}
+		k2 := NewSet(words...)
+		// Random subset of k2.
+		sub := make([]string, 0, k2.Len())
+		for _, w := range k2.Words() {
+			if rng.Intn(2) == 0 {
+				sub = append(sub, w)
+			}
+		}
+		k1 := NewSet(sub...)
+		return h.Vertex(k2).Contains(h.Vertex(k1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVertexIsUnionOfBits(t *testing.T) {
+	// F_h(K1 ∪ K2) = F_h(K1) | F_h(K2).
+	h := MustNewHasher(10, 11)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Set {
+			n := rng.Intn(8)
+			ws := make([]string, n)
+			for i := range ws {
+				ws[i] = "t" + strconv.Itoa(rng.Intn(100))
+			}
+			return NewSet(ws...)
+		}
+		k1, k2 := mk(), mk()
+		return h.Vertex(k1.Union(k2)) == h.Vertex(k1)|h.Vertex(k2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertexWithinCube(t *testing.T) {
+	h := MustNewHasher(8, 0)
+	c := hypercube.MustNew(8)
+	for i := 0; i < 100; i++ {
+		k := NewSet("a"+strconv.Itoa(i), "b"+strconv.Itoa(i*3))
+		if !c.Valid(h.Vertex(k)) {
+			t.Fatalf("vertex for %v outside cube", k)
+		}
+	}
+}

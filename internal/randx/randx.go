@@ -1,0 +1,140 @@
+// Package randx provides seeded, deterministic samplers used by the
+// synthetic workload generators: a bounded Zipf sampler and a discrete
+// histogram sampler. All state is explicit; nothing reads global
+// randomness.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with P(rank k) ∝ 1/k^s, the distribution the
+// paper invokes for keyword frequency ("a few keywords occur very
+// often while many others occur rarely"). Unlike math/rand's Zipf it
+// exposes the exact PMF for analytic cross-checks.
+type Zipf struct {
+	n   int
+	s   float64
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over ranks 1..n with exponent s > 0.
+func NewZipf(rng *rand.Rand, n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("randx: zipf needs n ≥ 1, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("randx: zipf exponent must be positive, got %g", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		cum[k-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{n: n, s: s, cum: cum, rng: rng}, nil
+}
+
+// Sample draws a rank in [1, n].
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u) + 1
+}
+
+// PMF returns P(rank = k).
+func (z *Zipf) PMF(k int) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	if k == 1 {
+		return z.cum[0]
+	}
+	return z.cum[k-1] - z.cum[k-2]
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Histogram samples integer values with probabilities proportional to
+// the supplied weights. It backs the keyword-set-size distribution of
+// Figure 5.
+type Histogram struct {
+	values []int
+	cum    []float64
+	rng    *rand.Rand
+}
+
+// NewHistogram builds a sampler over values with the given
+// (unnormalized, non-negative) weights. At least one weight must be
+// positive.
+func NewHistogram(rng *rand.Rand, values []int, weights []float64) (*Histogram, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return nil, fmt.Errorf("randx: histogram needs matching non-empty values/weights, got %d/%d",
+			len(values), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("randx: invalid weight %g", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("randx: all histogram weights are zero")
+	}
+	h := &Histogram{
+		values: append([]int(nil), values...),
+		cum:    make([]float64, len(weights)),
+		rng:    rng,
+	}
+	run := 0.0
+	for i, w := range weights {
+		run += w / total
+		h.cum[i] = run
+	}
+	h.cum[len(h.cum)-1] = 1
+	return h, nil
+}
+
+// Sample draws one value.
+func (h *Histogram) Sample() int {
+	u := h.rng.Float64()
+	return h.values[sort.SearchFloat64s(h.cum, u)]
+}
+
+// Mean returns the expectation of the distribution.
+func (h *Histogram) Mean() float64 {
+	mean := 0.0
+	prev := 0.0
+	for i, c := range h.cum {
+		mean += float64(h.values[i]) * (c - prev)
+		prev = c
+	}
+	return mean
+}
+
+// SampleWithoutReplacement draws k distinct items from population
+// indices [0, n) using a partial Fisher-Yates shuffle. If k > n it
+// returns all n indices.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

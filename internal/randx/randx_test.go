@@ -1,0 +1,134 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(rng, 10, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewZipf(rng, 10, -1); err == nil {
+		t.Error("s<0 accepted")
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipf(rng, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for k := 1; k <= z.N(); k++ {
+		p := z.PMF(k)
+		if p <= 0 {
+			t.Fatalf("PMF(%d) = %g", k, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %g", sum)
+	}
+	if z.PMF(0) != 0 || z.PMF(101) != 0 {
+		t.Error("out-of-range PMF nonzero")
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z, _ := NewZipf(rng, 1000, 1.0)
+	counts := make(map[int]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	// Rank 1 must be far more frequent than rank 100.
+	if counts[1] < 10*counts[100] {
+		t.Errorf("rank1=%d rank100=%d — not Zipf-skewed", counts[1], counts[100])
+	}
+	// Empirical frequency of rank 1 ≈ PMF(1).
+	emp := float64(counts[1]) / n
+	if math.Abs(emp-z.PMF(1)) > 0.01 {
+		t.Errorf("empirical P(1)=%g, analytic %g", emp, z.PMF(1))
+	}
+}
+
+func TestZipfDeterministicWithSeed(t *testing.T) {
+	a, _ := NewZipf(rand.New(rand.NewSource(7)), 50, 1.2)
+	b, _ := NewZipf(rand.New(rand.NewSource(7)), 50, 1.2)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewHistogram(rng, nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewHistogram(rng, []int{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewHistogram(rng, []int{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewHistogram(rng, []int{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewHistogram(rng, []int{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestHistogramMeanAndSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := NewHistogram(rng, []int{1, 2, 3}, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h.Mean(), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	counts := map[int]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[h.Sample()]++
+	}
+	if counts[1]+counts[2]+counts[3] != n {
+		t.Fatal("samples outside support")
+	}
+	if math.Abs(float64(counts[2])/n-0.5) > 0.02 {
+		t.Errorf("P(2) empirical = %g, want 0.5", float64(counts[2])/n)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	got := SampleWithoutReplacement(rng, 10, 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	// k > n clamps.
+	if got := SampleWithoutReplacement(rng, 3, 10); len(got) != 3 {
+		t.Errorf("clamp failed: %d", len(got))
+	}
+}

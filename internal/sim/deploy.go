@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+)
+
+// Deployment is a live in-memory index deployment with one physical
+// node per logical hypercube vertex, the configuration of the paper's
+// query experiments (Figures 8 and 9).
+type Deployment struct {
+	R       int
+	Net     *inmem.Network
+	Hasher  keyword.Hasher
+	Servers []*core.Server // indexed by vertex
+	Client  *core.Client
+}
+
+// NewDeployment builds a 2^r-node deployment. cacheCapacity is the
+// per-node FIFO cache size in object-ID units (0 disables caching).
+func NewDeployment(r, cacheCapacity int) (*Deployment, error) {
+	if r < 1 || r > 16 {
+		return nil, fmt.Errorf("sim: deployment r=%d outside the tractable range [1, 16]", r)
+	}
+	net := inmem.New(1)
+	hasher := keyword.MustNewHasher(r, HashSeed)
+	size := 1 << uint(r)
+	addrs := make([]transport.Addr, size)
+	for v := range addrs {
+		addrs[v] = transport.Addr("v" + strconv.Itoa(v))
+	}
+	resolver := core.FuncResolver(func(v hypercube.Vertex) transport.Addr {
+		return addrs[int(v)]
+	})
+	servers := make([]*core.Server, size)
+	for v := range servers {
+		srv, err := core.NewServer(core.ServerConfig{
+			Hasher:        hasher,
+			Resolver:      resolver,
+			Sender:        net,
+			CacheCapacity: cacheCapacity,
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		servers[v] = srv
+		if _, err := net.Bind(addrs[v], srv.Handler); err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	client, err := core.NewClient(hasher, resolver, net)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &Deployment{R: r, Net: net, Hasher: hasher, Servers: servers, Client: client}, nil
+}
+
+// Close releases the deployment's network.
+func (d *Deployment) Close() { d.Net.Close() }
+
+// InsertCorpus indexes every record of the corpus.
+func (d *Deployment) InsertCorpus(c *corpus.Corpus) error {
+	ctx := context.Background()
+	for _, rec := range c.Records() {
+		if _, err := d.Client.Insert(ctx, core.Object{ID: rec.ID, Keywords: rec.Keywords}); err != nil {
+			return fmt.Errorf("index record %s: %w", rec.ID, err)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the number of logical (= physical) nodes, 2^r.
+func (d *Deployment) Nodes() int { return 1 << uint(d.R) }

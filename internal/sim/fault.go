@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/invindex"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// FaultPoint is one measurement of the fault-tolerance study: with a
+// fraction of the 2^r nodes crash-stopped, how much of the ground
+// truth each scheme still returns.
+type FaultPoint struct {
+	FailedFrac float64
+	// HyperRecall is the average fraction of matching objects the
+	// hypercube scheme still returns, over queries it can answer at
+	// all (searches degrade gracefully: failed subtree nodes are
+	// skipped and roughly the failed fraction of entries is hidden).
+	HyperRecall float64
+	// HyperBlocked is the fraction of queries that return nothing at
+	// all (root vertex on a failed node).
+	HyperBlocked float64
+	// DIIBlocked is the fraction of queries the inverted-index
+	// baseline cannot answer at all: a query is blocked as soon as ANY
+	// of its keywords' posting-list nodes is down, the paper's
+	// "failure blocks all queries involving this keyword" argument.
+	DIIBlocked float64
+	Queries    int
+}
+
+// FaultTolerance measures both schemes' behaviour under increasing
+// node failures. Failures are drawn per point from seed, with each
+// point an independent deployment (crash-stop, no replication — the
+// study isolates the index structure's intrinsic tolerance).
+func FaultTolerance(c *corpus.Corpus, r int, queries []keyword.Set, failedFracs []float64, seed int64) ([]FaultPoint, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("sim: fault study needs queries")
+	}
+	points := make([]FaultPoint, 0, len(failedFracs))
+	for pi, frac := range failedFracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("sim: failed fraction %g outside [0, 1)", frac)
+		}
+		pt, err := faultPoint(c, r, queries, frac, seed+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func faultPoint(c *corpus.Corpus, r int, queries []keyword.Set, frac float64, seed int64) (FaultPoint, error) {
+	d, err := NewDeployment(r, 0)
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	defer d.Close()
+	if err := d.InsertCorpus(c); err != nil {
+		return FaultPoint{}, err
+	}
+
+	// DII baseline on its own fleet over the same network.
+	diiAddrs := make([]transport.Addr, d.Nodes())
+	for v := range diiAddrs {
+		diiAddrs[v] = transport.Addr("dii" + strconv.Itoa(v))
+	}
+	diiResolver := core.FuncResolver(func(v hypercube.Vertex) transport.Addr {
+		return diiAddrs[int(v)]
+	})
+	for v := range diiAddrs {
+		if _, err := d.Net.Bind(diiAddrs[v], invindex.NewServer().Handler); err != nil {
+			return FaultPoint{}, err
+		}
+	}
+	diiClient, err := invindex.NewClient(r, diiResolver, d.Net)
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	ctx := context.Background()
+	for _, rec := range c.Records() {
+		if _, err := diiClient.Insert(ctx, core.Object{ID: rec.ID, Keywords: rec.Keywords}); err != nil {
+			return FaultPoint{}, err
+		}
+	}
+
+	// Ground truth before failures.
+	truth := make([]int, len(queries))
+	for qi, q := range queries {
+		res, err := d.Client.SupersetSearch(ctx, q, core.All, core.SearchOptions{NoCache: true})
+		if err != nil {
+			return FaultPoint{}, err
+		}
+		truth[qi] = len(res.Matches)
+	}
+
+	// Crash-stop a random fraction of the logical nodes — the same
+	// node indices for both schemes, for a paired comparison.
+	rng := rand.New(rand.NewSource(seed))
+	failed := int(frac * float64(d.Nodes()))
+	for _, v := range pickDistinct(rng, d.Nodes(), failed) {
+		d.Net.SetDown(transport.Addr("v"+strconv.Itoa(v)), true)
+		d.Net.SetDown(diiAddrs[v], true)
+	}
+
+	pt := FaultPoint{FailedFrac: frac}
+	counted, answered := 0, 0
+	for qi, q := range queries {
+		if truth[qi] == 0 {
+			continue
+		}
+		counted++
+		res, err := d.Client.SupersetSearch(ctx, q, core.All, core.SearchOptions{NoCache: true})
+		if err != nil {
+			pt.HyperBlocked++
+		} else {
+			answered++
+			pt.HyperRecall += float64(len(res.Matches)) / float64(truth[qi])
+		}
+		if _, _, err := diiClient.Search(ctx, q); err != nil {
+			pt.DIIBlocked++
+		}
+	}
+	if counted == 0 {
+		return FaultPoint{}, fmt.Errorf("sim: no result-bearing queries for fault study")
+	}
+	pt.Queries = counted
+	if answered > 0 {
+		pt.HyperRecall /= float64(answered)
+	}
+	pt.HyperBlocked /= float64(counted)
+	pt.DIIBlocked /= float64(counted)
+	return pt, nil
+}
+
+// pickDistinct returns k distinct ints in [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	idx := rng.Perm(n)
+	return idx[:k]
+}
+
+// RenderFaultStudy prints the fault-tolerance comparison.
+func RenderFaultStudy(w interface{ Write([]byte) (int, error) }, r int, points []FaultPoint) {
+	fmt.Fprintf(w, "Fault tolerance (r=%d) — recall under crash-stop failures, no replication\n", r)
+	fmt.Fprintf(w, "%-10s %-14s %-14s %-12s %s\n",
+		"failed", "hyper recall", "hyper blocked", "DII blocked", "queries")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-9.1f%% %-13.1f%% %-13.1f%% %-11.1f%% %d\n",
+			100*p.FailedFrac, 100*p.HyperRecall, 100*p.HyperBlocked, 100*p.DIIBlocked, p.Queries)
+	}
+}
+
+// FaultStudyQueries samples result-bearing study queries from a query
+// log: popular templates of sizes 1..3.
+func FaultStudyQueries(log *corpus.QueryLog, perSize int) []keyword.Set {
+	var out []keyword.Set
+	for m := 1; m <= 3; m++ {
+		out = append(out, log.PopularOfSize(m, perSize)...)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+)
+
+func TestFaultToleranceHypercubeDegradesGracefully(t *testing.T) {
+	c := testCorpus(t, 4000)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries: 500, Templates: 120, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := FaultStudyQueries(log, 5)
+	if len(queries) < 6 {
+		t.Fatalf("too few study queries: %d", len(queries))
+	}
+	points, err := FaultTolerance(c, 8, queries, []float64{0, 0.1, 0.3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// No failures: full recall, nothing blocked.
+	if points[0].HyperRecall < 0.999 || points[0].HyperBlocked != 0 || points[0].DIIBlocked != 0 {
+		t.Errorf("baseline point = %+v", points[0])
+	}
+	// With failures: hypercube recall degrades but stays substantial;
+	// blocking grows monotonically for both schemes.
+	p30 := points[2]
+	// Answered queries lose roughly the failed fraction of entries.
+	if p30.HyperRecall < 0.5 {
+		t.Errorf("hyper recall at 30%% failures = %.2f, want graceful degradation", p30.HyperRecall)
+	}
+	if p30.HyperRecall > 0.999 {
+		t.Errorf("hyper recall at 30%% failures = %.2f — failure injection had no effect", p30.HyperRecall)
+	}
+	// The paper's claim: DII blocks far more queries than the
+	// hypercube scheme, because one dead keyword node kills every
+	// query using that keyword, while the hypercube only loses a query
+	// entirely when its root vertex dies.
+	if p30.DIIBlocked <= p30.HyperBlocked {
+		t.Errorf("DII blocked %.2f ≤ hypercube blocked %.2f — expected DII to block more",
+			p30.DIIBlocked, p30.HyperBlocked)
+	}
+}
+
+func TestFaultToleranceValidation(t *testing.T) {
+	c := testCorpus(t, 200)
+	if _, err := FaultTolerance(c, 6, nil, []float64{0}, 1); err == nil {
+		t.Error("no queries accepted")
+	}
+	log, _ := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 50, Templates: 10, Seed: 1})
+	qs := FaultStudyQueries(log, 2)
+	if _, err := FaultTolerance(c, 6, qs, []float64{1.5}, 1); err == nil {
+		t.Error("bad fraction accepted")
+	}
+}
+
+func TestRenderFaultStudy(t *testing.T) {
+	var sb strings.Builder
+	RenderFaultStudy(&sb, 8, []FaultPoint{{FailedFrac: 0.1, HyperRecall: 0.9, DIIBlocked: 0.4, Queries: 10}})
+	if !strings.Contains(sb.String(), "Fault tolerance") {
+		t.Error("missing header")
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+)
+
+func TestHotSpotsDIIConcentratesQueryLoad(t *testing.T) {
+	c := testCorpus(t, 8000)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries: 20000, Templates: 500, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HotSpots(log, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both schemes see every query.
+	if res.Hyper.Total != log.Len() {
+		t.Errorf("hypercube arrivals = %d, want %d", res.Hyper.Total, log.Len())
+	}
+	if res.DII.Total < log.Len() {
+		t.Errorf("DII arrivals = %d, want ≥ %d (one per query keyword)", res.DII.Total, log.Len())
+	}
+	// The paper's §3.4 caveat, quantified: the hypercube's hottest
+	// node carries roughly the most popular template's repeat traffic
+	// (one exact keyword set → one root), no more.
+	if res.HyperTopNodeShare > res.TopTemplateShare*1.5+0.02 {
+		t.Errorf("hypercube top node %.3f far exceeds top template share %.3f",
+			res.HyperTopNodeShare, res.TopTemplateShare)
+	}
+	if res.HyperServingNodes == 0 || res.DIIServingNodes == 0 {
+		t.Error("no serving nodes counted")
+	}
+}
+
+func TestHotSpotsValidation(t *testing.T) {
+	c := testCorpus(t, 200)
+	log, _ := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 50, Templates: 10, Seed: 1})
+	if _, err := HotSpots(log, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+}
+
+func TestRenderHotSpots(t *testing.T) {
+	var sb strings.Builder
+	RenderHotSpots(&sb, HotSpotResult{R: 10})
+	if !strings.Contains(sb.String(), "Hot spots") {
+		t.Error("missing header")
+	}
+}

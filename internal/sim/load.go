@@ -1,0 +1,209 @@
+// Package sim is the experiment harness reproducing the paper's
+// Section 4 evaluation: load-distribution studies (Figures 5–7) as
+// offline computations over a corpus, and query-performance studies
+// (Figures 8–9, Section 3.5 costs) over live in-memory deployments of
+// the index.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/p2pkeyword/keysearch/internal/analytic"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/invindex"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// HashSeed is the keyword-hash seed shared by all experiments so that
+// every figure sees the same mapping.
+const HashSeed = 20050607
+
+// Fig5Result is the keyword-set-size distribution of Figure 5.
+type Fig5Result struct {
+	// Hist[s] is the number of objects with exactly s keywords.
+	Hist []int
+	// Mean is the average keyword-set size (the paper reports 7.3).
+	Mean float64
+}
+
+// Fig5 computes the Figure 5 distribution for a corpus.
+func Fig5(c *corpus.Corpus) Fig5Result {
+	return Fig5Result{Hist: c.SizeHistogram(), Mean: c.MeanKeywords()}
+}
+
+// LoadScheme identifies one indexing scheme of the Figure 6 study.
+type LoadScheme string
+
+// The Figure 6 schemes.
+const (
+	SchemeHypercube LoadScheme = "hypercube" // the paper's index
+	SchemeDHT       LoadScheme = "DHT"       // objects hashed directly to nodes
+	SchemeDII       LoadScheme = "DII"       // distributed inverted index
+)
+
+// LoadCurve is one Figure 6 line: per-node loads under one scheme.
+type LoadCurve struct {
+	Scheme LoadScheme
+	R      int
+	// Loads holds the number of object references each of the 2^r
+	// logical nodes stores, sorted heaviest first.
+	Loads []int
+	// Total is the sum of Loads.
+	Total int
+}
+
+// CumulativeShare returns the fraction of total load held by the
+// heaviest fracNodes fraction of nodes — points of the Figure 6
+// curves. A perfectly balanced scheme returns fracNodes.
+func (lc LoadCurve) CumulativeShare(fracNodes float64) float64 {
+	if lc.Total == 0 || len(lc.Loads) == 0 {
+		return 0
+	}
+	n := int(math.Round(fracNodes * float64(len(lc.Loads))))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(lc.Loads) {
+		n = len(lc.Loads)
+	}
+	sum := 0
+	for _, v := range lc.Loads[:n] {
+		sum += v
+	}
+	return float64(sum) / float64(lc.Total)
+}
+
+// Gini returns the Gini coefficient of the load distribution
+// (0 = perfectly balanced, →1 = concentrated), a scalar summary used
+// by tests and the ablation benches.
+func (lc LoadCurve) Gini() float64 {
+	n := len(lc.Loads)
+	if n == 0 || lc.Total == 0 {
+		return 0
+	}
+	// Loads are sorted descending; Gini over the sorted sequence.
+	asc := make([]int, n)
+	copy(asc, lc.Loads)
+	sort.Ints(asc)
+	cum := 0.0
+	weighted := 0.0
+	for i, v := range asc {
+		cum += float64(v)
+		weighted += float64(i+1) * float64(v)
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}
+
+// Fig6Load computes one Figure 6 curve: the per-node load of the given
+// scheme at dimensionality r.
+func Fig6Load(c *corpus.Corpus, scheme LoadScheme, r int) (LoadCurve, error) {
+	if r < 1 || r > 24 {
+		return LoadCurve{}, fmt.Errorf("sim: r=%d outside the tractable range [1, 24]", r)
+	}
+	hasher := keyword.MustNewHasher(r, HashSeed)
+	size := 1 << uint(r)
+	loads := make([]int, size)
+	mask := hypercube.MustNew(r).Mask()
+
+	switch scheme {
+	case SchemeHypercube:
+		for _, rec := range c.Records() {
+			loads[hasher.Vertex(rec.Keywords)]++
+		}
+	case SchemeDHT:
+		for _, rec := range c.Records() {
+			loads[hypercube.Vertex(dht.HashString("obj:"+rec.ID))&mask]++
+		}
+	case SchemeDII:
+		for w, freq := range c.KeywordFrequencies() {
+			loads[invindex.NodeFor(w, r)] += freq
+		}
+	default:
+		return LoadCurve{}, fmt.Errorf("sim: unknown load scheme %q", scheme)
+	}
+
+	total := 0
+	for _, v := range loads {
+		total += v
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	return LoadCurve{Scheme: scheme, R: r, Loads: loads, Total: total}, nil
+}
+
+// Fig7Result holds one Figure 7 chart: node and object distributions
+// over the number of one-bits x for a fixed r.
+type Fig7Result struct {
+	R int
+	// NodePMF[x] is the fraction of hypercube vertices with x one-bits
+	// (binomial with mean r/2).
+	NodePMF []float64
+	// ObjectPMF[x] is the measured fraction of objects indexed at
+	// vertices with x one-bits.
+	ObjectPMF []float64
+	// AnalyticObjectPMF[x] is the Equation (1) prediction derived from
+	// the corpus's keyword-set-size distribution.
+	AnalyticObjectPMF []float64
+}
+
+// Fig7 computes the object-versus-node distribution study for one r.
+func Fig7(c *corpus.Corpus, r int) (Fig7Result, error) {
+	if r < 1 || r > 64 {
+		return Fig7Result{}, fmt.Errorf("sim: r=%d out of range", r)
+	}
+	hasher := keyword.MustNewHasher(r, HashSeed)
+	res := Fig7Result{
+		R:                 r,
+		NodePMF:           make([]float64, r+1),
+		ObjectPMF:         make([]float64, r+1),
+		AnalyticObjectPMF: make([]float64, r+1),
+	}
+	for x := 0; x <= r; x++ {
+		p, err := analytic.NodeOnesPMF(r, x)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.NodePMF[x] = p
+	}
+	for _, rec := range c.Records() {
+		res.ObjectPMF[hasher.Vertex(rec.Keywords).OnesCount()]++
+	}
+	n := float64(c.Len())
+	for x := range res.ObjectPMF {
+		res.ObjectPMF[x] /= n
+	}
+	sizePMF := c.SizePMF()
+	for x := 0; x <= r; x++ {
+		p, err := analytic.ObjectOnesPMF(r, sizePMF, x)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.AnalyticObjectPMF[x] = p
+	}
+	return res, nil
+}
+
+// TotalVariation returns ½·Σ|p−q| between two distributions, used to
+// quantify how close the object distribution is to the node
+// distribution (the paper's criterion for choosing r).
+func TotalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		var pv, qv float64
+		if i < len(p) {
+			pv = p[i]
+		}
+		if i < len(q) {
+			qv = q[i]
+		}
+		sum += math.Abs(pv - qv)
+	}
+	return sum / 2
+}

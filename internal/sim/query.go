@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// Fig8Line is one Figure 8 series: for queries of size m on an
+// r-dimensional deployment, the average fraction of hypercube nodes
+// contacted to reach each recall level.
+type Fig8Line struct {
+	R, M      int
+	Recalls   []float64
+	NodesFrac []float64
+	// Queries is the number of result-bearing queries averaged.
+	Queries int
+}
+
+// Fig8 measures cacheless query performance: each query is run
+// exhaustively with tracing, and the trace yields the number of nodes
+// that had to be contacted to collect every recall fraction of the
+// matching objects.
+func Fig8(d *Deployment, queries []keyword.Set, recalls []float64) (Fig8Line, error) {
+	if len(queries) == 0 || len(recalls) == 0 {
+		return Fig8Line{}, fmt.Errorf("sim: fig8 needs queries and recall levels")
+	}
+	ctx := context.Background()
+	totalNodes := float64(d.Nodes())
+	sums := make([]float64, len(recalls))
+	counted := 0
+	m := queries[0].Len()
+	for _, q := range queries {
+		res, err := d.Client.SupersetSearch(ctx, q, core.All, core.SearchOptions{NoCache: true, Trace: true})
+		if err != nil {
+			return Fig8Line{}, fmt.Errorf("fig8 query %v: %w", q, err)
+		}
+		total := len(res.Matches)
+		if total == 0 {
+			continue
+		}
+		counted++
+		for ri, recall := range recalls {
+			// At 100 % recall the searcher cannot know it has every
+			// match until the subhypercube is exhausted, so the full
+			// traversal is charged (the paper's ≈2^-m observation);
+			// below 100 % the traversal stops at the target count.
+			steps := len(res.Trace)
+			if recall < 1 {
+				target := int(math.Ceil(recall * float64(total)))
+				if target < 1 {
+					target = 1
+				}
+				steps = 0
+				cum := 0
+				for _, st := range res.Trace {
+					steps++
+					cum += st.Matches
+					if cum >= target {
+						break
+					}
+				}
+			}
+			sums[ri] += float64(steps) / totalNodes
+		}
+	}
+	if counted == 0 {
+		return Fig8Line{}, fmt.Errorf("sim: fig8 found no result-bearing queries")
+	}
+	line := Fig8Line{R: d.R, M: m, Recalls: recalls, NodesFrac: make([]float64, len(recalls)), Queries: counted}
+	for ri := range recalls {
+		line.NodesFrac[ri] = sums[ri] / float64(counted)
+	}
+	return line, nil
+}
+
+// Fig9Point is one Figure 9 measurement: with per-node cache capacity
+// α · |O| / 2^r, the average fraction of nodes contacted per query
+// over a replayed query log at a fixed recall rate.
+type Fig9Point struct {
+	Alpha         float64
+	CacheCapacity int
+	AvgNodesFrac  float64
+	HitRate       float64
+	Queries       int
+}
+
+// Fig9 replays the query log against deployments with increasing cache
+// capacity. maxQueries bounds the replay length (0 = full log).
+func Fig9(c *corpus.Corpus, log *corpus.QueryLog, r int, alphas []float64, recall float64, maxQueries int) ([]Fig9Point, error) {
+	if recall <= 0 || recall > 1 {
+		return nil, fmt.Errorf("sim: recall %g outside (0, 1]", recall)
+	}
+	queries := log.Queries()
+	if maxQueries > 0 && maxQueries < len(queries) {
+		queries = queries[:maxQueries]
+	}
+	points := make([]Fig9Point, 0, len(alphas))
+	for _, alpha := range alphas {
+		capacity := int(alpha * float64(c.Len()) / float64(int(1)<<uint(r)))
+		pt, err := fig9Once(c, queries, log, r, capacity, recall)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 alpha %g: %w", alpha, err)
+		}
+		pt.Alpha = alpha
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func fig9Once(c *corpus.Corpus, queries []corpus.Query, log *corpus.QueryLog, r, capacity int, recall float64) (Fig9Point, error) {
+	d, err := NewDeployment(r, capacity)
+	if err != nil {
+		return Fig9Point{}, err
+	}
+	defer d.Close()
+	if err := d.InsertCorpus(c); err != nil {
+		return Fig9Point{}, err
+	}
+	ctx := context.Background()
+	totalNodes := float64(d.Nodes())
+	var (
+		sumFrac float64
+		hits    int
+		counted int
+	)
+	for _, q := range queries {
+		total := log.ResultSize(q.Template)
+		if total == 0 {
+			continue
+		}
+		threshold := int(math.Ceil(recall * float64(total)))
+		if threshold < 1 {
+			threshold = 1
+		}
+		res, err := d.Client.SupersetSearch(ctx, q.Keywords, threshold, core.SearchOptions{})
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("replay query %v: %w", q.Keywords, err)
+		}
+		counted++
+		sumFrac += float64(res.Stats.NodesContacted) / totalNodes
+		if res.Stats.CacheHit {
+			hits++
+		}
+	}
+	if counted == 0 {
+		return Fig9Point{}, fmt.Errorf("sim: fig9 replay had no result-bearing queries")
+	}
+	return Fig9Point{
+		CacheCapacity: capacity,
+		AvgNodesFrac:  sumFrac / float64(counted),
+		HitRate:       float64(hits) / float64(counted),
+		Queries:       counted,
+	}, nil
+}
+
+// OpCost summarizes the Section 3.5 cost of one operation type.
+type OpCost struct {
+	Op          string
+	AvgMessages float64
+	AvgNodes    float64
+	Samples     int
+}
+
+// OpCosts measures insert, pin-search and delete costs over a sample
+// of corpus records, verifying the paper's single-lookup claims.
+func OpCosts(d *Deployment, c *corpus.Corpus, samples int) ([]OpCost, error) {
+	records := c.Records()
+	if samples <= 0 || samples > len(records) {
+		samples = len(records)
+	}
+	ctx := context.Background()
+	var insertMsgs, pinMsgs, deleteMsgs, insertNodes, pinNodes, deleteNodes int
+	for i := 0; i < samples; i++ {
+		rec := records[i]
+		o := core.Object{ID: rec.ID + "-opcost", Keywords: rec.Keywords}
+		st, err := d.Client.Insert(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		insertMsgs += st.Messages
+		insertNodes += st.NodesContacted
+		_, st, err = d.Client.PinSearch(ctx, o.Keywords)
+		if err != nil {
+			return nil, err
+		}
+		pinMsgs += st.Messages
+		pinNodes += st.NodesContacted
+		_, st, err = d.Client.Delete(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		deleteMsgs += st.Messages
+		deleteNodes += st.NodesContacted
+	}
+	n := float64(samples)
+	return []OpCost{
+		{Op: "insert", AvgMessages: float64(insertMsgs) / n, AvgNodes: float64(insertNodes) / n, Samples: samples},
+		{Op: "pin-search", AvgMessages: float64(pinMsgs) / n, AvgNodes: float64(pinNodes) / n, Samples: samples},
+		{Op: "delete", AvgMessages: float64(deleteMsgs) / n, AvgNodes: float64(deleteNodes) / n, Samples: samples},
+	}, nil
+}
+
+// TraversalCost compares the three traversal orders on the same query
+// and threshold (the ablation study for the Section 3.3/3.5 design
+// choices).
+type TraversalCost struct {
+	Order   core.TraversalOrder
+	Nodes   int
+	Msgs    int
+	Rounds  int
+	Matches int
+}
+
+// CompareTraversals runs the query once per traversal order.
+func CompareTraversals(d *Deployment, q keyword.Set, threshold int) ([]TraversalCost, error) {
+	ctx := context.Background()
+	out := make([]TraversalCost, 0, 3)
+	for _, order := range []core.TraversalOrder{core.TopDown, core.BottomUp, core.ParallelLevels} {
+		res, err := d.Client.SupersetSearch(ctx, q, threshold, core.SearchOptions{Order: order, NoCache: true})
+		if err != nil {
+			return nil, fmt.Errorf("traversal %v: %w", order, err)
+		}
+		out = append(out, TraversalCost{
+			Order:   order,
+			Nodes:   res.Stats.NodesContacted,
+			Msgs:    res.Stats.Messages,
+			Rounds:  res.Stats.Rounds,
+			Matches: len(res.Matches),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rendering helpers shared by cmd/ksbench and the benchmark harness:
+// each figure gets a plain-text table whose rows mirror the series the
+// paper plots.
+
+// RenderFig5 prints the keyword-set-size distribution.
+func RenderFig5(w io.Writer, res Fig5Result) {
+	fmt.Fprintf(w, "Figure 5 — keyword-set-size distribution (mean %.2f keywords/object)\n", res.Mean)
+	fmt.Fprintf(w, "%-6s %-10s %s\n", "size", "objects", "share")
+	total := 0
+	for _, n := range res.Hist {
+		total += n
+	}
+	for s, n := range res.Hist {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-6d %-10d %6.2f%%  %s\n", s, n, 100*float64(n)/float64(total),
+			bar(float64(n)/float64(total), 40))
+	}
+}
+
+// RenderFig6 prints cumulative load-share curves: for each scheme, the
+// share of object references held by the heaviest x%% of nodes.
+func RenderFig6(w io.Writer, curves []LoadCurve, fracs []float64) {
+	fmt.Fprintln(w, "Figure 6 — load distribution (cumulative % of object references on the heaviest nodes)")
+	header := fmt.Sprintf("%-16s", "scheme")
+	for _, f := range fracs {
+		header += fmt.Sprintf(" %7.0f%%", 100*f)
+	}
+	header += fmt.Sprintf(" %8s", "Gini")
+	fmt.Fprintln(w, header)
+	fmt.Fprintf(w, "%-16s", "perfect")
+	for _, f := range fracs {
+		fmt.Fprintf(w, " %7.1f%%", 100*f)
+	}
+	fmt.Fprintf(w, " %8.3f\n", 0.0)
+	for _, c := range curves {
+		fmt.Fprintf(w, "%-16s", fmt.Sprintf("%s-%d", c.Scheme, c.R))
+		for _, f := range fracs {
+			fmt.Fprintf(w, " %7.1f%%", 100*c.CumulativeShare(f))
+		}
+		fmt.Fprintf(w, " %8.3f\n", c.Gini())
+	}
+}
+
+// RenderFig7 prints the node-versus-object distribution for one r.
+func RenderFig7(w io.Writer, res Fig7Result) {
+	fmt.Fprintf(w, "Figure 7 (r=%d) — %% of nodes / objects at each |One(u)| = x\n", res.R)
+	fmt.Fprintf(w, "%-4s %9s %9s %9s\n", "x", "nodes", "objects", "Eq(1)")
+	for x := 0; x <= res.R; x++ {
+		if res.NodePMF[x] < 1e-6 && res.ObjectPMF[x] < 1e-6 {
+			continue
+		}
+		fmt.Fprintf(w, "%-4d %8.2f%% %8.2f%% %8.2f%%\n",
+			x, 100*res.NodePMF[x], 100*res.ObjectPMF[x], 100*res.AnalyticObjectPMF[x])
+	}
+	fmt.Fprintf(w, "total variation (node vs object): %.4f\n",
+		TotalVariation(res.NodePMF, res.ObjectPMF))
+}
+
+// RenderFig8 prints nodes-contacted-versus-recall lines.
+func RenderFig8(w io.Writer, lines []Fig8Line) {
+	fmt.Fprintln(w, "Figure 8 — cacheless query performance (% of nodes contacted vs recall)")
+	if len(lines) == 0 {
+		return
+	}
+	header := fmt.Sprintf("%-10s", "r / m")
+	for _, rc := range lines[0].Recalls {
+		header += fmt.Sprintf(" %7.0f%%", 100*rc)
+	}
+	fmt.Fprintln(w, header)
+	for _, l := range lines {
+		fmt.Fprintf(w, "%-10s", fmt.Sprintf("r=%d m=%d", l.R, l.M))
+		for _, f := range l.NodesFrac {
+			fmt.Fprintf(w, " %7.3f%%", 100*f)
+		}
+		fmt.Fprintf(w, "   (2^-m = %.3f%%, %d queries)\n", 100/float64(int(1)<<uint(l.M)), l.Queries)
+	}
+}
+
+// RenderFig9 prints the cache study.
+func RenderFig9(w io.Writer, r int, recall float64, points []Fig9Point) {
+	fmt.Fprintf(w, "Figure 9 — query performance with cache (r=%d, recall %.0f%%)\n", r, 100*recall)
+	fmt.Fprintf(w, "%-8s %-10s %-14s %-10s %s\n", "alpha", "capacity", "avg %nodes", "hit rate", "queries")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8.3f %-10d %-13.3f%% %-9.1f%% %d\n",
+			p.Alpha, p.CacheCapacity, 100*p.AvgNodesFrac, 100*p.HitRate, p.Queries)
+	}
+}
+
+// RenderOpCosts prints the Section 3.5 operation-cost table.
+func RenderOpCosts(w io.Writer, costs []OpCost) {
+	fmt.Fprintln(w, "Section 3.5 — operation costs")
+	fmt.Fprintf(w, "%-12s %-12s %-10s %s\n", "op", "avg msgs", "avg nodes", "samples")
+	for _, c := range costs {
+		fmt.Fprintf(w, "%-12s %-12.2f %-10.2f %d\n", c.Op, c.AvgMessages, c.AvgNodes, c.Samples)
+	}
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width) * 4)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

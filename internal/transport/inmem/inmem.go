@@ -1,0 +1,195 @@
+// Package inmem provides a deterministic in-process transport.Network.
+// Message delivery is a synchronous function call guarded by a snapshot
+// of the routing table, which keeps simulations reproducible and fast
+// while still exercising the full request/response protocol. The
+// network counts traffic and supports failure injection (downed nodes,
+// probabilistic drops, partitions) for fault-tolerance tests.
+package inmem
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Stats is a snapshot of network traffic counters.
+type Stats struct {
+	// Messages is the total number of requests delivered (or attempted).
+	Messages uint64
+	// Failures is the number of sends that failed (unreachable/dropped).
+	Failures uint64
+	// ByType counts delivered requests keyed by the %T of the body.
+	ByType map[string]uint64
+}
+
+// Network is an in-memory transport.Network. The zero value is not
+// usable; construct with New.
+type Network struct {
+	mu       sync.Mutex
+	closed   bool
+	handlers map[transport.Addr]transport.Handler
+	down     map[transport.Addr]bool
+	blocked  map[[2]transport.Addr]bool
+	dropProb float64
+	rng      *rand.Rand
+
+	messages uint64
+	failures uint64
+	byType   map[reflect.Type]uint64
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New returns an empty in-memory network. seed drives probabilistic
+// message dropping only; with DropProb 0 the network is fully
+// deterministic.
+func New(seed int64) *Network {
+	return &Network{
+		handlers: make(map[transport.Addr]transport.Handler),
+		down:     make(map[transport.Addr]bool),
+		blocked:  make(map[[2]transport.Addr]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+		byType:   make(map[reflect.Type]uint64),
+	}
+}
+
+type boundNode struct {
+	net  *Network
+	addr transport.Addr
+}
+
+func (n *boundNode) Addr() transport.Addr { return n.addr }
+
+func (n *boundNode) Close() error {
+	n.net.mu.Lock()
+	defer n.net.mu.Unlock()
+	delete(n.net.handlers, n.addr)
+	return nil
+}
+
+// Bind registers handler at addr.
+func (n *Network) Bind(addr transport.Addr, handler transport.Handler) (transport.Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, dup := n.handlers[addr]; dup {
+		return nil, fmt.Errorf("inmem: address %q already bound", addr)
+	}
+	n.handlers[addr] = handler
+	return &boundNode{net: n, addr: addr}, nil
+}
+
+// Send delivers body to the handler bound at 'to'. The caller's address
+// is unknown to the in-memory network, so handlers receive from = "".
+// Use SendFrom when the sender identity matters.
+func (n *Network) Send(ctx context.Context, to transport.Addr, body any) (any, error) {
+	return n.SendFrom(ctx, "", to, body)
+}
+
+// SendFrom delivers body to 'to', reporting 'from' to the handler.
+func (n *Network) SendFrom(ctx context.Context, from, to transport.Addr, body any) (any, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	n.messages++
+	n.byType[reflect.TypeOf(body)]++
+	handler, ok := n.handlers[to]
+	switch {
+	case !ok || n.down[to]:
+		n.failures++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("send to %q: %w", to, transport.ErrUnreachable)
+	case n.blocked[[2]transport.Addr{from, to}]:
+		n.failures++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("send %q→%q blocked: %w", from, to, transport.ErrUnreachable)
+	case n.dropProb > 0 && n.rng.Float64() < n.dropProb:
+		n.failures++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("send to %q dropped: %w", to, transport.ErrUnreachable)
+	}
+	n.mu.Unlock()
+
+	resp, err := handler(ctx, from, body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", transport.ErrRemote, err)
+	}
+	return resp, nil
+}
+
+// SetDown marks addr as failed (true) or recovered (false). Sends to a
+// downed node fail with ErrUnreachable while its handler stays bound.
+func (n *Network) SetDown(addr transport.Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// Block severs the directed link from→to (or restores it).
+func (n *Network) Block(from, to transport.Addr, blocked bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]transport.Addr{from, to}
+	if blocked {
+		n.blocked[key] = true
+	} else {
+		delete(n.blocked, key)
+	}
+}
+
+// SetDropProb sets the probability in [0, 1] that any send is dropped.
+func (n *Network) SetDropProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb = p
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byType := make(map[string]uint64, len(n.byType))
+	for k, v := range n.byType {
+		byType[typeName(k)] = v
+	}
+	return Stats{Messages: n.messages, Failures: n.failures, ByType: byType}
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.messages = 0
+	n.failures = 0
+	n.byType = make(map[reflect.Type]uint64)
+}
+
+// typeName renders a reflect.Type like the %T verb ("int", "string",
+// "inmem.Stats"), keeping the Stats surface stable.
+func typeName(t reflect.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.String()
+}
+
+// Close unbinds every endpoint and rejects further use.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.handlers = make(map[transport.Addr]transport.Handler)
+	return nil
+}

@@ -1,0 +1,199 @@
+package inmem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+func echoHandler(ctx context.Context, from transport.Addr, body any) (any, error) {
+	return body, nil
+}
+
+func TestSendRoundTrip(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	if _, err := n.Bind("a", echoHandler); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	got, err := n.Send(context.Background(), "a", "hello")
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got != "hello" {
+		t.Errorf("Send returned %v, want hello", got)
+	}
+}
+
+func TestSendUnboundAddress(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	_, err := n.Send(context.Background(), "missing", 1)
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDuplicateBind(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	if _, err := n.Bind("a", echoHandler); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if _, err := n.Bind("a", echoHandler); err == nil {
+		t.Error("duplicate Bind succeeded")
+	}
+}
+
+func TestNodeCloseUnbinds(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	node, err := n.Bind("a", echoHandler)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if node.Addr() != "a" {
+		t.Errorf("Addr = %q", node.Addr())
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := n.Send(context.Background(), "a", 1); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("send after close: %v, want ErrUnreachable", err)
+	}
+}
+
+func TestRemoteErrorWrapped(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	boom := errors.New("boom")
+	n.Bind("a", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return nil, boom
+	})
+	_, err := n.Send(context.Background(), "a", 1)
+	if !errors.Is(err, transport.ErrRemote) {
+		t.Errorf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestFailureInjectionDown(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.Bind("a", echoHandler)
+	n.SetDown("a", true)
+	if _, err := n.Send(context.Background(), "a", 1); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("send to down node: %v", err)
+	}
+	n.SetDown("a", false)
+	if _, err := n.Send(context.Background(), "a", 1); err != nil {
+		t.Errorf("send after recovery: %v", err)
+	}
+}
+
+func TestFailureInjectionBlockedLink(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.Bind("b", echoHandler)
+	n.Block("a", "b", true)
+	if _, err := n.SendFrom(context.Background(), "a", "b", 1); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("blocked link send: %v", err)
+	}
+	// Other senders are unaffected.
+	if _, err := n.SendFrom(context.Background(), "c", "b", 1); err != nil {
+		t.Errorf("unblocked sender: %v", err)
+	}
+	n.Block("a", "b", false)
+	if _, err := n.SendFrom(context.Background(), "a", "b", 1); err != nil {
+		t.Errorf("send after unblock: %v", err)
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	n := New(7)
+	defer n.Close()
+	n.Bind("a", echoHandler)
+	n.SetDropProb(1.0)
+	if _, err := n.Send(context.Background(), "a", 1); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("drop-all send: %v", err)
+	}
+	n.SetDropProb(0)
+	if _, err := n.Send(context.Background(), "a", 1); err != nil {
+		t.Errorf("send after prob reset: %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.Bind("a", echoHandler)
+	for i := 0; i < 3; i++ {
+		n.Send(context.Background(), "a", "x")
+	}
+	n.Send(context.Background(), "missing", 42)
+	s := n.Stats()
+	if s.Messages != 4 {
+		t.Errorf("Messages = %d, want 4", s.Messages)
+	}
+	if s.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", s.Failures)
+	}
+	if s.ByType["string"] != 3 || s.ByType["int"] != 1 {
+		t.Errorf("ByType = %v", s.ByType)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 || len(s.ByType) != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestClosedNetwork(t *testing.T) {
+	n := New(1)
+	n.Bind("a", echoHandler)
+	n.Close()
+	if _, err := n.Send(context.Background(), "a", 1); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send on closed: %v", err)
+	}
+	if _, err := n.Bind("b", echoHandler); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("bind on closed: %v", err)
+	}
+}
+
+func TestReentrantHandler(t *testing.T) {
+	// A handler may itself send messages (the index protocol does).
+	n := New(1)
+	defer n.Close()
+	n.Bind("leaf", echoHandler)
+	n.Bind("relay", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return n.Send(ctx, "leaf", body)
+	})
+	got, err := n.Send(context.Background(), "relay", "ping")
+	if err != nil || got != "ping" {
+		t.Errorf("relay send = %v, %v", got, err)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.Bind("a", echoHandler)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("m%d", i)
+			got, err := n.Send(context.Background(), "a", msg)
+			if err != nil || got != msg {
+				t.Errorf("concurrent send %d: %v, %v", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := n.Stats(); s.Messages != 50 {
+		t.Errorf("Messages = %d, want 50", s.Messages)
+	}
+}

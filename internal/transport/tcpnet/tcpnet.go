@@ -1,0 +1,284 @@
+// Package tcpnet implements transport.Network over real TCP
+// connections with gob-encoded request/response frames. It lets the
+// same DHT and keyword-index wiring that runs in the in-memory
+// simulator run as separate OS processes (see cmd/ksnode).
+package tcpnet
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// envelope types exchanged on the wire. Body values must be registered
+// via transport.RegisterType.
+type request struct {
+	From string
+	Body any
+}
+
+type response struct {
+	Body any
+	Err  string
+}
+
+// maxIdlePerDest bounds the idle client connections kept per
+// destination.
+const maxIdlePerDest = 4
+
+// Network is a TCP-backed transport.Network. Each in-flight request
+// owns a connection exclusively (taken from a per-destination idle
+// pool, or freshly dialed), so a handler that itself issues requests —
+// even back to the same destination — can never deadlock on a shared
+// connection.
+type Network struct {
+	mu        sync.Mutex
+	closed    bool
+	idle      map[transport.Addr][]*clientConn
+	listeners []*listener
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New returns an empty TCP network.
+func New() *Network {
+	return &Network{idle: make(map[transport.Addr][]*clientConn)}
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+type listener struct {
+	net     *Network
+	ln      net.Listener
+	handler transport.Handler
+	addr    transport.Addr
+	wg      sync.WaitGroup
+	closed  chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Bind starts a TCP listener at addr (host:port; use ":0" for an
+// ephemeral port and read the bound address from Node.Addr).
+func (n *Network) Bind(addr transport.Addr, handler transport.Handler) (transport.Node, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	n.mu.Unlock()
+
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: bind %q: %w", addr, err)
+	}
+	l := &listener{
+		net:     n,
+		ln:      ln,
+		handler: handler,
+		addr:    transport.Addr(ln.Addr().String()),
+		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	n.mu.Lock()
+	n.listeners = append(n.listeners, l)
+	n.mu.Unlock()
+
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+func (l *listener) Addr() transport.Addr { return l.addr }
+
+func (l *listener) Close() error {
+	select {
+	case <-l.closed:
+		return nil
+	default:
+	}
+	close(l.closed)
+	err := l.ln.Close()
+	// Unblock serveConn goroutines parked in Read.
+	l.mu.Lock()
+	for conn := range l.conns {
+		conn.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+func (l *listener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	l.mu.Lock()
+	l.conns[conn] = struct{}{}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		var resp response
+		body, err := l.handler(context.Background(), transport.Addr(req.From), req.Body)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = body
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		select {
+		case <-l.closed:
+			return
+		default:
+		}
+	}
+}
+
+// Send delivers body to the node listening at 'to' and returns its
+// response. An idle pooled connection may have been closed by the peer
+// between requests, so one retry on a freshly dialed connection covers
+// that race.
+func (n *Network) Send(ctx context.Context, to transport.Addr, body any) (any, error) {
+	resp, err, retriable := n.sendOnce(ctx, to, body, false)
+	if err != nil && retriable {
+		resp, err, _ = n.sendOnce(ctx, to, body, true)
+	}
+	return resp, err
+}
+
+// sendOnce performs one request/response exchange on an exclusively
+// owned connection. retriable reports that the failure happened on a
+// reused idle connection before any fresh dial was attempted.
+func (n *Network) sendOnce(ctx context.Context, to transport.Addr, body any, fresh bool) (resp any, err error, retriable bool) {
+	cc, reused, err := n.acquire(ctx, to, fresh)
+	if err != nil {
+		return nil, err, false
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = cc.conn.SetDeadline(deadline)
+	} else {
+		_ = cc.conn.SetDeadline(time.Time{})
+	}
+	if err := cc.enc.Encode(&request{Body: body}); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("send to %q: %w", to, transport.ErrUnreachable), reused
+	}
+	var r response
+	if err := cc.dec.Decode(&r); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("recv from %q: %w", to, transport.ErrUnreachable), reused
+	}
+	n.release(to, cc)
+	if r.Err != "" {
+		return nil, fmt.Errorf("%w: %s", transport.ErrRemote, r.Err), false
+	}
+	return r.Body, nil, false
+}
+
+// acquire returns an exclusively owned connection to 'to': an idle
+// pooled one (unless fresh is set) or a new dial.
+func (n *Network) acquire(ctx context.Context, to transport.Addr, fresh bool) (*clientConn, bool, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, false, transport.ErrClosed
+	}
+	if !fresh {
+		if pool := n.idle[to]; len(pool) > 0 {
+			cc := pool[len(pool)-1]
+			n.idle[to] = pool[:len(pool)-1]
+			n.mu.Unlock()
+			return cc, true, nil
+		}
+	}
+	n.mu.Unlock()
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, false, fmt.Errorf("dial %q: %w", to, transport.ErrUnreachable)
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
+}
+
+// release returns a healthy connection to the idle pool (or closes it
+// when the pool is full or the network closed).
+func (n *Network) release(to transport.Addr, cc *clientConn) {
+	n.mu.Lock()
+	if !n.closed && len(n.idle[to]) < maxIdlePerDest {
+		n.idle[to] = append(n.idle[to], cc)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	cc.conn.Close()
+}
+
+// Close shuts down all listeners and pooled connections.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	listeners := n.listeners
+	idle := n.idle
+	n.idle = make(map[transport.Addr][]*clientConn)
+	n.mu.Unlock()
+
+	var firstErr error
+	for _, l := range listeners {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, pool := range idle {
+		for _, cc := range pool {
+			cc.conn.Close()
+		}
+	}
+	return firstErr
+}

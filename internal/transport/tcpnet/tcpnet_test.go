@@ -1,0 +1,193 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+type ping struct{ N int }
+type pong struct{ N int }
+
+func registerTestTypes() {
+	transport.RegisterType(ping{})
+	transport.RegisterType(pong{})
+}
+
+func TestRoundTrip(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		p, ok := body.(ping)
+		if !ok {
+			return nil, fmt.Errorf("unexpected body %T", body)
+		}
+		return pong{N: p.N + 1}, nil
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	got, err := n.Send(context.Background(), node.Addr(), ping{N: 41})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if p, ok := got.(pong); !ok || p.N != 42 {
+		t.Errorf("Send = %#v, want pong{42}", got)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return nil, errors.New("handler exploded")
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	_, err = n.Send(context.Background(), node.Addr(), ping{})
+	if !errors.Is(err, transport.ErrRemote) {
+		t.Errorf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New()
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := n.Send(ctx, "127.0.0.1:1", ping{})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPooledConnectionReuse(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return body, nil
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := n.Send(context.Background(), node.Addr(), ping{N: i}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	// Sequential sends reuse one pooled connection.
+	n.mu.Lock()
+	poolSize := len(n.idle[node.Addr()])
+	n.mu.Unlock()
+	if poolSize != 1 {
+		t.Errorf("idle pool size = %d, want 1", poolSize)
+	}
+}
+
+func TestHandlerCanCallBackIntoSameNetwork(t *testing.T) {
+	// Regression test for the shared-connection deadlock: a handler
+	// that issues a request to its own listener (through the same
+	// Network) must not block on the caller's in-flight connection.
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	var addr transport.Addr
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		p, ok := body.(ping)
+		if !ok {
+			return nil, fmt.Errorf("unexpected %T", body)
+		}
+		if p.N > 0 {
+			return n.Send(ctx, addr, ping{N: p.N - 1})
+		}
+		return pong{N: 42}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr = node.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := n.Send(ctx, addr, ping{N: 3})
+	if err != nil {
+		t.Fatalf("recursive send: %v", err)
+	}
+	if p, ok := got.(pong); !ok || p.N != 42 {
+		t.Errorf("got %#v", got)
+	}
+}
+
+func TestRedialAfterListenerRestart(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return body, nil
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	addr := node.Addr()
+	if _, err := n.Send(context.Background(), addr, ping{N: 1}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	node.Close()
+	// Rebind on the same port and verify the pooled (now dead)
+	// connection is replaced by the retry path.
+	if _, err := n.Bind(addr, func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return body, nil
+	}); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	if _, err := n.Send(context.Background(), addr, ping{N: 2}); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		return body, nil
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := n.Send(context.Background(), node.Addr(), ping{N: i})
+			if err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if p, ok := got.(ping); !ok || p.N != i {
+				t.Errorf("send %d returned %#v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	n := New()
+	n.Close()
+	if _, err := n.Bind("127.0.0.1:0", nil); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("bind after close: %v", err)
+	}
+	if _, err := n.Send(context.Background(), "127.0.0.1:1", ping{}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package transport defines the message-passing abstraction the DHT and
+// the keyword-index layers run on. Two implementations exist:
+// package inmem (a deterministic simulated network used by tests and
+// the experiment harness) and package tcpnet (length-prefixed gob RPC
+// over real TCP connections for multi-process deployments).
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+)
+
+// Addr identifies a node endpoint. For the in-memory network it is an
+// arbitrary logical name; for TCP it is a host:port string.
+type Addr string
+
+// Handler processes one request addressed to a local node and returns
+// the response body. Implementations must be safe for concurrent use.
+type Handler func(ctx context.Context, from Addr, body any) (any, error)
+
+// Sender delivers requests to remote nodes.
+type Sender interface {
+	// Send delivers body to the node at 'to' and returns its response.
+	// The concrete body and response types must be registered with
+	// RegisterType so that networked transports can encode them.
+	Send(ctx context.Context, to Addr, body any) (any, error)
+}
+
+// Node is a bound endpoint that can receive requests.
+type Node interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+	// Close unbinds the endpoint and releases its resources.
+	Close() error
+}
+
+// Network is a transport that can both send and host endpoints.
+type Network interface {
+	Sender
+	// Bind registers handler at addr and returns the live endpoint.
+	Bind(addr Addr, handler Handler) (Node, error)
+}
+
+// Sentinel errors shared by all transports.
+var (
+	// ErrUnreachable reports that the destination is not bound, is
+	// marked failed, or cannot be connected to.
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrClosed reports use of a closed transport or endpoint.
+	ErrClosed = errors.New("transport: closed")
+	// ErrRemote wraps an application error returned by a remote handler.
+	ErrRemote = errors.New("transport: remote error")
+	// ErrUnhandled is returned (wrapped) by protocol handlers for
+	// message types they do not recognize, letting Mux route one
+	// endpoint across several protocol layers.
+	ErrUnhandled = errors.New("transport: unhandled message type")
+)
+
+// Mux combines several protocol handlers behind one endpoint: each
+// request is offered to the handlers in order until one does not
+// report ErrUnhandled.
+func Mux(handlers ...Handler) Handler {
+	return func(ctx context.Context, from Addr, body any) (any, error) {
+		var lastErr error
+		for _, h := range handlers {
+			resp, err := h(ctx, from, body)
+			if err == nil {
+				return resp, nil
+			}
+			if !errors.Is(err, ErrUnhandled) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = ErrUnhandled
+		}
+		return nil, lastErr
+	}
+}
+
+// RegisterType registers a concrete message type with gob so that the
+// TCP transport can marshal it inside the any-typed envelope. Calling
+// it multiple times with the same type is safe; it is a no-op for the
+// in-memory transport but should be called unconditionally so that the
+// same wiring works over both transports.
+func RegisterType(value any) {
+	gob.Register(value)
+}

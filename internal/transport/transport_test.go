@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMuxRoutesToFirstRecognizingHandler(t *testing.T) {
+	intHandler := func(ctx context.Context, from Addr, body any) (any, error) {
+		if v, ok := body.(int); ok {
+			return v * 2, nil
+		}
+		return nil, fmt.Errorf("%w: %T", ErrUnhandled, body)
+	}
+	strHandler := func(ctx context.Context, from Addr, body any) (any, error) {
+		if s, ok := body.(string); ok {
+			return s + "!", nil
+		}
+		return nil, fmt.Errorf("%w: %T", ErrUnhandled, body)
+	}
+	mux := Mux(intHandler, strHandler)
+	ctx := context.Background()
+
+	if got, err := mux(ctx, "", 21); err != nil || got != 42 {
+		t.Errorf("int via mux = %v, %v", got, err)
+	}
+	if got, err := mux(ctx, "", "hi"); err != nil || got != "hi!" {
+		t.Errorf("string via mux = %v, %v", got, err)
+	}
+	if _, err := mux(ctx, "", 3.14); !errors.Is(err, ErrUnhandled) {
+		t.Errorf("float via mux: %v, want ErrUnhandled", err)
+	}
+}
+
+func TestMuxPropagatesRealErrors(t *testing.T) {
+	boom := errors.New("boom")
+	failing := func(ctx context.Context, from Addr, body any) (any, error) {
+		return nil, boom
+	}
+	fallback := func(ctx context.Context, from Addr, body any) (any, error) {
+		return "should not reach", nil
+	}
+	mux := Mux(failing, fallback)
+	if _, err := mux(context.Background(), "", 1); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom (no fallthrough on real errors)", err)
+	}
+}
+
+func TestMuxEmpty(t *testing.T) {
+	mux := Mux()
+	if _, err := mux(context.Background(), "", 1); !errors.Is(err, ErrUnhandled) {
+		t.Errorf("empty mux: %v", err)
+	}
+}
+
+func TestRegisterTypeIdempotent(t *testing.T) {
+	type sample struct{ A int }
+	RegisterType(sample{})
+	RegisterType(sample{}) // must not panic
+}

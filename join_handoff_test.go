@@ -1,0 +1,68 @@
+package keysearch
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestJoinHandsOffIndexEntries: a node joining AFTER objects were
+// published takes over the index entries in its new key range, so
+// searches keep finding everything through the changed topology.
+func TestJoinHandsOffIndexEntries(t *testing.T) {
+	c := newCluster(t, 3, Config{Dim: 8})
+	ctx := context.Background()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		id := "pre-" + strconv.Itoa(i)
+		obj := Object{ID: id, Keywords: NewKeywordSet("prejoin", "t"+strconv.Itoa(i))}
+		if err := c.Peers[0].Publish(ctx, obj, "/"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Several new peers join after the fact.
+	for j := 0; j < 4; j++ {
+		peer, err := NewPeer(c.Network(), Addr("late-"+strconv.Itoa(j)), Config{
+			Dim:                 8,
+			MaintenanceInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.Join(ctx, c.Peers[0].Addr()); err != nil {
+			t.Fatalf("join %d: %v", j, err)
+		}
+		c.Peers = append(c.Peers, peer)
+		c.Heal(ctx)
+	}
+
+	// Some joiners should actually have received entries.
+	migrated := 0
+	for _, p := range c.Peers[3:] {
+		migrated += p.IndexStats().Objects
+	}
+	if migrated == 0 {
+		t.Error("no index entries migrated to joining peers")
+	}
+
+	// Everything remains findable from every peer.
+	for _, p := range []*Peer{c.Peers[0], c.Peers[len(c.Peers)-1]} {
+		res, err := p.Search(ctx, NewKeywordSet("prejoin"), All, SearchOptions{NoCache: true})
+		if err != nil {
+			t.Fatalf("search via %s: %v", p.Addr(), err)
+		}
+		if len(res.Matches) != n {
+			t.Fatalf("search via %s found %d/%d after joins", p.Addr(), len(res.Matches), n)
+		}
+	}
+	// Pin searches route to the new owners too.
+	for i := 0; i < n; i += 9 {
+		k := NewKeywordSet("prejoin", "t"+strconv.Itoa(i))
+		ids, _, err := c.Peers[1].PinSearch(ctx, k)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("pin %v after joins = %v, %v", k, ids, err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package keysearch is a keyword/attribute search layer for DHT-based
+// peer-to-peer networks, implementing the hypercube index scheme of
+// Joung, Fang and Yang, "Keyword Search in DHT-based Peer-to-Peer
+// Networks" (ICDCS 2005).
+//
+// Each shared object is described by a keyword set and indexed at
+// exactly one logical node of an r-dimensional hypercube, determined
+// by hashing its keywords to hypercube dimensions. The hypercube is
+// mapped onto a Chord DHT built from scratch in this module. On top of
+// that structure the layer offers:
+//
+//   - Pin search: find objects with exactly a given keyword set in a
+//     single lookup.
+//   - Superset search: find objects whose keyword sets contain the
+//     query, by walking the spanning binomial tree of the induced
+//     subhypercube — general-first, specific-first, or parallel.
+//   - Cumulative search: page through large result sets with the
+//     traversal frontier kept at the responsible node.
+//   - Built-in load balance under Zipf keyword popularity, per-node
+//     result caching, and ranking by "extra keyword" depth.
+//
+// A Peer bundles everything one process needs: the transport endpoint,
+// the Chord node, the index server, and the client API. See
+// NewLocalCluster for an in-process test cluster and the examples/
+// directory for runnable programs.
+package keysearch
+
+import (
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/dht/chord"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
+	"github.com/p2pkeyword/keysearch/internal/transport/tcpnet"
+)
+
+// Re-exported core types: these form the public vocabulary of the
+// library.
+type (
+	// Object is an indexable item: an application object ID plus the
+	// keyword set describing it.
+	Object = core.Object
+	// Match is one search hit.
+	Match = core.Match
+	// Result is the outcome of a superset search.
+	Result = core.Result
+	// Stats reports operation costs in nodes contacted and messages.
+	Stats = core.Stats
+	// SearchOptions tunes a superset search.
+	SearchOptions = core.SearchOptions
+	// TraversalOrder selects the subhypercube traversal strategy.
+	TraversalOrder = core.TraversalOrder
+	// Cursor pages through a cumulative search.
+	Cursor = core.Cursor
+	// Set is an immutable keyword set.
+	Set = keyword.Set
+	// Reference points to one replica of an object in the DHT.
+	Reference = dht.Reference
+	// Addr is a transport address (a logical name in-memory, host:port
+	// over TCP).
+	Addr = transport.Addr
+	// Category groups matches by their extra keywords for refinement.
+	Category = core.Category
+)
+
+// Traversal orders.
+const (
+	// TopDown returns more general objects first (the default).
+	TopDown = core.TopDown
+	// BottomUp returns more specific objects first.
+	BottomUp = core.BottomUp
+	// ParallelLevels queries each tree level concurrently.
+	ParallelLevels = core.ParallelLevels
+)
+
+// All is a search threshold meaning "every matching object".
+const All = core.All
+
+// Re-exported sentinel errors.
+var (
+	ErrEmptyQuery    = core.ErrEmptyQuery
+	ErrExhausted     = core.ErrExhausted
+	ErrNoSuchSession = core.ErrNoSuchSession
+	ErrBadObject     = core.ErrBadObject
+	ErrNoSuchObject  = dht.ErrNoSuchObject
+	ErrUnreachable   = transport.ErrUnreachable
+)
+
+// NewKeywordSet normalizes, deduplicates and sorts raw keywords into a
+// Set. Objects and queries must both use it (or equivalent
+// normalization) so that the deterministic mapping agrees.
+func NewKeywordSet(words ...string) Set { return keyword.NewSet(words...) }
+
+// Ranking helpers re-exported from the index layer.
+var (
+	// GroupByDepth buckets matches by extra-keyword depth.
+	GroupByDepth = core.GroupByDepth
+	// Categorize groups matches by their exact extra keyword set.
+	Categorize = core.Categorize
+	// SampleCategories returns a few matches per refinement category.
+	SampleCategories = core.Sample
+	// SortGeneralFirst orders matches fewest-extra-keywords first.
+	SortGeneralFirst = core.SortGeneralFirst
+	// SortSpecificFirst orders matches most-extra-keywords first.
+	SortSpecificFirst = core.SortSpecificFirst
+)
+
+// RegisterTypes registers every wire message of the library with the
+// gob registry. Call it once at startup in each process that uses the
+// TCP transport; it is a no-op-safe idempotent call.
+func RegisterTypes() {
+	chord.RegisterTypes()
+	core.RegisterTypes()
+}
+
+// NewInMemoryTransport returns a process-local transport suitable for
+// simulations, tests and single-process clusters. The seed drives
+// probabilistic fault injection only.
+func NewInMemoryTransport(seed int64) *inmem.Network { return inmem.New(seed) }
+
+// NewTCPTransport returns a TCP-backed transport for multi-process
+// deployments. Call RegisterTypes before using it.
+func NewTCPTransport() *tcpnet.Network { return tcpnet.New() }

@@ -1,0 +1,368 @@
+package keysearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/dht/chord"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Config tunes a Peer. The zero value is usable; defaults are applied
+// by NewPeer.
+type Config struct {
+	// Dim is the hypercube dimensionality r (default 10, the paper's
+	// empirically best value for its corpus). All peers of a
+	// deployment must agree on Dim, HashSeed and Instance.
+	Dim int
+	// HashSeed perturbs the keyword→dimension hash (default 0).
+	HashSeed uint64
+	// Instance names the index instance, salting the mapping of
+	// logical hypercube vertices onto DHT nodes (default "main").
+	Instance string
+	// CacheCapacity is the per-node query-result cache size in
+	// object-ID units (default 0 = disabled).
+	CacheCapacity int
+	// IndexReplicas is the number of independent index instances
+	// (Section 3.4's "secondary hypercube" replication). Each replica
+	// has its own keyword hash and vertex mapping; writes fan out to
+	// all replicas and reads fail over. Default 1 (no replication).
+	IndexReplicas int
+	// SuccessorListLen is Chord's fault-tolerance parameter
+	// (default 4).
+	SuccessorListLen int
+	// MaintenanceInterval is the period of the background Chord
+	// stabilization loop started by Create/Join (default 500ms; set
+	// negative to disable the background loop — simulations drive
+	// maintenance manually).
+	MaintenanceInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 10
+	}
+	if c.Instance == "" {
+		c.Instance = "main"
+	}
+	if c.IndexReplicas < 1 {
+		c.IndexReplicas = 1
+	}
+	if c.MaintenanceInterval == 0 {
+		c.MaintenanceInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Peer is one participant process: it hosts a Chord DHT node, serves
+// its share of the hypercube index, and exposes the client API for
+// publishing and searching objects.
+type Peer struct {
+	cfg      Config
+	addr     transport.Addr
+	network  transport.Network
+	endpoint transport.Node
+	chord    *chord.Node
+	server   *core.Server
+	index    *core.Replicated
+	resolver *core.OverlayResolver
+}
+
+// NewPeer creates a peer bound at addr on the given transport network.
+// The peer is inert until Create (first node of a network) or Join is
+// called.
+func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
+	cfg = cfg.withDefaults()
+	hasher, err := keyword.NewHasher(cfg.Dim, cfg.HashSeed)
+	if err != nil {
+		return nil, err
+	}
+	// Bind first through an indirection so the peer's identity (and
+	// its Chord ring ID) derives from the RESOLVED address — a TCP
+	// ":0" bind only learns its port here.
+	var mux atomic.Value // of transport.Handler
+	endpoint, err := network.Bind(addr, func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		h, ok := mux.Load().(transport.Handler)
+		if !ok {
+			return nil, fmt.Errorf("keysearch: peer %q still initializing", addr)
+		}
+		return h(ctx, from, body)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bind peer %q: %w", addr, err)
+	}
+	resolved := endpoint.Addr()
+
+	node := chord.New(resolved, network, chord.Config{SuccessorListLen: cfg.SuccessorListLen})
+	resolver := core.NewOverlayResolver(node)
+	server, err := core.NewServer(core.ServerConfig{
+		Hasher:        hasher,
+		Resolver:      resolver,
+		Sender:        network,
+		CacheCapacity: cfg.CacheCapacity,
+		Owner:         node.Owns,
+	})
+	if err != nil {
+		endpoint.Close()
+		return nil, err
+	}
+
+	// One client per index replica: replica i has its own keyword hash
+	// (seeded off the deployment seed) and its own vertex→node salt,
+	// so no node is responsible for the same keyword set in two
+	// replicas. The single index server hosts every instance's tables.
+	clients := make([]*core.Client, cfg.IndexReplicas)
+	for i := range clients {
+		instance := cfg.Instance
+		seed := cfg.HashSeed
+		if i > 0 {
+			instance = fmt.Sprintf("%s-replica-%d", cfg.Instance, i)
+			seed = cfg.HashSeed + uint64(i)*0x9e3779b97f4a7c15
+		}
+		replicaHasher, err := keyword.NewHasher(cfg.Dim, seed)
+		if err != nil {
+			endpoint.Close()
+			return nil, err
+		}
+		clients[i], err = core.NewInstanceClient(instance, replicaHasher, resolver, network)
+		if err != nil {
+			endpoint.Close()
+			return nil, err
+		}
+	}
+	index, err := core.NewReplicated(clients...)
+	if err != nil {
+		endpoint.Close()
+		return nil, err
+	}
+
+	mux.Store(transport.Mux(node.Handler, server.Handler))
+	return &Peer{
+		cfg:      cfg,
+		addr:     resolved,
+		network:  network,
+		endpoint: endpoint,
+		chord:    node,
+		server:   server,
+		index:    index,
+		resolver: resolver,
+	}, nil
+}
+
+// Addr returns the peer's bound transport address.
+func (p *Peer) Addr() Addr { return p.addr }
+
+// Create starts a new network with this peer as the first member.
+func (p *Peer) Create() {
+	p.chord.Create()
+	if p.cfg.MaintenanceInterval > 0 {
+		p.chord.StartMaintenance(p.cfg.MaintenanceInterval)
+	}
+}
+
+// Join connects this peer to the network containing the peer at seed
+// and pulls the index entries it now owns from its ring successor
+// (mirroring Chord's reference handoff).
+func (p *Peer) Join(ctx context.Context, seed Addr) error {
+	if err := p.chord.Join(ctx, seed); err != nil {
+		return err
+	}
+	if succ := p.chord.Successor(); succ.Addr != "" && succ.Addr != p.addr {
+		// Best effort: stabilization and stale-binding retries cover a
+		// missed handoff, at the cost of temporarily invisible entries.
+		_, _ = p.server.PullHandoff(ctx, p.network, succ.Addr,
+			uint64(p.chord.ID()), uint64(succ.ID))
+	}
+	if p.cfg.MaintenanceInterval > 0 {
+		p.chord.StartMaintenance(p.cfg.MaintenanceInterval)
+	}
+	return nil
+}
+
+// StabilizeOnce runs one round of DHT maintenance synchronously;
+// simulations and tests use it instead of the background loop.
+func (p *Peer) StabilizeOnce(ctx context.Context) error {
+	return p.chord.MaintainOnce(ctx)
+}
+
+// Close stops background maintenance and unbinds the endpoint. The
+// peer's stored references and index entries become unreachable
+// (crash-stop); the remaining network heals via Chord stabilization.
+// Use Leave for a graceful departure that preserves state.
+func (p *Peer) Close() error {
+	p.chord.Shutdown()
+	if p.endpoint == nil {
+		return nil
+	}
+	return p.endpoint.Close()
+}
+
+// Leave departs the network gracefully: the peer's DHT references and
+// index entries transfer to its ring successor (which owns the peer's
+// key range after departure), both neighbors splice it out, and the
+// endpoint closes. Best effort — on errors the network still heals via
+// stabilization, but transferred state may be partial.
+func (p *Peer) Leave(ctx context.Context) error {
+	succ := p.chord.Successor()
+	leaveErr := p.chord.Leave(ctx)
+	if succ.Addr != "" && succ.Addr != p.addr {
+		if _, err := p.server.DrainTo(ctx, p.network, succ.Addr); err != nil && leaveErr == nil {
+			leaveErr = err
+		}
+	}
+	if p.endpoint != nil {
+		if err := p.endpoint.Close(); err != nil && leaveErr == nil {
+			leaveErr = err
+		}
+	}
+	return leaveErr
+}
+
+// Publish shares a copy of an object held by this peer: it inserts the
+// replica reference into the DHT and, if this is the object's first
+// copy, creates the keyword-index entry (the paper's Insert
+// operation). location is an application-defined locator of the copy
+// within this peer (e.g. a path).
+func (p *Peer) Publish(ctx context.Context, obj Object, location string) error {
+	if err := obj.Validate(); err != nil {
+		return err
+	}
+	first, err := p.chord.Insert(ctx, dht.Reference{
+		ObjectID: obj.ID,
+		Holder:   p.addr,
+		Location: location,
+	})
+	if err != nil {
+		return fmt.Errorf("publish %q: %w", obj.ID, err)
+	}
+	if !first {
+		return nil
+	}
+	if _, err := p.index.Insert(ctx, obj); err != nil {
+		return fmt.Errorf("publish %q index entry: %w", obj.ID, err)
+	}
+	return nil
+}
+
+// Unpublish withdraws this peer's copy of the object: it removes the
+// replica reference and, when no copies remain, the keyword-index
+// entry (the paper's Delete operation).
+func (p *Peer) Unpublish(ctx context.Context, obj Object, location string) error {
+	if err := obj.Validate(); err != nil {
+		return err
+	}
+	remaining, err := p.chord.Delete(ctx, dht.Reference{
+		ObjectID: obj.ID,
+		Holder:   p.addr,
+		Location: location,
+	})
+	if err != nil && !errors.Is(err, dht.ErrNoSuchReference) {
+		return fmt.Errorf("unpublish %q: %w", obj.ID, err)
+	}
+	if remaining > 0 {
+		return nil
+	}
+	if _, _, err := p.index.Delete(ctx, obj); err != nil {
+		return fmt.Errorf("unpublish %q index entry: %w", obj.ID, err)
+	}
+	return nil
+}
+
+// PinSearch returns the IDs of objects associated with exactly the
+// keyword set k.
+func (p *Peer) PinSearch(ctx context.Context, k Set) ([]string, Stats, error) {
+	return p.index.PinSearch(ctx, k)
+}
+
+// Search returns up to threshold objects whose keyword sets contain k
+// (pass All for every match).
+func (p *Peer) Search(ctx context.Context, k Set, threshold int, opts SearchOptions) (Result, error) {
+	return p.index.SupersetSearch(ctx, k, threshold, opts)
+}
+
+// SearchCursor starts a cumulative search for paging through large
+// result sets.
+// Cursors are pinned to the primary replica's responsible node, which
+// retains the traversal frontier between pages.
+func (p *Peer) SearchCursor(k Set, opts SearchOptions) (*Cursor, error) {
+	return p.index.Primary().CumulativeSearch(k, opts)
+}
+
+// Fetch returns the replica references of an object found via search,
+// resolving its ID through the DHT (the paper's Read operation).
+func (p *Peer) Fetch(ctx context.Context, objectID string) ([]Reference, error) {
+	return p.chord.Read(ctx, objectID)
+}
+
+// FamilyConfig configures one attribute family of a decomposed index
+// (Section 3.4's decomposition remark): the family gets its own
+// smaller hypercube with its own hash.
+type FamilyConfig struct {
+	// Dim is the family's hypercube dimensionality (default: the
+	// peer's Dim).
+	Dim int
+	// HashSeed perturbs the family's keyword hash (default: derived
+	// from the family name).
+	HashSeed uint64
+}
+
+// DecomposedIndex splits the keyword universe into disjoint attribute
+// families, each indexed by its own (typically smaller) hypercube;
+// cross-family queries are answered by per-family searches and
+// client-side intersection.
+type DecomposedIndex = core.Decomposed
+
+// NewDecomposedIndex builds a decomposed index over this peer's
+// network. classify must map every normalized keyword to one of the
+// family names in families. The family hypercubes share the peer
+// fleet's physical nodes; entries are namespaced per family instance.
+func (p *Peer) NewDecomposedIndex(classify func(word string) string, families map[string]FamilyConfig) (*DecomposedIndex, error) {
+	if len(families) == 0 {
+		return nil, fmt.Errorf("keysearch: decomposed index needs at least one family")
+	}
+	clients := make(map[string]*core.Client, len(families))
+	for name, fc := range families {
+		dim := fc.Dim
+		if dim == 0 {
+			dim = p.cfg.Dim
+		}
+		seed := fc.HashSeed
+		if seed == 0 {
+			seed = p.cfg.HashSeed ^ uint64(dht.HashString("family:"+name))
+		}
+		hasher, err := keyword.NewHasher(dim, seed)
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %w", name, err)
+		}
+		instance := p.cfg.Instance + "/family/" + name
+		client, err := core.NewInstanceClient(instance, hasher, p.resolver, p.network)
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %w", name, err)
+		}
+		clients[name] = client
+	}
+	return core.NewDecomposed(classify, clients)
+}
+
+// resolveRoot resolves the physical address responsible for keyword
+// set k in the given index replica (0 = primary); used by tests and
+// diagnostics.
+func (p *Peer) resolveRoot(ctx context.Context, replica int, k Set) (Addr, error) {
+	c := p.index.Replica(replica)
+	if c == nil {
+		return "", fmt.Errorf("keysearch: no index replica %d", replica)
+	}
+	return c.ResolveRoot(ctx, k)
+}
+
+// IndexStats reports this peer's index storage load.
+func (p *Peer) IndexStats() core.TableStats { return p.server.Stats() }
+
+// CacheStats reports this peer's result-cache hit/miss counters.
+func (p *Peer) CacheStats() (hits, misses uint64) { return p.server.CacheStats() }

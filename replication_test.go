@@ -1,0 +1,126 @@
+package keysearch
+
+import (
+	"context"
+	"testing"
+)
+
+// findDistinctRoots returns a keyword set whose primary- and
+// secondary-replica root vertices live on different peers, so killing
+// the primary root exercises failover.
+func findDistinctRoots(t *testing.T, c *Cluster, candidates []Set) (Set, Addr) {
+	t.Helper()
+	ctx := context.Background()
+	p := c.Peers[0]
+	for _, k := range candidates {
+		primaryAddr, err := p.resolveRoot(ctx, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secondaryAddr, err := p.resolveRoot(ctx, 1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if primaryAddr != secondaryAddr {
+			return k, primaryAddr
+		}
+	}
+	t.Skip("no candidate keyword set with distinct replica roots")
+	return Set{}, ""
+}
+
+func TestIndexReplicationSurvivesPrimaryRootFailure(t *testing.T) {
+	c := newCluster(t, 8, Config{Dim: 8, IndexReplicas: 2})
+	ctx := context.Background()
+
+	candidates := []Set{
+		NewKeywordSet("alpha", "beta"),
+		NewKeywordSet("gamma", "delta"),
+		NewKeywordSet("epsilon", "zeta"),
+		NewKeywordSet("eta", "theta"),
+		NewKeywordSet("iota", "kappa"),
+	}
+	k, primaryRoot := findDistinctRoots(t, c, candidates)
+
+	obj := Object{ID: "replicated-object", Keywords: k}
+	// Publish from a peer that is NOT the primary root, so the
+	// publisher survives the failure.
+	var publisher *Peer
+	for _, p := range c.Peers {
+		if p.Addr() != primaryRoot {
+			publisher = p
+			break
+		}
+	}
+	if err := publisher.Publish(ctx, obj, "/data"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	// Sanity: searchable before the failure.
+	ids, _, err := publisher.PinSearch(ctx, k)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("pre-failure pin = %v, %v", ids, err)
+	}
+
+	// Kill the primary replica's root node and heal the ring.
+	c.Network().SetDown(primaryRoot, true)
+	c.Heal(ctx)
+
+	// Pin and superset searches still find the object via the
+	// secondary replica.
+	var searcher *Peer
+	for _, p := range c.Peers {
+		if p.Addr() != primaryRoot && p != publisher {
+			searcher = p
+			break
+		}
+	}
+	ids, _, err = searcher.PinSearch(ctx, k)
+	if err != nil {
+		t.Fatalf("post-failure pin: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "replicated-object" {
+		t.Fatalf("post-failure pin = %v", ids)
+	}
+	res, err := searcher.Search(ctx, k, All, SearchOptions{})
+	if err != nil {
+		t.Fatalf("post-failure search: %v", err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("post-failure search matches = %d", len(res.Matches))
+	}
+}
+
+func TestSingleReplicaLosesEntriesOnRootFailure(t *testing.T) {
+	// The contrast case: without replication, killing the responsible
+	// node makes the entry unfindable even after the ring heals
+	// (crash-stop, no state transfer) — the motivation for Section
+	// 3.4's replication remark.
+	c := newCluster(t, 8, Config{Dim: 8, IndexReplicas: 1})
+	ctx := context.Background()
+
+	k := NewKeywordSet("solo", "entry")
+	p := c.Peers[0]
+	rootAddr, err := p.resolveRoot(ctx, 0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var publisher *Peer
+	for _, q := range c.Peers {
+		if q.Addr() != rootAddr {
+			publisher = q
+			break
+		}
+	}
+	if err := publisher.Publish(ctx, Object{ID: "solo-obj", Keywords: k}, "/d"); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Network().SetDown(rootAddr, true)
+	c.Heal(ctx)
+
+	ids, _, err := publisher.PinSearch(ctx, k)
+	if err == nil && len(ids) > 0 {
+		t.Fatalf("unreplicated entry survived root failure: %v", ids)
+	}
+}

@@ -1,0 +1,75 @@
+package keysearch
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTCPClusterEndToEnd runs three peers over real TCP sockets:
+// create/join, synchronous stabilization, publish, superset search,
+// and fetch.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	RegisterTypes()
+	net := NewTCPTransport()
+	defer net.Close()
+
+	cfg := Config{Dim: 6, MaintenanceInterval: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var peers []*Peer
+	for i := 0; i < 3; i++ {
+		p, err := NewPeer(net, "127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		defer p.Close()
+		if i == 0 {
+			p.Create()
+		} else if err := p.Join(ctx, peers[0].Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		peers = append(peers, p)
+		for round := 0; round < 12; round++ {
+			for _, q := range peers {
+				_ = q.StabilizeOnce(ctx)
+			}
+		}
+	}
+
+	obj := Object{ID: "tcp-obj", Keywords: NewKeywordSet("distributed", "systems", "go")}
+	if err := peers[1].Publish(ctx, obj, "/data/tcp-obj"); err != nil {
+		t.Fatalf("Publish over TCP: %v", err)
+	}
+
+	res, err := peers[2].Search(ctx, NewKeywordSet("distributed"), All, SearchOptions{})
+	if err != nil {
+		t.Fatalf("Search over TCP: %v", err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0].ObjectID != "tcp-obj" {
+		t.Fatalf("Search = %+v", res.Matches)
+	}
+
+	refs, err := peers[0].Fetch(ctx, "tcp-obj")
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("Fetch = %v, %v", refs, err)
+	}
+	if refs[0].Holder != peers[1].Addr() {
+		t.Errorf("holder = %s, want %s", refs[0].Holder, peers[1].Addr())
+	}
+
+	// Pin search and cursor over TCP as well.
+	ids, _, err := peers[0].PinSearch(ctx, obj.Keywords)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("PinSearch = %v, %v", ids, err)
+	}
+	cur, err := peers[2].SearchCursor(NewKeywordSet("go"), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _, err := cur.Next(ctx, 10)
+	if err != nil || len(page) != 1 {
+		t.Fatalf("cursor page = %v, %v", page, err)
+	}
+}
