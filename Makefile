@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet clean
+.PHONY: all build test race cover bench figures fmt vet clean ci
 
 all: build test
+
+# Full verification gate: static checks, build, and the race-enabled
+# test suite (includes the telemetry concurrency hammer).
+ci: vet build race
 
 build:
 	$(GO) build ./...

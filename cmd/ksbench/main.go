@@ -27,6 +27,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/analytic"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
 	"github.com/p2pkeyword/keysearch/internal/sim"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 func main() {
@@ -49,9 +50,14 @@ func run(args []string) error {
 		fig9R     = fs.String("fig9-r", "10,12", "dimensions for figure 9")
 		fig9Max   = fs.Int("fig9-max", 0, "cap on replayed queries (0 = full log)")
 		fig9Res   = fs.Int("fig9-maxresults", 20, "result-size cap for fig 9 query templates (see EXPERIMENTS.md)")
+		telem     = fs.Bool("telemetry", false, "instrument the simulated deployments and print a JSON registry snapshot after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if *telem {
+		reg = telemetry.New(256)
 	}
 
 	fmt.Fprintf(os.Stderr, "generating corpus (%d objects)...\n", *objects)
@@ -101,7 +107,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(out, "fig8 query log: top-10 templates account for %.1f%% of volume (paper: >60%%)\n\n",
 			100*log.TopShare(10))
-		if err := runFig8(out, c, log, parseInts(*fig8R), *fig8Q); err != nil {
+		if err := runFig8(out, c, log, parseInts(*fig8R), *fig8Q, reg); err != nil {
 			return err
 		}
 	}
@@ -119,12 +125,12 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(out, "fig9 query log: top-10 templates account for %.1f%% of volume (paper: >60%%)\n\n",
 			100*log.TopShare(10))
-		if err := runFig9(out, c, log, parseInts(*fig9R), *fig9Max); err != nil {
+		if err := runFig9(out, c, log, parseInts(*fig9R), *fig9Max, reg); err != nil {
 			return err
 		}
 	}
 	if want("costs") {
-		if err := runCosts(out, c); err != nil {
+		if err := runCosts(out, c, reg); err != nil {
 			return err
 		}
 	}
@@ -145,6 +151,13 @@ func run(args []string) error {
 			return err
 		}
 		sim.RenderHotSpots(out, res)
+		fmt.Fprintln(out)
+	}
+	if reg != nil {
+		fmt.Fprintln(out, "telemetry snapshot:")
+		if err := reg.WriteJSON(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	return nil
@@ -223,11 +236,11 @@ func renderEq1(out *os.File) {
 	fmt.Fprintln(out)
 }
 
-func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, perM int) error {
+func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, perM int, reg *telemetry.Registry) error {
 	recalls := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
 	for _, r := range rs {
 		fmt.Fprintf(os.Stderr, "fig8: deploying 2^%d index nodes and inserting corpus...\n", r)
-		d, err := sim.NewDeployment(r, 0)
+		d, err := sim.NewInstrumentedDeployment(r, 0, reg)
 		if err != nil {
 			return err
 		}
@@ -255,13 +268,13 @@ func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, per
 	return nil
 }
 
-func runFig9(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, maxQueries int) error {
+func runFig9(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, maxQueries int, reg *telemetry.Registry) error {
 	alphas := []float64{0, 1.0 / 48, 1.0 / 24, 1.0 / 12, 1.0 / 6, 1.0 / 3}
 	for _, r := range rs {
 		for _, recall := range []float64{0.5, 1.0} {
 			fmt.Fprintf(os.Stderr, "fig9: r=%d recall=%.0f%% replaying queries across %d cache sizes...\n",
 				r, 100*recall, len(alphas))
-			points, err := sim.Fig9(c, log, r, alphas, recall, maxQueries)
+			points, err := sim.Fig9Instrumented(c, log, r, alphas, recall, maxQueries, reg)
 			if err != nil {
 				return err
 			}
@@ -272,8 +285,8 @@ func runFig9(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, max
 	return nil
 }
 
-func runCosts(out *os.File, c *corpus.Corpus) error {
-	d, err := sim.NewDeployment(10, 0)
+func runCosts(out *os.File, c *corpus.Corpus, reg *telemetry.Registry) error {
+	d, err := sim.NewInstrumentedDeployment(10, 0, reg)
 	if err != nil {
 		return err
 	}

@@ -21,12 +21,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	keysearch "github.com/p2pkeyword/keysearch"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 func main() {
@@ -39,23 +42,44 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ksnode", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:0", "address to listen on")
-		join   = fs.String("join", "", "address of an existing node (empty = start a new network)")
-		dim    = fs.Int("dim", 10, "hypercube dimensionality (must match the network)")
-		cache  = fs.Int("cache", 128, "per-node result cache capacity (object IDs)")
+		listen      = fs.String("listen", "127.0.0.1:0", "address to listen on")
+		join        = fs.String("join", "", "address of an existing node (empty = start a new network)")
+		dim         = fs.Int("dim", 10, "hypercube dimensionality (must match the network)")
+		cache       = fs.Int("cache", 128, "per-node result cache capacity (object IDs)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	keysearch.RegisterTypes()
-	net := keysearch.NewTCPTransport()
-	defer net.Close()
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(256)
+		bound, shutdown, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics (traces at /traces, profiles at /debug/pprof/)\n", bound)
+		defer func() {
+			_ = shutdown()
+			// Flush the final counters so a scripted run keeps its
+			// telemetry even though the HTTP endpoint is gone.
+			fmt.Fprintln(os.Stderr, "final telemetry snapshot:")
+			_ = reg.WriteJSON(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+		}()
+	}
 
-	peer, err := keysearch.NewPeer(net, keysearch.Addr(*listen), keysearch.Config{
+	keysearch.RegisterTypes()
+	transport := keysearch.NewTCPTransport()
+	defer transport.Close()
+	transport.SetTelemetry(reg)
+
+	peer, err := keysearch.NewPeer(transport, keysearch.Addr(*listen), keysearch.Config{
 		Dim:                 *dim,
 		CacheCapacity:       *cache,
 		MaintenanceInterval: 500 * time.Millisecond,
+		Telemetry:           reg,
 	})
 	if err != nil {
 		return err
@@ -93,6 +117,19 @@ func run(args []string) error {
 		fmt.Print("> ")
 	}
 	return scanner.Err()
+}
+
+// serveMetrics starts the observability HTTP endpoint (Prometheus
+// /metrics, JSON /traces, net/http/pprof) at addr, returning the bound
+// address and a shutdown func.
+func serveMetrics(addr string, reg *telemetry.Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: telemetry.NewHTTPMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
 }
 
 func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error {

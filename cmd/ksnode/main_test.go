@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
 
 	keysearch "github.com/p2pkeyword/keysearch"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 // testPeer builds a single-peer in-memory network for console tests.
@@ -93,6 +96,72 @@ func TestDispatchPublishSearchFetch(t *testing.T) {
 	})
 	if err != nil || !strings.Contains(out, "unpublished") {
 		t.Errorf("unpublish output: %q err: %v", out, err)
+	}
+}
+
+// TestServeMetricsEndpoints drives the -metrics-addr HTTP surface the
+// way a Prometheus scraper and pprof client would: an instrumented
+// peer serves its registry, searches show up in /metrics and /traces,
+// and the pprof index answers.
+func TestServeMetricsEndpoints(t *testing.T) {
+	reg := telemetry.New(64)
+	net := keysearch.NewInMemoryTransport(1)
+	t.Cleanup(func() { net.Close() })
+	peer, err := keysearch.NewPeer(net, "metrics-peer", keysearch.Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+		Telemetry:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	peer.Create()
+
+	ctx := context.Background()
+	obj := keysearch.Object{ID: "song1", Keywords: keysearch.NewKeywordSet("mp3", "jazz")}
+	if err := peer.Publish(ctx, obj, "local://song1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Search(ctx, keysearch.NewKeywordSet("jazz"), 5, keysearch.SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	bound, shutdown, err := serveMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shutdown() })
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`core_ops_total{op="superset-search"} 1`,
+		"# TYPE core_search_duration_ns histogram",
+		"core_index_objects 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get("/traces"); code != 200 || !strings.Contains(body, `"op": "superset-search"`) {
+		t.Errorf("/traces -> %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ -> %d:\n%s", code, body)
 	}
 }
 

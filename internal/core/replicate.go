@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 // Replicated implements the index-replication remark of Section 3.4:
@@ -18,6 +19,12 @@ import (
 // unreachable.
 type Replicated struct {
 	clients []*Client // clients[0] is the primary
+
+	// Pre-resolved instruments (nil without telemetry; see SetTelemetry).
+	writes        *telemetry.Counter // core_replica_writes_total
+	writeFailures *telemetry.Counter // core_replica_write_failures_total
+	reads         *telemetry.Counter // core_replica_reads_total
+	failovers     *telemetry.Counter // core_replica_failovers_total
 }
 
 // NewReplicated builds a replicated index over the given per-instance
@@ -39,6 +46,18 @@ func NewReplicated(clients ...*Client) (*Replicated, error) {
 		seen[c.Instance()] = true
 	}
 	return &Replicated{clients: clients}, nil
+}
+
+// SetTelemetry wires the replicated index's fan-out accounting into
+// reg: writes attempted and failed per replica, reads issued, and
+// read failovers past an unusable replica. Call before serving
+// traffic; a nil registry leaves the instrumentation disabled.
+func (r *Replicated) SetTelemetry(reg *telemetry.Registry) {
+	r.writes = reg.Counter("core_replica_writes_total")
+	r.writeFailures = reg.Counter("core_replica_write_failures_total")
+	r.reads = reg.Counter("core_replica_reads_total")
+	r.failovers = reg.Counter("core_replica_failovers_total")
+	reg.Gauge("core_replica_fanout").Set(int64(len(r.clients)))
 }
 
 // Fanout returns the number of replicas.
@@ -67,8 +86,10 @@ func (r *Replicated) Insert(ctx context.Context, obj Object) (Stats, error) {
 		firstErr error
 	)
 	for _, c := range r.clients {
+		r.writes.Inc()
 		st, err := c.Insert(ctx, obj)
 		if err != nil {
+			r.writeFailures.Inc()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("replica %q: %w", c.Instance(), err)
 			}
@@ -89,8 +110,10 @@ func (r *Replicated) Delete(ctx context.Context, obj Object) (bool, Stats, error
 		firstErr error
 	)
 	for _, c := range r.clients {
+		r.writes.Inc()
 		ok, st, err := c.Delete(ctx, obj)
 		if err != nil {
+			r.writeFailures.Inc()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("replica %q: %w", c.Instance(), err)
 			}
@@ -123,7 +146,11 @@ func (r *Replicated) PinSearch(ctx context.Context, k keyword.Set) ([]string, St
 		emptySt  Stats
 		answered bool
 	)
-	for _, c := range r.clients {
+	for i, c := range r.clients {
+		if i > 0 {
+			r.failovers.Inc()
+		}
+		r.reads.Inc()
 		ids, st, err := c.PinSearch(ctx, k)
 		if err == nil {
 			if len(ids) > 0 {
@@ -157,7 +184,11 @@ func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshol
 		empty    Result
 		answered bool
 	)
-	for _, c := range r.clients {
+	for i, c := range r.clients {
+		if i > 0 {
+			r.failovers.Inc()
+		}
+		r.reads.Inc()
 		res, err := c.SupersetSearch(ctx, k, threshold, opts)
 		if err == nil {
 			if len(res.Matches) > 0 {

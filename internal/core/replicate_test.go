@@ -7,6 +7,7 @@ import (
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
 )
@@ -165,4 +166,44 @@ func mustResolve(t *testing.T, c *Client, k keyword.Set) transport.Addr {
 		t.Fatal(err)
 	}
 	return addr
+}
+
+// TestReplicatedTelemetryCounters checks the fan-out accounting: one
+// write per replica per mutation, one read per replica attempted, and
+// a failover tick each time a read moves past the primary.
+func TestReplicatedTelemetryCounters(t *testing.T) {
+	net, _, rep, clients := newReplicatedDeployment(t, 8, 4)
+	reg := telemetry.New(8)
+	rep.SetTelemetry(reg)
+	ctx := context.Background()
+
+	o := obj("counted", "omega", "psi")
+	if _, err := rep.Insert(ctx, o); err != nil {
+		t.Fatal(err)
+	}
+	q := keyword.NewSet("omega")
+	// Healthy read: the primary answers, no failover.
+	if _, err := rep.SupersetSearch(ctx, q, All, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// With the primary's root down the read falls over to the replica.
+	net.SetDown(mustResolve(t, clients[0], q), true)
+	if _, err := rep.SupersetSearch(ctx, q, All, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"core_replica_writes_total":         2, // one Insert × two replicas
+		"core_replica_write_failures_total": 0,
+		"core_replica_reads_total":          3, // healthy read + failed primary + replica
+		"core_replica_failovers_total":      1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["core_replica_fanout"]; got != 2 {
+		t.Errorf("core_replica_fanout = %d, want 2", got)
+	}
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 // response error codes carried in respTQuery (the transport reports
@@ -20,6 +22,14 @@ const (
 // the root enumerates the whole subhypercube up front, so 2^free
 // vertices are materialized.
 const maxBottomUpFree = 22
+
+// spanStepSampleEvery is the stride at which instrumented searches
+// attach the full per-vertex step list to their telemetry span. Every
+// search still records a span with exact aggregate counts; collecting
+// the wave tree itself allocates a few KB per query, which at high
+// query rates is churn the bounded span ring mostly evicts unread.
+// The first search after startup is always sampled.
+const spanStepSampleEvery = 8
 
 // runSearch is the root-side orchestration of a superset search: the
 // paper's Steps 1–3, driving the frontier queue U over the spanning
@@ -45,6 +55,14 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		return respTQuery{}, err
 	}
 
+	// Telemetry is sampled only when a registry is wired; the disabled
+	// path takes no timestamps and allocates no trace.
+	instrumented := s.cfg.Telemetry != nil
+	var startedAt time.Time
+	if instrumented {
+		startedAt = time.Now()
+	}
+
 	var sess *session
 	if msg.SessionID != 0 {
 		sess = s.sessions.take(msg.SessionID)
@@ -54,7 +72,14 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 	} else {
 		if !msg.Cumulative && !msg.NoCache {
 			if matches, exhausted, ok := s.cache.get(cacheKey(msg.Instance, msg.QueryKey), msg.Threshold); ok {
-				return respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true}, nil
+				s.met.cacheHits.Inc()
+				resp := respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true}
+				if instrumented {
+					s.recordSearchSpan(msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
+				}
+				return resp, nil
+			} else if s.cache.enabled() {
+				s.met.cacheMisses.Inc()
 			}
 		}
 		var err error
@@ -64,9 +89,25 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		}
 	}
 
+	// Span aggregates (nodes, msgs, duration, …) are recorded for every
+	// search, but the per-vertex step list costs a few KB per query and
+	// the bounded span ring evicts most of it unread, so step detail is
+	// sampled. Explicit trace requests always collect.
+	collectSteps := msg.WantTrace
+	if instrumented && !collectSteps {
+		collectSteps = (s.searchSeq.Add(1)-1)%spanStepSampleEvery == 0
+	}
 	var trace *[]TraceStep
-	if msg.WantTrace {
-		trace = new([]TraceStep)
+	if collectSteps {
+		// One step per visited vertex; the wave can cover the root's
+		// whole subcube, so size the buffer once instead of regrowing
+		// mid-traversal.
+		capHint := cube.SubcubeSize(rootV)
+		if capHint > telemetry.MaxSpanSteps {
+			capHint = telemetry.MaxSpanSteps
+		}
+		buf := make([]TraceStep, 0, capHint)
+		trace = &buf
 	}
 	var (
 		collected []Match
@@ -91,7 +132,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		FailedNodes: failed,
 		Rounds:      rounds,
 	}
-	if trace != nil {
+	if msg.WantTrace && trace != nil {
 		resp.Trace = *trace
 	}
 	if msg.Cumulative && !exhausted {
@@ -100,7 +141,74 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 	if msg.SessionID == 0 && !msg.Cumulative && !msg.NoCache && failed == 0 {
 		s.cache.put(msg.Instance, msg.QueryKey, query, collected, exhausted)
 	}
+	if instrumented {
+		// One clock read shared by the latency histogram and the span.
+		elapsedNS := time.Since(startedAt).Nanoseconds()
+		s.met.searchNodes.Add(uint64(nodes))
+		s.met.searchMsgs.Add(uint64(msgs))
+		s.met.searchFailed.Add(uint64(failed))
+		s.met.searchRounds.Add(uint64(rounds))
+		s.met.searchMatches.Add(uint64(len(collected)))
+		s.met.searchLatency.Observe(elapsedNS)
+		var steps []TraceStep
+		if trace != nil {
+			steps = *trace
+		}
+		s.recordSearchSpan(msg, order, rootV, resp, startedAt, elapsedNS, steps)
+	}
 	return resp, nil
+}
+
+// recordSearchSpan converts one completed superset search into a
+// telemetry span: the T_QUERY/T_CONT/T_STOP wave tree the root drove,
+// with per-step vertex and depth, bounded by telemetry.MaxSpanSteps.
+func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hypercube.Vertex, resp respTQuery, startedAt time.Time, elapsedNS int64, steps []TraceStep) {
+	span := telemetry.Span{
+		Op:             "superset-search",
+		Instance:       msg.Instance,
+		Query:          msg.QueryKey,
+		Root:           uint64(rootV),
+		Order:          order.String(),
+		Start:          startedAt,
+		DurationNS:     elapsedNS,
+		Nodes:          resp.SubNodes,
+		Msgs:           resp.SubMsgs,
+		Failed:         resp.FailedNodes,
+		Rounds:         resp.Rounds,
+		Matches:        len(resp.Matches),
+		CacheHit:       resp.CacheHit,
+		Exhausted:      resp.Exhausted,
+		ContinuedFrom:  msg.SessionID,
+		SessionPending: resp.SessionID,
+	}
+	if resp.CacheHit {
+		span.Nodes = 1 // only the root was involved
+	}
+	if n := len(steps); n > 0 {
+		kept := steps
+		if n > telemetry.MaxSpanSteps {
+			kept = steps[:telemetry.MaxSpanSteps]
+			span.DroppedSteps = n - telemetry.MaxSpanSteps
+		}
+		span.Steps = make([]telemetry.SpanStep, len(kept))
+		for i, st := range kept {
+			kind := telemetry.StepCont
+			if i == 0 && msg.SessionID == 0 {
+				kind = telemetry.StepQuery // the initiator's T_QUERY at the root
+			}
+			if i == len(steps)-1 && !resp.Exhausted {
+				kind = telemetry.StepStop // threshold met: the wave halted here
+			}
+			span.Steps[i] = telemetry.SpanStep{
+				Kind:    kind,
+				Vertex:  st.Vertex,
+				Depth:   hypercube.Hamming(rootV, hypercube.Vertex(st.Vertex)),
+				Matches: st.Matches,
+				Failed:  st.Failed,
+			}
+		}
+	}
+	s.cfg.Telemetry.RecordSpan(span)
 }
 
 // newSession builds the initial frontier for a fresh query.

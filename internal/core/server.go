@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
@@ -37,6 +39,12 @@ type ServerConfig struct {
 	// rejected so callers re-resolve — without this, stale resolver
 	// bindings would silently read empty tables on live former owners.
 	Owner func(key dht.ID) bool
+	// Telemetry, when set, receives the server's metrics (message
+	// counts by kind, search costs, cache hits, index-size gauges) and
+	// one search-trace span per superset search it roots. Nil disables
+	// all instrumentation at zero cost. Several servers may share one
+	// registry; gauges then report deployment-wide sums.
+	Telemetry *telemetry.Registry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -56,11 +64,60 @@ func (c ServerConfig) withDefaults() ServerConfig {
 type Server struct {
 	cfg  ServerConfig
 	cube hypercube.Cube
+	met  serverMetrics
+
+	// searchSeq numbers the superset searches this server roots; it
+	// drives the 1-in-spanStepSampleEvery sampling of per-vertex span
+	// steps (see runSearch).
+	searchSeq atomic.Uint64
 
 	mu       sync.Mutex
 	tables   map[string]map[hypercube.Vertex]*table // instance → vertex → Tbl
 	cache    *fifoCache
 	sessions *sessionStore
+}
+
+// serverMetrics holds the server's pre-resolved instruments. With a
+// nil registry every field is nil, and the nil-safe instrument methods
+// make each site a no-op.
+type serverMetrics struct {
+	opInsert  *telemetry.Counter // core_ops_total{op=…}
+	opDelete  *telemetry.Counter
+	opPin     *telemetry.Counter
+	opSub     *telemetry.Counter
+	opBulk    *telemetry.Counter
+	opHandoff *telemetry.Counter
+	opSearch  *telemetry.Counter
+
+	searchNodes   *telemetry.Counter   // core_search_nodes_total
+	searchMsgs    *telemetry.Counter   // core_search_msgs_total
+	searchFailed  *telemetry.Counter   // core_search_failed_nodes_total
+	searchRounds  *telemetry.Counter   // core_search_rounds_total
+	searchMatches *telemetry.Counter   // core_search_matches_total
+	searchLatency *telemetry.Histogram // core_search_duration_ns
+	cacheHits     *telemetry.Counter   // core_cache_hits_total
+	cacheMisses   *telemetry.Counter   // core_cache_misses_total
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	ops := reg.CounterVec("core_ops_total", "op")
+	return serverMetrics{
+		opInsert:      ops.With("insert"),
+		opDelete:      ops.With("delete"),
+		opPin:         ops.With("pin-search"),
+		opSub:         ops.With("sub-query"),
+		opBulk:        ops.With("bulk-insert"),
+		opHandoff:     ops.With("handoff"),
+		opSearch:      ops.With("superset-search"),
+		searchNodes:   reg.Counter("core_search_nodes_total"),
+		searchMsgs:    reg.Counter("core_search_msgs_total"),
+		searchFailed:  reg.Counter("core_search_failed_nodes_total"),
+		searchRounds:  reg.Counter("core_search_rounds_total"),
+		searchMatches: reg.Counter("core_search_matches_total"),
+		searchLatency: reg.Histogram("core_search_duration_ns", telemetry.DefaultLatencyBuckets),
+		cacheHits:     reg.Counter("core_cache_hits_total"),
+		cacheMisses:   reg.Counter("core_cache_misses_total"),
+	}
 }
 
 // table is Tbl_u for one logical vertex: entries ⟨keyword set, objects⟩.
@@ -114,13 +171,24 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		cube:     cube,
+		met:      newServerMetrics(cfg.Telemetry),
 		tables:   make(map[string]map[hypercube.Vertex]*table),
 		cache:    newFIFOCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
-	}, nil
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		// Sampled at snapshot time; with a shared registry every
+		// server's callback contributes to a deployment-wide sum.
+		reg.GaugeFunc("core_index_vertices", func() int64 { return int64(s.Stats().Vertices) })
+		reg.GaugeFunc("core_index_entries", func() int64 { return int64(s.Stats().Entries) })
+		reg.GaugeFunc("core_index_objects", func() int64 { return int64(s.Stats().Objects) })
+		reg.GaugeFunc("core_cache_queries", func() int64 { return int64(s.cache.len()) })
+		reg.GaugeFunc("core_sessions_active", func() int64 { return int64(s.sessions.len()) })
+	}
+	return s, nil
 }
 
 // errNotOwner rejects requests routed to a node that no longer owns
@@ -144,35 +212,42 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, errNotOwner
 		}
+		s.met.opInsert.Inc()
 		s.insertEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
 		return respAck{}, nil
 	case msgDeleteEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, errNotOwner
 		}
+		s.met.opDelete.Inc()
 		found := s.deleteEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
 		return respDeleteEntry{Found: found}, nil
 	case msgPinQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, errNotOwner
 		}
+		s.met.opPin.Inc()
 		return s.pinQuery(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
 	case msgSubQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, errNotOwner
 		}
+		s.met.opSub.Inc()
 		return s.subQuery(msg), nil
 	case msgBulkInsert:
+		s.met.opBulk.Inc()
 		for _, e := range msg.Entries {
 			s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID)
 		}
 		return respAck{}, nil
 	case msgHandoffRange:
+		s.met.opHandoff.Inc()
 		return respHandoffRange{Entries: s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))}, nil
 	case msgTQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, errNotOwner
 		}
+		s.met.opSearch.Inc()
 		return s.runSearch(ctx, msg)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnhandledMessage, body)
@@ -367,6 +442,10 @@ func (s *Server) Stats() TableStats {
 func (s *Server) CacheStats() (hits, misses uint64) {
 	return s.cache.stats()
 }
+
+// CacheCapacity returns the configured root-result cache capacity in
+// object-ID units (0 = caching disabled).
+func (s *Server) CacheCapacity() int { return s.cache.capacity }
 
 // extractRange removes and returns the entries a newly joined
 // predecessor now owns: those whose vertex key is outside (newID,

@@ -29,13 +29,21 @@ func (n *Node) FindSuccessor(ctx context.Context, id dht.ID) (NodeInfo, int, err
 	if !joined {
 		return NodeInfo{}, 0, dht.ErrNotJoined
 	}
+	n.met.lookups.Inc()
 
 	// Local short-circuit: id in (self, successor].
 	local := n.handleFindClosest(rpcFindClosest{ID: id})
 	if local.Done {
+		n.met.lookupHops.Observe(0)
 		return local.Node, 0, nil
 	}
-	return n.iterate(ctx, local.Node, id, 1)
+	info, hops, err := n.iterate(ctx, local.Node, id, 1)
+	if err != nil {
+		n.met.lookupFailures.Inc()
+	} else {
+		n.met.lookupHops.Observe(int64(hops))
+	}
+	return info, hops, err
 }
 
 // findSuccessorVia resolves id's successor by asking the node at seed

@@ -21,6 +21,7 @@ func (n *Node) StabilizeOnce(ctx context.Context) error {
 	succs := make([]NodeInfo, len(n.successors))
 	copy(succs, n.successors)
 	n.mu.Unlock()
+	n.met.stabilizes.Inc()
 
 	for len(succs) > 0 {
 		succ := succs[0]
@@ -115,6 +116,7 @@ func (n *Node) CheckPredecessorOnce(ctx context.Context) {
 		n.mu.Lock()
 		if n.predecessor.Addr == pred.Addr {
 			n.predecessor = NodeInfo{}
+			n.met.predClears.Inc()
 		}
 		n.mu.Unlock()
 	}
@@ -131,6 +133,7 @@ func (n *Node) FixFingersOnce(ctx context.Context) error {
 	i := n.nextFinger
 	n.nextFinger = (n.nextFinger + 1) % len(n.fingers)
 	n.mu.Unlock()
+	n.met.fixFingers.Inc()
 
 	start := n.self.ID + dht.ID(1)<<uint(i) // modular arithmetic wraps naturally
 	info, _, err := n.FindSuccessor(ctx, start)

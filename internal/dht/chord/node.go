@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	MaxLookupSteps int
 	// RPCTimeout bounds each remote call. Default 2s.
 	RPCTimeout time.Duration
+	// Telemetry receives routing and maintenance metrics. Nil disables
+	// the instrumentation at zero cost. Nodes sharing a registry sum
+	// their chord_refs gauge deployment-wide.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +71,37 @@ type Node struct {
 
 	maintStop chan struct{}
 	maintDone chan struct{}
+
+	met nodeMetrics
+}
+
+// nodeMetrics holds the node's pre-resolved instruments. Every field
+// is nil when Config.Telemetry is nil; all methods on nil instruments
+// are no-ops, so instrumented paths need no conditionals.
+type nodeMetrics struct {
+	lookups        *telemetry.Counter    // chord_lookups_total
+	lookupFailures *telemetry.Counter    // chord_lookup_failures_total
+	lookupHops     *telemetry.Histogram  // chord_lookup_hops
+	stabilizes     *telemetry.Counter    // chord_stabilize_runs_total
+	fixFingers     *telemetry.Counter    // chord_fix_fingers_runs_total
+	predClears     *telemetry.Counter    // chord_predecessor_clears_total
+	joins          *telemetry.Counter    // chord_joins_total
+	leaves         *telemetry.Counter    // chord_leaves_total
+	rpcHandled     *telemetry.CounterVec // chord_rpc_handled_total{type}
+}
+
+func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
+	return nodeMetrics{
+		lookups:        reg.Counter("chord_lookups_total"),
+		lookupFailures: reg.Counter("chord_lookup_failures_total"),
+		lookupHops:     reg.Histogram("chord_lookup_hops", telemetry.LinearBuckets(1, 1, 12)),
+		stabilizes:     reg.Counter("chord_stabilize_runs_total"),
+		fixFingers:     reg.Counter("chord_fix_fingers_runs_total"),
+		predClears:     reg.Counter("chord_predecessor_clears_total"),
+		joins:          reg.Counter("chord_joins_total"),
+		leaves:         reg.Counter("chord_leaves_total"),
+		rpcHandled:     reg.CounterVec("chord_rpc_handled_total", "type"),
+	}
 }
 
 var _ dht.Overlay = (*Node)(nil)
@@ -80,12 +116,17 @@ type refKey struct {
 // Handler (typically through a transport mux shared with the index
 // layer).
 func New(addr transport.Addr, net transport.Sender, cfg Config) *Node {
-	return &Node{
+	n := &Node{
 		self: NodeInfo{ID: dht.HashString(string(addr)), Addr: addr},
 		net:  net,
 		cfg:  cfg.withDefaults(),
 		refs: make(map[string]map[refKey]dht.Reference),
+		met:  newNodeMetrics(cfg.Telemetry),
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.GaugeFunc("chord_refs", func() int64 { return int64(n.RefCount()) })
+	}
+	return n
 }
 
 // Info returns this node's identity.
@@ -145,6 +186,7 @@ func (n *Node) Join(ctx context.Context, seed transport.Addr) error {
 			n.mu.Unlock()
 		}
 	}
+	n.met.joins.Inc()
 	// Announce ourselves so the ring converges quickly even before the
 	// first maintenance tick.
 	return n.StabilizeOnce(ctx)
@@ -256,6 +298,7 @@ func (n *Node) Leave(ctx context.Context) error {
 		return dht.ErrNotJoined
 	}
 	n.joined = false
+	n.met.leaves.Inc()
 	var succ NodeInfo
 	if len(n.successors) > 0 {
 		succ = n.successors[0]

@@ -98,6 +98,13 @@ func RegisterTypes() {
 // message types yield ErrUnhandled so callers can mux several
 // protocol layers on one endpoint.
 func (n *Node) Handler(ctx context.Context, from transport.Addr, body any) (any, error) {
+	if n.met.rpcHandled != nil {
+		switch body.(type) {
+		case rpcFindClosest, rpcGetPredecessor, rpcNotify, rpcGetSuccessorList,
+			rpcPing, rpcInsertRef, rpcDeleteRef, rpcReadRefs, rpcHandoff, rpcDepart:
+			n.met.rpcHandled.Inc(fmt.Sprintf("%T", body))
+		}
+	}
 	switch msg := body.(type) {
 	case rpcFindClosest:
 		return n.handleFindClosest(msg), nil

@@ -9,6 +9,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/corpus"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
 )
@@ -22,15 +23,28 @@ type Deployment struct {
 	Hasher  keyword.Hasher
 	Servers []*core.Server // indexed by vertex
 	Client  *core.Client
+	// Telemetry is the registry shared by every node of the deployment
+	// (nil for uninstrumented deployments). Because all 2^r servers
+	// register their gauges on the one registry, its snapshot reports
+	// deployment-wide totals.
+	Telemetry *telemetry.Registry
 }
 
 // NewDeployment builds a 2^r-node deployment. cacheCapacity is the
 // per-node FIFO cache size in object-ID units (0 disables caching).
 func NewDeployment(r, cacheCapacity int) (*Deployment, error) {
+	return NewInstrumentedDeployment(r, cacheCapacity, nil)
+}
+
+// NewInstrumentedDeployment is NewDeployment with every node (and the
+// in-memory network) wired to reg. A nil reg is equivalent to
+// NewDeployment.
+func NewInstrumentedDeployment(r, cacheCapacity int, reg *telemetry.Registry) (*Deployment, error) {
 	if r < 1 || r > 16 {
 		return nil, fmt.Errorf("sim: deployment r=%d outside the tractable range [1, 16]", r)
 	}
 	net := inmem.New(1)
+	net.SetTelemetry(reg)
 	hasher := keyword.MustNewHasher(r, HashSeed)
 	size := 1 << uint(r)
 	addrs := make([]transport.Addr, size)
@@ -47,6 +61,7 @@ func NewDeployment(r, cacheCapacity int) (*Deployment, error) {
 			Resolver:      resolver,
 			Sender:        net,
 			CacheCapacity: cacheCapacity,
+			Telemetry:     reg,
 		})
 		if err != nil {
 			net.Close()
@@ -63,7 +78,7 @@ func NewDeployment(r, cacheCapacity int) (*Deployment, error) {
 		net.Close()
 		return nil, err
 	}
-	return &Deployment{R: r, Net: net, Hasher: hasher, Servers: servers, Client: client}, nil
+	return &Deployment{R: r, Net: net, Hasher: hasher, Servers: servers, Client: client, Telemetry: reg}, nil
 }
 
 // Close releases the deployment's network.

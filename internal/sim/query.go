@@ -8,6 +8,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 // Fig8Line is one Figure 8 series: for queries of size m on an
@@ -92,6 +93,13 @@ type Fig9Point struct {
 // Fig9 replays the query log against deployments with increasing cache
 // capacity. maxQueries bounds the replay length (0 = full log).
 func Fig9(c *corpus.Corpus, log *corpus.QueryLog, r int, alphas []float64, recall float64, maxQueries int) ([]Fig9Point, error) {
+	return Fig9Instrumented(c, log, r, alphas, recall, maxQueries, nil)
+}
+
+// Fig9Instrumented is Fig9 with every per-alpha deployment wired to
+// reg, so a single registry accumulates telemetry across the whole
+// sweep. A nil reg is equivalent to Fig9.
+func Fig9Instrumented(c *corpus.Corpus, log *corpus.QueryLog, r int, alphas []float64, recall float64, maxQueries int, reg *telemetry.Registry) ([]Fig9Point, error) {
 	if recall <= 0 || recall > 1 {
 		return nil, fmt.Errorf("sim: recall %g outside (0, 1]", recall)
 	}
@@ -102,7 +110,7 @@ func Fig9(c *corpus.Corpus, log *corpus.QueryLog, r int, alphas []float64, recal
 	points := make([]Fig9Point, 0, len(alphas))
 	for _, alpha := range alphas {
 		capacity := int(alpha * float64(c.Len()) / float64(int(1)<<uint(r)))
-		pt, err := fig9Once(c, queries, log, r, capacity, recall)
+		pt, err := fig9Once(c, queries, log, r, capacity, recall, reg)
 		if err != nil {
 			return nil, fmt.Errorf("fig9 alpha %g: %w", alpha, err)
 		}
@@ -112,8 +120,8 @@ func Fig9(c *corpus.Corpus, log *corpus.QueryLog, r int, alphas []float64, recal
 	return points, nil
 }
 
-func fig9Once(c *corpus.Corpus, queries []corpus.Query, log *corpus.QueryLog, r, capacity int, recall float64) (Fig9Point, error) {
-	d, err := NewDeployment(r, capacity)
+func fig9Once(c *corpus.Corpus, queries []corpus.Query, log *corpus.QueryLog, r, capacity int, recall float64, reg *telemetry.Registry) (Fig9Point, error) {
+	d, err := NewInstrumentedDeployment(r, capacity, reg)
 	if err != nil {
 		return Fig9Point{}, err
 	}
@@ -121,6 +129,15 @@ func fig9Once(c *corpus.Corpus, queries []corpus.Query, log *corpus.QueryLog, r,
 	if err := d.InsertCorpus(c); err != nil {
 		return Fig9Point{}, err
 	}
+	return ReplayLog(d, queries, log, recall)
+}
+
+// ReplayLog replays a query log against an existing deployment at the
+// given recall rate, skipping zero-result templates before sending.
+// Every counted query therefore consults the root node's cache exactly
+// once (when caching is enabled), which is what lets the deployment's
+// telemetry counters reconcile exactly with the returned Fig9Point.
+func ReplayLog(d *Deployment, queries []corpus.Query, log *corpus.QueryLog, recall float64) (Fig9Point, error) {
 	ctx := context.Background()
 	totalNodes := float64(d.Nodes())
 	var (
@@ -149,6 +166,10 @@ func fig9Once(c *corpus.Corpus, queries []corpus.Query, log *corpus.QueryLog, r,
 	}
 	if counted == 0 {
 		return Fig9Point{}, fmt.Errorf("sim: fig9 replay had no result-bearing queries")
+	}
+	capacity := 0
+	if len(d.Servers) > 0 {
+		capacity = d.Servers[0].CacheCapacity()
 	}
 	return Fig9Point{
 		CacheCapacity: capacity,

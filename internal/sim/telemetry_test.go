@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
+)
+
+// TestReplayTelemetryReconcilesWithFig9 replays a query log against an
+// instrumented deployment and checks that the telemetry counters agree
+// exactly with the replay's own accounting: ReplayLog skips zero-result
+// templates before sending, so every counted query consults the root
+// cache exactly once, making hits+misses equal the query count and the
+// hit counter equal HitRate·Queries with no slack.
+func TestReplayTelemetryReconcilesWithFig9(t *testing.T) {
+	c := testCorpus(t, 5000)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries:            1500,
+		Templates:          200,
+		Seed:               2,
+		MaxTemplateResults: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New(64)
+	d, err := NewInstrumentedDeployment(6, 50, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.InsertCorpus(c); err != nil {
+		t.Fatal(err)
+	}
+
+	pt, err := ReplayLog(d, log.Queries(), log, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Queries == 0 || pt.HitRate == 0 {
+		t.Fatalf("degenerate replay: %+v", pt)
+	}
+
+	snap := reg.Snapshot()
+	hits := snap.Counters["core_cache_hits_total"]
+	misses := snap.Counters["core_cache_misses_total"]
+	if hits+misses != uint64(pt.Queries) {
+		t.Errorf("cache consultations %d+%d != %d replayed queries", hits, misses, pt.Queries)
+	}
+	wantHits := uint64(math.Round(pt.HitRate * float64(pt.Queries)))
+	if hits != wantHits {
+		t.Errorf("telemetry hits = %d, Fig9 hit rate implies %d", hits, wantHits)
+	}
+
+	// The servers' built-in cache accounting must agree with the
+	// mirrored telemetry counters.
+	var srvHits, srvMisses uint64
+	for _, s := range d.Servers {
+		h, m := s.CacheStats()
+		srvHits += h
+		srvMisses += m
+	}
+	if srvHits != hits || srvMisses != misses {
+		t.Errorf("server cache stats %d/%d != telemetry %d/%d", srvHits, srvMisses, hits, misses)
+	}
+
+	// One root T_QUERY — and so one search span — per counted query.
+	if ops := snap.Counters[`core_ops_total{op="superset-search"}`]; ops != uint64(pt.Queries) {
+		t.Errorf("superset-search ops = %d, want %d", ops, pt.Queries)
+	}
+	if snap.SpansTotal != uint64(pt.Queries) {
+		t.Errorf("spans recorded = %d, want %d", snap.SpansTotal, pt.Queries)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	r := New(8)
+	r.Counter("core_searches_total").Add(7)
+	r.CounterVec("msgs_total", "type").Add("core.msgTQuery", 3)
+	r.Gauge("sessions").Set(2)
+	r.GaugeFunc("index_objects", func() int64 { return 5 })
+	h := r.Histogram("rpc_ns", []int64{1000, 2000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9999)
+	r.RecordSpan(Span{Op: "superset-search", Query: "a b", Nodes: 4, Msgs: 8})
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	out := exampleRegistry().PrometheusString()
+	for _, want := range []string{
+		"# TYPE core_searches_total counter",
+		"core_searches_total 7",
+		`msgs_total{type="core.msgTQuery"} 3`,
+		"# TYPE sessions gauge",
+		"sessions 2",
+		"index_objects 5",
+		"# TYPE rpc_ns histogram",
+		`rpc_ns_bucket{le="1000"} 1`,
+		`rpc_ns_bucket{le="2000"} 2`,
+		`rpc_ns_bucket{le="+Inf"} 3`,
+		"rpc_ns_sum 11999",
+		"rpc_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := exampleRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Counters["core_searches_total"] != 7 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Counters[`msgs_total{type="core.msgTQuery"}`] != 3 {
+		t.Errorf("vec flattening = %v", snap.Counters)
+	}
+	if snap.Gauges["sessions"] != 2 || snap.Gauges["index_objects"] != 5 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	hist := snap.Histograms["rpc_ns"]
+	if hist.Count != 3 || hist.Sum != 11999 || len(hist.Buckets) != 3 {
+		t.Errorf("histogram = %+v", hist)
+	}
+	if snap.SpansTotal != 1 {
+		t.Errorf("spans_total = %d, want 1", snap.SpansTotal)
+	}
+}
+
+func TestHTTPMuxServesMetricsTracesAndPprof(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPMux(exampleRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "core_searches_total 7") {
+		t.Errorf("/metrics -> %d:\n%s", code, body)
+	}
+	code, body := get("/traces")
+	if code != 200 || !strings.Contains(body, `"op": "superset-search"`) {
+		t.Errorf("/traces -> %d:\n%s", code, body)
+	}
+	var traces struct {
+		Total uint64 `json:"total"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil || traces.Total != 1 || len(traces.Spans) != 1 {
+		t.Errorf("traces JSON = %s (err %v)", body, err)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ -> %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline -> %d", code)
+	}
+}

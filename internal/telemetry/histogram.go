@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (typically nanoseconds or hop counts). Bucket i counts observations
+// v with v <= bounds[i] and v > bounds[i-1]; the last bucket is the
+// implicit +Inf overflow. Observations and reads are lock-free; a
+// snapshot taken concurrently with writes may be mid-update by at most
+// the in-flight observations. A nil Histogram discards observations.
+type Histogram struct {
+	bounds []int64 // sorted, deduplicated upper bounds (exclusive of +Inf)
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// DefaultLatencyBuckets spans 50µs to ~13s in powers of 4 — wide
+// enough for in-memory calls and slow TCP RPCs alike.
+var DefaultLatencyBuckets = ExpBuckets(int64(50*time.Microsecond), 4, 10)
+
+func newHistogram(bounds []int64) *Histogram {
+	sorted := make([]int64, len(bounds))
+	copy(sorted, bounds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// bucketIndex returns the index of the first bucket whose upper bound
+// is >= v, or len(bounds) for the +Inf overflow bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count
+// of observations <= UpperBound (Prometheus "le" semantics).
+type Bucket struct {
+	UpperBound int64  `json:"le"`   // math.MaxInt64 stands for +Inf
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"` // cumulative, ending with +Inf
+	Count   uint64   `json:"total"`
+	Sum     int64    `json:"sum"`
+}
+
+// snapshot copies the histogram with cumulative bucket counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := int64(infBound)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		snap.Buckets[i] = Bucket{UpperBound: bound, Count: cum}
+	}
+	return snap
+}
+
+// infBound is the sentinel upper bound of the overflow bucket.
+const infBound = int64(^uint64(0) >> 1) // math.MaxInt64

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the Prometheus text exposition of the
+// registry. Works on a nil Registry (serves an empty body).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the retained search-trace spans as JSON:
+// {"total": <spans ever recorded>, "spans": [...oldest first...]}.
+func (r *Registry) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		spans, total := r.Spans()
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}{Total: total, Spans: spans})
+	})
+}
+
+// NewHTTPMux returns a mux serving the registry's /metrics
+// (Prometheus text) and /traces (JSON spans) plus the standard
+// /debug/pprof/* runtime-profiling endpoints, so one listener covers
+// metrics scraping and live profiling of a running node.
+func NewHTTPMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/traces", r.TracesHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

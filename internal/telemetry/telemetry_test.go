@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New(0)
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops_total") != c {
+		t.Error("same name should return the same counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	v := r.CounterVec("msgs_total", "type")
+	v.Inc("a")
+	v.Add("b", 2)
+	if v.With("a").Value() != 1 || v.With("b").Value() != 2 {
+		t.Errorf("vec values = %d/%d, want 1/2", v.With("a").Value(), v.With("b").Value())
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoops(t *testing.T) {
+	var r *Registry // the Noop registry
+	if r != Noop() {
+		t.Error("Noop() should be nil")
+	}
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter should stay 0")
+	}
+	g := r.Gauge("y")
+	g.Set(9)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge should stay 0")
+	}
+	h := r.Histogram("z", LinearBuckets(1, 1, 3))
+	h.Observe(2)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should stay empty")
+	}
+	v := r.CounterVec("w", "type")
+	v.Inc("t")
+	if v.With("t").Value() != 0 {
+		t.Error("nil vec should stay 0")
+	}
+	r.GaugeFunc("f", func() int64 { return 42 })
+	r.RecordSpan(Span{Op: "x"})
+	if spans, total := r.Spans(); spans != nil || total != 0 {
+		t.Error("nil registry should retain no spans")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+	if r.PrometheusString() != "" {
+		t.Error("nil registry should expose nothing")
+	}
+}
+
+// TestConcurrentHammer drives every instrument kind from many
+// goroutines and asserts exact totals — the sync/atomic hot path must
+// lose no updates (run under -race).
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 2000
+	)
+	r := New(64)
+	c := r.Counter("hammer_total")
+	g := r.Gauge("hammer_level")
+	h := r.Histogram("hammer_hist", LinearBuckets(100, 100, 10))
+	v := r.CounterVec("hammer_vec", "type")
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(j % 1200))
+				if worker%2 == 0 {
+					v.Inc("even")
+				} else {
+					v.Inc("odd")
+				}
+				if j%100 == 0 {
+					r.RecordSpan(Span{Op: "hammer", Nodes: j})
+					_ = r.Snapshot() // readers must not block or corrupt writers
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var wantSum int64
+	for j := 0; j < perG; j++ {
+		wantSum += int64(j % 1200)
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+	snap := h.snapshot()
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if last.UpperBound != infBound || last.Count != total {
+		t.Errorf("+Inf bucket = %+v, want cumulative %d", last, total)
+	}
+	even, odd := v.With("even").Value(), v.With("odd").Value()
+	if even+odd != total || even != total/2 {
+		t.Errorf("vec split = %d/%d, want %d/%d", even, odd, total/2, total/2)
+	}
+	if _, spanTotal := r.Spans(); spanTotal != goroutines*(perG/100) {
+		t.Errorf("span total = %d, want %d", spanTotal, goroutines*(perG/100))
+	}
+}
+
+// TestHistogramBucketProperty checks, for random bounds and random
+// observations, that each observation lands in exactly the first
+// bucket whose upper bound is >= the value, that cumulative bucket
+// counts are monotone, and that the +Inf bucket equals the total.
+func TestHistogramBucketProperty(t *testing.T) {
+	prop := func(rawBounds []int64, values []int64) bool {
+		if len(rawBounds) > 24 {
+			rawBounds = rawBounds[:24]
+		}
+		for i, b := range rawBounds { // keep bounds in a sane range
+			rawBounds[i] = b % 10_000
+		}
+		h := newHistogram(rawBounds)
+		want := make([]uint64, len(h.bounds)+1)
+		var wantSum int64
+		for _, v := range values {
+			v %= 20_000
+			h.Observe(v)
+			wantSum += v
+			idx := len(h.bounds)
+			for i, b := range h.bounds {
+				if v <= b {
+					idx = i
+					break
+				}
+			}
+			want[idx]++
+		}
+		snap := h.snapshot()
+		var cum uint64
+		for i := range want {
+			cum += want[i]
+			if snap.Buckets[i].Count != cum {
+				return false
+			}
+			if i > 0 && snap.Buckets[i].Count < snap.Buckets[i-1].Count {
+				return false
+			}
+		}
+		return snap.Count == uint64(len(values)) && snap.Sum == wantSum &&
+			snap.Buckets[len(snap.Buckets)-1].Count == uint64(len(values))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	h := newHistogram([]int64{30, 10, 20, 10, 30})
+	if len(h.bounds) != 3 || h.bounds[0] != 10 || h.bounds[1] != 20 || h.bounds[2] != 30 {
+		t.Errorf("bounds = %v, want [10 20 30]", h.bounds)
+	}
+	h.Observe(10) // boundary lands in the le=10 bucket
+	if h.counts[0].Load() != 1 {
+		t.Error("boundary observation should land in its own bucket")
+	}
+	h.Observe(math.MaxInt64) // overflow bucket
+	if h.counts[3].Load() != 1 {
+		t.Error("overflow observation should land in +Inf")
+	}
+}
+
+func TestGaugeFuncSumsAcrossRegistrations(t *testing.T) {
+	r := New(0)
+	r.GaugeFunc("index_objects", func() int64 { return 3 })
+	r.GaugeFunc("index_objects", func() int64 { return 4 })
+	r.Gauge("index_objects").Set(10) // plain gauge under the same name adds in
+	snap := r.Snapshot()
+	if got := snap.Gauges["index_objects"]; got != 17 {
+		t.Errorf("summed gauge = %d, want 17", got)
+	}
+}
+
+func TestSpanRingEvictsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.RecordSpan(Span{Nodes: i})
+	}
+	spans, total := r.Spans()
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+	if len(spans) != 3 || spans[0].Nodes != 2 || spans[2].Nodes != 4 {
+		t.Errorf("ring = %+v, want nodes 2..4 oldest first", spans)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 4)
+	if len(lin) != 4 || lin[0] != 1 || lin[3] != 7 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(100, 10, 3)
+	if len(exp) != 3 || exp[0] != 100 || exp[1] != 1000 || exp[2] != 10000 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+}

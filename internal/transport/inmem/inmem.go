@@ -12,7 +12,9 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"time"
 
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
@@ -40,6 +42,19 @@ type Network struct {
 	messages uint64
 	failures uint64
 	byType   map[reflect.Type]uint64
+
+	// Telemetry instruments (nil without SetTelemetry). metByType
+	// caches the per-type vec children, resolved under mu (which Send
+	// already holds), keeping the hot path to one atomic add. Traffic
+	// arrives in single-type bursts (e.g. a wave of T_CONT sub-queries),
+	// so a one-entry cache in front of the map catches nearly every
+	// message with a pointer compare.
+	metMsgs     *telemetry.CounterVec // transport_inmem_msgs_total{type}
+	metFail     *telemetry.Counter    // transport_inmem_failures_total
+	metLatency  *telemetry.Histogram  // transport_inmem_rpc_duration_ns
+	metByType   map[reflect.Type]*telemetry.Counter
+	metLastType reflect.Type
+	metLast     *telemetry.Counter
 }
 
 var _ transport.Network = (*Network)(nil)
@@ -55,6 +70,31 @@ func New(seed int64) *Network {
 		rng:      rand.New(rand.NewSource(seed)),
 		byType:   make(map[reflect.Type]uint64),
 	}
+}
+
+// latencySampleEvery is the sampling stride of the handler-latency
+// histogram: in-process deliveries take well under a microsecond, so
+// timing every call would cost more than the call itself. Message and
+// failure counters remain exact.
+const latencySampleEvery = 32
+
+// SetTelemetry mirrors the network's traffic counters into reg:
+// per-message-type delivery counts, failed sends, and sampled handler
+// latency. The built-in Stats() accounting is unaffected. A nil
+// registry disables the mirroring.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.metMsgs, n.metFail, n.metLatency, n.metByType = nil, nil, nil, nil
+		n.metLastType, n.metLast = nil, nil
+		return
+	}
+	n.metMsgs = reg.CounterVec("transport_inmem_msgs_total", "type")
+	n.metFail = reg.Counter("transport_inmem_failures_total")
+	n.metLatency = reg.Histogram("transport_inmem_rpc_duration_ns", telemetry.DefaultLatencyBuckets)
+	n.metByType = make(map[reflect.Type]*telemetry.Counter)
+	n.metLastType, n.metLast = nil, nil
 }
 
 type boundNode struct {
@@ -100,25 +140,53 @@ func (n *Network) SendFrom(ctx context.Context, from, to transport.Addr, body an
 		return nil, transport.ErrClosed
 	}
 	n.messages++
-	n.byType[reflect.TypeOf(body)]++
+	bodyType := reflect.TypeOf(body)
+	n.byType[bodyType]++
+	metFail, metLatency := n.metFail, n.metLatency
+	if metLatency != nil && n.messages%latencySampleEvery != 0 {
+		metLatency = nil
+	}
+	if n.metMsgs != nil {
+		c := n.metLast
+		if bodyType != n.metLastType {
+			var ok bool
+			c, ok = n.metByType[bodyType]
+			if !ok {
+				c = n.metMsgs.With(typeName(bodyType))
+				n.metByType[bodyType] = c
+			}
+			n.metLastType, n.metLast = bodyType, c
+		}
+		c.Inc()
+	}
 	handler, ok := n.handlers[to]
 	switch {
 	case !ok || n.down[to]:
 		n.failures++
 		n.mu.Unlock()
+		metFail.Inc()
 		return nil, fmt.Errorf("send to %q: %w", to, transport.ErrUnreachable)
 	case n.blocked[[2]transport.Addr{from, to}]:
 		n.failures++
 		n.mu.Unlock()
+		metFail.Inc()
 		return nil, fmt.Errorf("send %q→%q blocked: %w", from, to, transport.ErrUnreachable)
 	case n.dropProb > 0 && n.rng.Float64() < n.dropProb:
 		n.failures++
 		n.mu.Unlock()
+		metFail.Inc()
 		return nil, fmt.Errorf("send to %q dropped: %w", to, transport.ErrUnreachable)
 	}
 	n.mu.Unlock()
 
+	var started time.Time
+	if metLatency != nil {
+		started = time.Now()
+	}
 	resp, err := handler(ctx, from, body)
+	if metLatency != nil {
+		metLatency.ObserveSince(started)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", transport.ErrRemote, err)
 	}

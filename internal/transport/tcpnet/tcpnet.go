@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
@@ -42,6 +43,14 @@ type Network struct {
 	closed    bool
 	idle      map[transport.Addr][]*clientConn
 	listeners []*listener
+
+	// Telemetry instruments (nil without SetTelemetry).
+	metRequests *telemetry.CounterVec // transport_tcp_requests_total{type}
+	metHandled  *telemetry.CounterVec // transport_tcp_handled_total{type}
+	metFailures *telemetry.Counter    // transport_tcp_failures_total
+	metLatency  *telemetry.Histogram  // transport_tcp_rpc_duration_ns
+	metSent     *telemetry.Counter    // transport_tcp_bytes_sent_total
+	metRecv     *telemetry.Counter    // transport_tcp_bytes_recv_total
 }
 
 var _ transport.Network = (*Network)(nil)
@@ -49,6 +58,47 @@ var _ transport.Network = (*Network)(nil)
 // New returns an empty TCP network.
 func New() *Network {
 	return &Network{idle: make(map[transport.Addr][]*clientConn)}
+}
+
+// SetTelemetry wires the network's traffic accounting into reg:
+// requests sent and handled per body type, failed exchanges, RPC
+// round-trip latency, and wire bytes in each direction. Call before
+// Bind/Send so every connection is counted; a nil registry disables
+// the instrumentation for connections opened afterwards.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.metRequests, n.metHandled, n.metFailures = nil, nil, nil
+		n.metLatency, n.metSent, n.metRecv = nil, nil, nil
+		return
+	}
+	n.metRequests = reg.CounterVec("transport_tcp_requests_total", "type")
+	n.metHandled = reg.CounterVec("transport_tcp_handled_total", "type")
+	n.metFailures = reg.Counter("transport_tcp_failures_total")
+	n.metLatency = reg.Histogram("transport_tcp_rpc_duration_ns", telemetry.DefaultLatencyBuckets)
+	n.metSent = reg.Counter("transport_tcp_bytes_sent_total")
+	n.metRecv = reg.Counter("transport_tcp_bytes_recv_total")
+}
+
+// countingConn charges wire bytes to the network's byte counters. The
+// nil-safe counters make an uninstrumented wrap free apart from the
+// two method hops.
+type countingConn struct {
+	net.Conn
+	sent, recv *telemetry.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	nr, err := c.Conn.Read(p)
+	c.recv.Add(uint64(nr))
+	return nr, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	nw, err := c.Conn.Write(p)
+	c.sent.Add(uint64(nw))
+	return nw, err
 }
 
 type clientConn struct {
@@ -135,8 +185,11 @@ func (l *listener) acceptLoop() {
 			}
 			continue
 		}
+		l.net.mu.Lock()
+		wrapped := &countingConn{Conn: conn, sent: l.net.metSent, recv: l.net.metRecv}
+		l.net.mu.Unlock()
 		l.wg.Add(1)
-		go l.serveConn(conn)
+		go l.serveConn(wrapped)
 	}
 }
 
@@ -151,12 +204,18 @@ func (l *listener) serveConn(conn net.Conn) {
 		delete(l.conns, conn)
 		l.mu.Unlock()
 	}()
+	l.net.mu.Lock()
+	handled := l.net.metHandled
+	l.net.mu.Unlock()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
+		}
+		if handled != nil {
+			handled.Inc(fmt.Sprintf("%T", req.Body))
 		}
 		var resp response
 		body, err := l.handler(context.Background(), transport.Addr(req.From), req.Body)
@@ -181,9 +240,24 @@ func (l *listener) serveConn(conn net.Conn) {
 // between requests, so one retry on a freshly dialed connection covers
 // that race.
 func (n *Network) Send(ctx context.Context, to transport.Addr, body any) (any, error) {
+	n.mu.Lock()
+	metRequests, metFailures, metLatency := n.metRequests, n.metFailures, n.metLatency
+	n.mu.Unlock()
+	if metRequests != nil {
+		metRequests.Inc(fmt.Sprintf("%T", body))
+	}
+	var started time.Time
+	if metLatency != nil {
+		started = time.Now()
+	}
 	resp, err, retriable := n.sendOnce(ctx, to, body, false)
 	if err != nil && retriable {
 		resp, err, _ = n.sendOnce(ctx, to, body, true)
+	}
+	if err != nil {
+		metFailures.Inc()
+	} else if metLatency != nil {
+		metLatency.ObserveSince(started)
 	}
 	return resp, err
 }
@@ -236,10 +310,13 @@ func (n *Network) acquire(ctx context.Context, to transport.Addr, fresh bool) (*
 	n.mu.Unlock()
 
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", string(to))
+	raw, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, false, fmt.Errorf("dial %q: %w", to, transport.ErrUnreachable)
 	}
+	n.mu.Lock()
+	conn := &countingConn{Conn: raw, sent: n.metSent, recv: n.metRecv}
+	n.mu.Unlock()
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
 }
 

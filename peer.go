@@ -11,8 +11,17 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/dht/chord"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
+
+// Telemetry re-exports the telemetry registry type so embedders can
+// construct one without importing the internal package.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns a registry with the given search-trace span
+// capacity (<= 0 selects the default).
+func NewTelemetry(spanCapacity int) *Telemetry { return telemetry.New(spanCapacity) }
 
 // Config tunes a Peer. The zero value is usable; defaults are applied
 // by NewPeer.
@@ -42,6 +51,10 @@ type Config struct {
 	// negative to disable the background loop — simulations drive
 	// maintenance manually).
 	MaintenanceInterval time.Duration
+	// Telemetry receives metrics and search-trace spans from every
+	// layer of the peer (DHT, index server, replication). Nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -99,7 +112,10 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 	}
 	resolved := endpoint.Addr()
 
-	node := chord.New(resolved, network, chord.Config{SuccessorListLen: cfg.SuccessorListLen})
+	node := chord.New(resolved, network, chord.Config{
+		SuccessorListLen: cfg.SuccessorListLen,
+		Telemetry:        cfg.Telemetry,
+	})
 	resolver := core.NewOverlayResolver(node)
 	server, err := core.NewServer(core.ServerConfig{
 		Hasher:        hasher,
@@ -107,6 +123,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Sender:        network,
 		CacheCapacity: cfg.CacheCapacity,
 		Owner:         node.Owns,
+		Telemetry:     cfg.Telemetry,
 	})
 	if err != nil {
 		endpoint.Close()
@@ -140,6 +157,9 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 	if err != nil {
 		endpoint.Close()
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		index.SetTelemetry(cfg.Telemetry)
 	}
 
 	mux.Store(transport.Mux(node.Handler, server.Handler))
@@ -366,3 +386,7 @@ func (p *Peer) IndexStats() core.TableStats { return p.server.Stats() }
 
 // CacheStats reports this peer's result-cache hit/miss counters.
 func (p *Peer) CacheStats() (hits, misses uint64) { return p.server.CacheStats() }
+
+// Telemetry returns the registry this peer reports into (nil when
+// instrumentation is disabled).
+func (p *Peer) Telemetry() *Telemetry { return p.cfg.Telemetry }
