@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet clean ci
+.PHONY: all build test race cover bench figures fmt vet clean ci chaos
 
 all: build test
 
-# Full verification gate: static checks, build, and the race-enabled
-# test suite (includes the telemetry concurrency hammer).
-ci: vet build race
+# Full verification gate: static checks, build, the race-enabled test
+# suite (includes the telemetry concurrency hammer), and the seeded
+# chaos suite.
+ci: vet build race chaos
+
+# Seeded chaos suite: deterministic fault-schedule replays and the
+# resilience policy tests, under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|Retry|Hedge|Latency|ListenerClose' \
+		./internal/sim/ ./internal/resilience/ ./internal/transport/...
 
 build:
 	$(GO) build ./...

@@ -47,6 +47,8 @@ func run(args []string) error {
 		dim         = fs.Int("dim", 10, "hypercube dimensionality (must match the network)")
 		cache       = fs.Int("cache", 128, "per-node result cache capacity (object IDs)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty = disabled)")
+		resilient   = fs.Bool("resilience", true, "retry/backoff and circuit breakers on outbound RPCs")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "duplicate still-unanswered read-only RPCs after this delay (0 = no hedging; requires -resilience)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +77,18 @@ func run(args []string) error {
 	defer transport.Close()
 	transport.SetTelemetry(reg)
 
+	var pol *keysearch.ResiliencePolicy
+	if *resilient {
+		p := keysearch.DefaultResilience()
+		p.HedgeDelay = *hedgeAfter
+		pol = &p
+	}
 	peer, err := keysearch.NewPeer(transport, keysearch.Addr(*listen), keysearch.Config{
 		Dim:                 *dim,
 		CacheCapacity:       *cache,
 		MaintenanceInterval: 500 * time.Millisecond,
 		Telemetry:           reg,
+		Resilience:          pol,
 	})
 	if err != nil {
 		return err

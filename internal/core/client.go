@@ -193,12 +193,18 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 	if resp.CacheHit {
 		stats.NodesContacted = 1 // only the root was involved
 	}
+	completeness := 1.0
+	if resp.FailedNodes > 0 && resp.SubNodes > 0 {
+		completeness = float64(resp.SubNodes-resp.FailedNodes) / float64(resp.SubNodes)
+	}
 	return Result{
-		Matches:   resp.Matches,
-		Exhausted: resp.Exhausted,
-		Stats:     stats,
-		SessionID: resp.SessionID,
-		Trace:     resp.Trace,
+		Matches:        resp.Matches,
+		Exhausted:      resp.Exhausted,
+		Stats:          stats,
+		SessionID:      resp.SessionID,
+		Completeness:   completeness,
+		FailedSubtrees: resp.FailedNodes,
+		Trace:          resp.Trace,
 	}, nil
 }
 

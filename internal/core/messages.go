@@ -114,6 +114,23 @@ type (
 	}
 )
 
+// ReadOnlyMessage classifies index-protocol bodies that are safe to
+// hedge and to retry after a timed-out attempt: they neither mutate
+// index tables nor consume root-side session state. A one-shot
+// T_QUERY is read-only (its only side effect is populating the result
+// cache); cumulative starts and continuations are not, because each
+// delivery creates or advances a session. Wire it into the resilience
+// middleware via SetReadOnly (combine layers with resilience.AnyOf).
+func ReadOnlyMessage(body any) bool {
+	switch m := body.(type) {
+	case msgPinQuery, msgSubQuery:
+		return true
+	case msgTQuery:
+		return !m.Cumulative && m.SessionID == 0
+	}
+	return false
+}
+
 // BulkEntry is one transferable index entry.
 type BulkEntry struct {
 	Instance string

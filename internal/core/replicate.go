@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/p2pkeyword/keysearch/internal/keyword"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
+	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
 // Replicated implements the index-replication remark of Section 3.4:
@@ -127,10 +129,34 @@ func (r *Replicated) Delete(ctx context.Context, obj Object) (bool, Stats, error
 }
 
 // failover reports whether the error warrants trying the next replica:
-// transport-level unreachability rather than an application outcome.
+// transport-level unreachability (including a breaker-open rejection,
+// which wraps ErrUnreachable), a timed-out attempt, or an ownership
+// misroute — the replica's vertex re-homed and routing has not settled
+// (ErrNotOwner), which is a fault of this replica's topology, not of
+// the query. Any other application error from a healthy node — an
+// ErrRemote or a protocol sentinel — would fail identically on every
+// replica and surfaces immediately instead.
 func failover(err error) bool {
-	return err != nil && !errors.Is(err, ErrEmptyQuery) && !errors.Is(err, ErrBadObject) &&
-		!errors.Is(err, ErrNoSuchSession)
+	if errors.Is(err, transport.ErrUnreachable) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrNotOwner) {
+		return true
+	}
+	// Remote handler errors cross the wire flattened to text (both
+	// transports), so the ownership sentinel is recovered by message.
+	return errors.Is(err, transport.ErrRemote) && strings.Contains(err.Error(), ErrNotOwner.Error())
+}
+
+// betterResult ranks replica answers for completeness-aware selection:
+// any matches beat none, then the more complete wave, then the larger
+// answer.
+func betterResult(a, b Result) bool {
+	if (len(a.Matches) > 0) != (len(b.Matches) > 0) {
+		return len(a.Matches) > 0
+	}
+	if a.Completeness != b.Completeness {
+		return a.Completeness > b.Completeness
+	}
+	return len(a.Matches) > len(b.Matches)
 }
 
 // PinSearch queries the replicas in order and returns the first
@@ -172,16 +198,20 @@ func (r *Replicated) PinSearch(ctx context.Context, k keyword.Set) ([]string, St
 	return nil, Stats{}, fmt.Errorf("all %d replicas failed: %w", len(r.clients), lastErr)
 }
 
-// SupersetSearch queries the primary replica, moving to the next
-// replica when the primary's responsible node is unreachable or its
-// answer is empty (see PinSearch for why empty answers fall through).
-// A degraded non-empty primary answer (some subcube nodes failed
-// mid-traversal) is returned as-is, matching the paper's observation
-// that partial failures only hide the failed nodes' entries.
+// SupersetSearch queries the primary replica and returns its answer
+// when it is conclusive: non-empty and complete (every vertex of the
+// wave answered). Otherwise the next replicas are consulted — an
+// unreachable root, an empty answer (the surrogate-remap case: after a
+// crash the healed ring routes the vertex to a fresh node with an
+// empty table, so the primary "succeeds" with nothing even though a
+// replica still holds the entry) and a degraded wave all fall through
+// — and the best answer wins: matches over none, then the more
+// complete wave, then the larger answer. A degraded result keeps its
+// Completeness < 1 so callers can tell it apart from an exact one.
 func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) (Result, error) {
 	var (
 		lastErr  error
-		empty    Result
+		best     Result
 		answered bool
 	)
 	for i, c := range r.clients {
@@ -191,11 +221,11 @@ func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshol
 		r.reads.Inc()
 		res, err := c.SupersetSearch(ctx, k, threshold, opts)
 		if err == nil {
-			if len(res.Matches) > 0 {
+			if len(res.Matches) > 0 && res.Completeness >= 1 {
 				return res, nil
 			}
-			if !answered {
-				empty, answered = res, true
+			if !answered || betterResult(res, best) {
+				best, answered = res, true
 			}
 			continue
 		}
@@ -205,7 +235,7 @@ func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshol
 		lastErr = err
 	}
 	if answered {
-		return empty, nil
+		return best, nil
 	}
 	return Result{}, fmt.Errorf("all %d replicas failed: %w", len(r.clients), lastErr)
 }

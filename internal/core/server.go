@@ -191,9 +191,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
-// errNotOwner rejects requests routed to a node that no longer owns
-// the vertex key (e.g. through a stale cached binding after a join).
-var errNotOwner = errors.New("core: node does not own the requested vertex")
+// ErrNotOwner rejects requests routed to a node that no longer owns
+// the vertex key (e.g. through a stale cached binding after a join, or
+// a ring still healing after a crash). It is a topology error, not an
+// application outcome: Replicated treats it as failover-worthy, unlike
+// other remote errors.
+var ErrNotOwner = errors.New("core: node does not own the requested vertex")
 
 // owns validates vertex ownership when an Owner hook is configured.
 func (s *Server) owns(instance string, v hypercube.Vertex) bool {
@@ -210,27 +213,27 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 	switch msg := body.(type) {
 	case msgInsertEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, errNotOwner
+			return nil, ErrNotOwner
 		}
 		s.met.opInsert.Inc()
 		s.insertEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
 		return respAck{}, nil
 	case msgDeleteEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, errNotOwner
+			return nil, ErrNotOwner
 		}
 		s.met.opDelete.Inc()
 		found := s.deleteEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
 		return respDeleteEntry{Found: found}, nil
 	case msgPinQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, errNotOwner
+			return nil, ErrNotOwner
 		}
 		s.met.opPin.Inc()
 		return s.pinQuery(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
 	case msgSubQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, errNotOwner
+			return nil, ErrNotOwner
 		}
 		s.met.opSub.Inc()
 		return s.subQuery(msg), nil
@@ -245,7 +248,7 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 		return respHandoffRange{Entries: s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))}, nil
 	case msgTQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, errNotOwner
+			return nil, ErrNotOwner
 		}
 		s.met.opSearch.Inc()
 		return s.runSearch(ctx, msg)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/resilience"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
@@ -18,12 +19,16 @@ import (
 // corpus size keeps the per-vertex scan work representative of the
 // paper's load (hundreds of objects per node), so the measured
 // telemetry overhead is not inflated by a near-empty index.
-func benchClient(b *testing.B, reg *telemetry.Registry) *Client {
+func benchClient(b *testing.B, reg *telemetry.Registry, wrap func(transport.Sender) transport.Sender) *Client {
 	b.Helper()
 	const nServers = 16
 	net := inmem.New(1)
 	b.Cleanup(func() { net.Close() })
 	net.SetTelemetry(reg)
+	var sender transport.Sender = net
+	if wrap != nil {
+		sender = wrap(net)
+	}
 	hasher := keyword.MustNewHasher(8, 42)
 	addrs := make([]transport.Addr, nServers)
 	for i := range addrs {
@@ -36,7 +41,7 @@ func benchClient(b *testing.B, reg *telemetry.Registry) *Client {
 		srv, err := NewServer(ServerConfig{
 			Hasher:    hasher,
 			Resolver:  resolver,
-			Sender:    net,
+			Sender:    sender,
 			Telemetry: reg,
 		})
 		if err != nil {
@@ -46,7 +51,7 @@ func benchClient(b *testing.B, reg *telemetry.Registry) *Client {
 			b.Fatal(err)
 		}
 	}
-	client, err := NewClient(hasher, resolver, net)
+	client, err := NewClient(hasher, resolver, sender)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -72,8 +77,8 @@ func benchClient(b *testing.B, reg *telemetry.Registry) *Client {
 // bulk result copying, which would drown the comparison in GC assist
 // for the result slices. Comparing the Noop-registry and instrumented
 // runs bounds the telemetry overhead on that hot path.
-func benchmarkSupersetSearch(b *testing.B, reg *telemetry.Registry) {
-	client := benchClient(b, reg)
+func benchmarkSupersetSearch(b *testing.B, reg *telemetry.Registry, wrap func(transport.Sender) transport.Sender) {
+	client := benchClient(b, reg, wrap)
 	q := keyword.NewSet("base", "tag5")
 	ctx := context.Background()
 	b.ReportAllocs()
@@ -86,9 +91,24 @@ func benchmarkSupersetSearch(b *testing.B, reg *telemetry.Registry) {
 }
 
 func BenchmarkSupersetSearchNoopTelemetry(b *testing.B) {
-	benchmarkSupersetSearch(b, telemetry.Noop())
+	benchmarkSupersetSearch(b, telemetry.Noop(), nil)
 }
 
 func BenchmarkSupersetSearchTelemetry(b *testing.B) {
-	benchmarkSupersetSearch(b, telemetry.New(128))
+	benchmarkSupersetSearch(b, telemetry.New(128), nil)
+}
+
+// BenchmarkSupersetSearchResilience measures the same instrumented
+// search with every send routed through the resilience middleware at
+// the default policy — on a healthy network this exercises only the
+// middleware's per-send bookkeeping (classifier, breaker lookup), the
+// overhead production deployments pay.
+func BenchmarkSupersetSearchResilience(b *testing.B) {
+	reg := telemetry.New(128)
+	benchmarkSupersetSearch(b, reg, func(inner transport.Sender) transport.Sender {
+		mw := resilience.Wrap(inner, resilience.DefaultPolicy())
+		mw.SetReadOnly(ReadOnlyMessage)
+		mw.SetTelemetry(reg)
+		return mw
+	})
 }

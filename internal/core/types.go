@@ -149,6 +149,19 @@ type Result struct {
 	// SessionID identifies the root-side cumulative session, when one
 	// was requested and more results may remain.
 	SessionID uint64
+	// Completeness is the fraction of the wave that answered: vertices
+	// that scanned their tables over vertices the traversal reached
+	// (1.0 = every contacted vertex answered, so by Lemma 3.2 the
+	// matches are a faithful prefix of O_K in traversal-rank order).
+	// Degraded answers (< 1.0) may silently miss entries indexed at the
+	// skipped vertices, though their subtrees were still explored via
+	// locally regenerated child lists. Cache hits are always 1.0: only
+	// fully answered searches are cached.
+	Completeness float64
+	// FailedSubtrees counts the vertices skipped as unreachable — each
+	// the root of a subtree whose own table entries (and only those)
+	// are missing from Matches.
+	FailedSubtrees int
 	// Trace holds per-node visit records when SearchOptions.Trace was
 	// set (empty on cache hits, which contact no subcube nodes).
 	Trace []TraceStep

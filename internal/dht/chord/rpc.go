@@ -94,6 +94,20 @@ func RegisterTypes() {
 	}
 }
 
+// ReadOnlyRPC classifies Chord RPCs that are safe to hedge and to
+// retry after a timed-out attempt: routing steps, liveness probes and
+// reference reads. Notify and the reference/topology mutations are
+// excluded — a duplicated delivery would double-apply them. Wire it
+// into the resilience middleware via SetReadOnly (combine layers with
+// resilience.AnyOf).
+func ReadOnlyRPC(body any) bool {
+	switch body.(type) {
+	case rpcFindClosest, rpcGetPredecessor, rpcGetSuccessorList, rpcPing, rpcReadRefs:
+		return true
+	}
+	return false
+}
+
 // Handler processes Chord RPCs addressed to this node. Non-Chord
 // message types yield ErrUnhandled so callers can mux several
 // protocol layers on one endpoint.

@@ -1,0 +1,23 @@
+package resilience
+
+import "time"
+
+// backoffCap returns the exponential backoff window before retry n
+// (n = 1 is the first retry): BaseDelay·Multiplier^(n-1), capped at
+// MaxDelay. The actual sleep is a full-jitter draw from [0, cap).
+func (p Policy) backoffCap(retry int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}

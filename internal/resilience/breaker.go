@@ -1,0 +1,98 @@
+package resilience
+
+import "time"
+
+// BreakerState is a circuit breaker's position: Closed (traffic flows,
+// consecutive failures are counted), Open (traffic is rejected without
+// touching the network), HalfOpen (a bounded number of trial probes is
+// admitted to test recovery).
+type BreakerState int
+
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one destination's circuit breaker. Callers hold the
+// middleware's lock around every method; the struct itself is not
+// concurrency-safe.
+type breaker struct {
+	pol      BreakerPolicy
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probes   int       // trial sends in flight while half-open
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	return &breaker{pol: pol}
+}
+
+// allow reports whether a send may proceed now. When the open window
+// has elapsed it transitions to half-open and admits up to
+// HalfOpenProbes trial sends.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.openedAt) < b.pol.OpenFor {
+			return false
+		}
+		b.state = HalfOpen
+		b.probes = 0
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.pol.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return true
+	}
+}
+
+// onSuccess records a successful (or application-level, i.e. the
+// destination is alive) response. Any success closes the breaker.
+func (b *breaker) onSuccess() {
+	b.state = Closed
+	b.failures = 0
+	b.probes = 0
+}
+
+// onFailure records a transport-level failure and reports whether the
+// breaker transitioned to Open as a result.
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	switch b.state {
+	case HalfOpen:
+		// A failed probe reopens immediately for a fresh window.
+		b.state = Open
+		b.openedAt = now
+		b.probes = 0
+		return true
+	case Closed:
+		b.failures++
+		if b.failures >= b.pol.FailureThreshold {
+			b.state = Open
+			b.openedAt = now
+			b.failures = 0
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// FaultKind is one class of injected fault.
+type FaultKind int
+
+const (
+	// FaultCrash crash-stops a node: sends to it fail with
+	// ErrUnreachable while its tables stay bound (it may recover).
+	FaultCrash FaultKind = iota
+	// FaultRecover brings a crashed node back with its tables intact.
+	FaultRecover
+	// FaultSlow injects a fixed delivery latency in front of a node
+	// (Latency 0 restores full speed).
+	FaultSlow
+	// FaultPartition severs the deployment's send path to a node for a
+	// timed window: the node is alive but unreachable from the querying
+	// side, the classic asymmetric-partition view.
+	FaultPartition
+	// FaultHeal restores the send path severed by FaultPartition.
+	FaultHeal
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRecover:
+		return "recover"
+	case FaultSlow:
+		return "slow"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultEvent is one scheduled fault: at query boundary AtQuery (before
+// the AtQuery-th search runs, counting from 0), apply Kind to Node.
+type FaultEvent struct {
+	AtQuery int
+	Kind    FaultKind
+	Node    transport.Addr
+	Latency time.Duration // FaultSlow only
+}
+
+// ChaosSchedule is a fully materialized fault schedule. It is pure
+// data derived from its seed: replaying it — or regenerating it from
+// the same seed and config — injects the identical fault sequence.
+type ChaosSchedule struct {
+	Seed   int64
+	Events []FaultEvent
+}
+
+// Crashed returns the set of nodes the schedule crashes and never
+// recovers — the nodes that are down from their crash point onward.
+func (s ChaosSchedule) Crashed() map[transport.Addr]bool {
+	down := make(map[transport.Addr]bool)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case FaultCrash:
+			down[ev.Node] = true
+		case FaultRecover:
+			delete(down, ev.Node)
+		}
+	}
+	return down
+}
+
+// ChaosConfig bounds a generated fault schedule.
+type ChaosConfig struct {
+	// Queries is the length of the query run the schedule spans; every
+	// event lands at a boundary in [0, Queries).
+	Queries int
+	// Nodes is the population faults are drawn from.
+	Nodes []transport.Addr
+	// CrashFrac is the fraction of Nodes to crash-stop at random
+	// boundaries (the acceptance study uses 0.10).
+	CrashFrac float64
+	// Recover, when set, schedules a FaultRecover for each crash at a
+	// later boundary; otherwise crashes are permanent.
+	Recover bool
+	// SlowFrac is the fraction of Nodes to slow down by SlowLatency.
+	SlowFrac float64
+	// SlowLatency is the injected per-delivery delay for slowed nodes.
+	SlowLatency time.Duration
+	// Partitions is the number of timed send-path partitions, each
+	// lasting PartitionSpan query boundaries.
+	Partitions    int
+	PartitionSpan int
+}
+
+// GenerateChaos derives a fault schedule from a single seed. The same
+// seed and config always yield the same schedule, so a failure report
+// is reproduced by its seed alone.
+func GenerateChaos(seed int64, cfg ChaosConfig) (ChaosSchedule, error) {
+	if cfg.Queries < 1 {
+		return ChaosSchedule{}, fmt.Errorf("sim: chaos schedule needs a positive query span")
+	}
+	if len(cfg.Nodes) == 0 {
+		return ChaosSchedule{}, fmt.Errorf("sim: chaos schedule needs a node population")
+	}
+	if cfg.CrashFrac < 0 || cfg.CrashFrac > 1 || cfg.SlowFrac < 0 || cfg.SlowFrac > 1 {
+		return ChaosSchedule{}, fmt.Errorf("sim: chaos fractions must be in [0, 1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []FaultEvent
+
+	nCrash := int(cfg.CrashFrac * float64(len(cfg.Nodes)))
+	for _, vi := range pickDistinct(rng, len(cfg.Nodes), nCrash) {
+		node := cfg.Nodes[vi]
+		at := rng.Intn(cfg.Queries)
+		events = append(events, FaultEvent{AtQuery: at, Kind: FaultCrash, Node: node})
+		if cfg.Recover && at+1 < cfg.Queries {
+			events = append(events, FaultEvent{
+				AtQuery: at + 1 + rng.Intn(cfg.Queries-at-1),
+				Kind:    FaultRecover,
+				Node:    node,
+			})
+		}
+	}
+
+	nSlow := int(cfg.SlowFrac * float64(len(cfg.Nodes)))
+	for _, vi := range pickDistinct(rng, len(cfg.Nodes), nSlow) {
+		events = append(events, FaultEvent{
+			AtQuery: rng.Intn(cfg.Queries),
+			Kind:    FaultSlow,
+			Node:    cfg.Nodes[vi],
+			Latency: cfg.SlowLatency,
+		})
+	}
+
+	span := cfg.PartitionSpan
+	if span < 1 {
+		span = 1
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+		at := rng.Intn(cfg.Queries)
+		events = append(events, FaultEvent{AtQuery: at, Kind: FaultPartition, Node: node})
+		if at+span < cfg.Queries {
+			events = append(events, FaultEvent{AtQuery: at + span, Kind: FaultHeal, Node: node})
+		}
+	}
+
+	// Stable order: boundary first, then generation order — replay
+	// applies same-boundary events in one deterministic sequence.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtQuery < events[j].AtQuery })
+	return ChaosSchedule{Seed: seed, Events: events}, nil
+}
+
+// Searcher is the read API the chaos harness drives: both *core.Client
+// and *core.Replicated satisfy it.
+type Searcher interface {
+	SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts core.SearchOptions) (core.Result, error)
+}
+
+// QueryOutcome is the recorded result of one chaos-run search.
+type QueryOutcome struct {
+	QueryKey       string
+	Err            string // empty on success
+	ObjectIDs      []string
+	Completeness   float64
+	FailedSubtrees int
+}
+
+// ChaosReport is the outcome of one chaos replay.
+type ChaosReport struct {
+	Outcomes []QueryOutcome
+	// Answered counts searches that returned at least one match.
+	Answered int
+	// Exact counts successful searches with Completeness == 1.
+	Exact int
+	// Degraded counts successful searches with Completeness < 1.
+	Degraded int
+	// Failed counts searches that returned an error.
+	Failed int
+}
+
+// Fingerprint hashes the full outcome sequence — per-query errors,
+// object IDs in result order, completeness and failed-subtree counts —
+// so two runs can be compared byte-for-byte.
+func (r *ChaosReport) Fingerprint() string {
+	h := sha256.New()
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(h, "q=%s err=%s c=%s f=%d ids=", o.QueryKey, o.Err,
+			strconv.FormatFloat(o.Completeness, 'g', -1, 64), o.FailedSubtrees)
+		for _, id := range o.ObjectIDs {
+			h.Write([]byte(id))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ReplayChaos runs the query sequence against s, applying the
+// schedule's fault events at query boundaries. Searches run uncached
+// (NoCache) so every query exercises the live wave rather than a
+// result cached before the fault. The harness is deterministic: the
+// in-memory network delivers synchronously and the schedule is pure
+// data, so one seed reproduces the identical report (hedging, which
+// races goroutines, should stay disabled in chaos policies).
+func ReplayChaos(d *Deployment, s Searcher, queries []keyword.Set, sched ChaosSchedule) (*ChaosReport, error) {
+	if s == nil {
+		s = d.Client
+	}
+	ctx := context.Background()
+	report := &ChaosReport{Outcomes: make([]QueryOutcome, 0, len(queries))}
+	ei := 0
+	for qi, q := range queries {
+		for ei < len(sched.Events) && sched.Events[ei].AtQuery <= qi {
+			d.applyFault(sched.Events[ei])
+			ei++
+		}
+		out := QueryOutcome{QueryKey: q.Key(), Completeness: 1}
+		res, err := s.SupersetSearch(ctx, q, core.All, core.SearchOptions{NoCache: true})
+		if err != nil {
+			out.Err = err.Error()
+			out.Completeness = 0
+			report.Failed++
+		} else {
+			out.Completeness = res.Completeness
+			out.FailedSubtrees = res.FailedSubtrees
+			out.ObjectIDs = make([]string, len(res.Matches))
+			for i, m := range res.Matches {
+				out.ObjectIDs[i] = m.ObjectID
+			}
+			if len(res.Matches) > 0 {
+				report.Answered++
+			}
+			if res.Completeness < 1 {
+				report.Degraded++
+			} else {
+				report.Exact++
+			}
+		}
+		report.Outcomes = append(report.Outcomes, out)
+	}
+	return report, nil
+}
+
+// applyFault injects one scheduled event into the deployment network.
+func (d *Deployment) applyFault(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultCrash:
+		d.Net.SetDown(ev.Node, true)
+	case FaultRecover:
+		d.Net.SetDown(ev.Node, false)
+	case FaultSlow:
+		d.Net.SetLatency(ev.Node, ev.Latency)
+	case FaultPartition:
+		// The deployment's clients and servers send with from = "" (the
+		// plain Send path), so blocking ""→node severs every query-side
+		// route to the node while the node itself stays up.
+		d.Net.Block("", ev.Node, true)
+	case FaultHeal:
+		d.Net.Block("", ev.Node, false)
+	}
+}

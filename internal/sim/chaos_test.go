@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/resilience"
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+func deploymentAddrs(r int) []transport.Addr {
+	nodes := make([]transport.Addr, 1<<uint(r))
+	for v := range nodes {
+		nodes[v] = transport.Addr("v" + strconv.Itoa(v))
+	}
+	return nodes
+}
+
+func TestGenerateChaosDeterministicAndValidated(t *testing.T) {
+	nodes := deploymentAddrs(4)
+	cfg := ChaosConfig{
+		Queries: 50, Nodes: nodes,
+		CrashFrac: 0.25, Recover: true,
+		SlowFrac: 0.2, SlowLatency: time.Millisecond,
+		Partitions: 2, PartitionSpan: 5,
+	}
+	a, err := GenerateChaos(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChaos(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed and config must yield the identical schedule")
+	}
+	c, err := GenerateChaos(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds yielded the same schedule")
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i-1].AtQuery > a.Events[i].AtQuery {
+			t.Fatalf("events out of boundary order at %d: %+v", i, a.Events)
+		}
+	}
+
+	for _, bad := range []ChaosConfig{
+		{Queries: 0, Nodes: nodes},
+		{Queries: 10},
+		{Queries: 10, Nodes: nodes, CrashFrac: 1.5},
+		{Queries: 10, Nodes: nodes, SlowFrac: -0.1},
+	} {
+		if _, err := GenerateChaos(1, bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+// TestChaosReplayDeterministicWithExactSubtreeCounts is the seeded
+// chaos replay check: one seed reproduces a byte-identical outcome
+// sequence across two fresh deployments, and every degraded answer
+// reports exactly the failed subtrees the schedule predicts. With one
+// node per vertex the prediction is closed-form — the wave regenerates
+// a failed vertex's children locally, so each downed non-root vertex of
+// the query's subhypercube H_r(root) costs exactly one failed subtree —
+// which pins Completeness to (|H| - failed)/|H|, the Lemma 3.2 loss
+// accounting.
+func TestChaosReplayDeterministicWithExactSubtreeCounts(t *testing.T) {
+	const (
+		r         = 6
+		chaosSeed = 7
+	)
+	c := testCorpus(t, 800)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 200, Templates: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := FaultStudyQueries(log, 8)
+	if len(queries) < 12 {
+		t.Fatalf("too few study queries: %d", len(queries))
+	}
+
+	cfg := ChaosConfig{
+		Queries: len(queries), Nodes: deploymentAddrs(r),
+		CrashFrac: 0.15, Recover: true,
+		Partitions: 2, PartitionSpan: 6,
+	}
+	sched, err := GenerateChaos(chaosSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched2, _ := GenerateChaos(chaosSeed, cfg); !reflect.DeepEqual(sched, sched2) {
+		t.Fatal("schedule not reproducible from its seed")
+	}
+
+	run := func() *ChaosReport {
+		d, err := NewDeployment(r, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if err := d.InsertCorpus(c); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplayChaos(d, nil, queries, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep1, rep2 := run(), run()
+	if rep1.Fingerprint() != rep2.Fingerprint() {
+		t.Error("same seed produced different outcome fingerprints")
+	}
+	if rep1.Degraded == 0 {
+		t.Error("schedule injected no observable degradation — the test exercises nothing")
+	}
+
+	// Recompute the fault state at every boundary and check the exact
+	// failed-subtree count of each outcome against it.
+	cube, err := hypercube.New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasher := keyword.MustNewHasher(r, HashSeed)
+	crashed := make(map[transport.Addr]bool)
+	parted := make(map[transport.Addr]bool)
+	down := func(v hypercube.Vertex) bool {
+		a := transport.Addr("v" + strconv.Itoa(int(v)))
+		return crashed[a] || parted[a]
+	}
+	ei := 0
+	for qi, q := range queries {
+		for ei < len(sched.Events) && sched.Events[ei].AtQuery <= qi {
+			ev := sched.Events[ei]
+			ei++
+			switch ev.Kind {
+			case FaultCrash:
+				crashed[ev.Node] = true
+			case FaultRecover:
+				delete(crashed, ev.Node)
+			case FaultPartition:
+				parted[ev.Node] = true
+			case FaultHeal:
+				delete(parted, ev.Node)
+			}
+		}
+		root := hasher.Vertex(q)
+		out := rep1.Outcomes[qi]
+		if down(root) {
+			if out.Err == "" {
+				t.Errorf("query %d (%s): root %d down but the search succeeded", qi, out.QueryKey, root)
+			}
+			continue
+		}
+		if out.Err != "" {
+			t.Errorf("query %d (%s): unexpected error %q", qi, out.QueryKey, out.Err)
+			continue
+		}
+		sub := cube.SubcubeVertices(root)
+		want := 0
+		for _, v := range sub {
+			if v != root && down(v) {
+				want++
+			}
+		}
+		if out.FailedSubtrees != want {
+			t.Errorf("query %d (%s): FailedSubtrees = %d, schedule predicts %d",
+				qi, out.QueryKey, out.FailedSubtrees, want)
+		}
+		wantComp := float64(len(sub)-want) / float64(len(sub))
+		if want == 0 {
+			wantComp = 1
+		}
+		if math.Abs(out.Completeness-wantComp) > 1e-12 {
+			t.Errorf("query %d (%s): Completeness = %v, want %v", qi, out.QueryKey, out.Completeness, wantComp)
+		}
+	}
+}
+
+// TestChaosReplicatedAvailability is the headline resilience study:
+// under a 10% node-crash schedule on the paper's query workload, the
+// replicated index behind the resilience middleware keeps nearly every
+// query answered while the unprotected single-instance baseline loses
+// queries outright; every answer missing matches is flagged by
+// Completeness < 1; and the resilience counters reconcile exactly with
+// the injected fault schedule.
+func TestChaosReplicatedAvailability(t *testing.T) {
+	const (
+		r         = 7
+		chaosSeed = 42
+	)
+	c := testCorpus(t, 3000)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 400, Templates: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := FaultStudyQueries(log, 25)
+	if len(queries) < 40 {
+		t.Fatalf("too few study queries: %d", len(queries))
+	}
+
+	// Ground-truth match counts from the corpus itself.
+	expected := make([]int, len(queries))
+	for i, q := range queries {
+		for _, rec := range c.Records() {
+			if q.SubsetOf(rec.Keywords) {
+				expected[i]++
+			}
+		}
+	}
+
+	nodes := deploymentAddrs(r)
+	sched, err := GenerateChaos(chaosSeed, ChaosConfig{
+		Queries: len(queries), Nodes: nodes, CrashFrac: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := sched.Crashed()
+	if want := int(0.10 * float64(len(nodes))); len(crashed) != want {
+		t.Fatalf("schedule crashed %d nodes, want %d", len(crashed), want)
+	}
+
+	// Unprotected baseline: one index instance, no middleware, its own
+	// network so its traffic stays isolated from the protected run.
+	base, err := NewDeployment(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if err := base.InsertCorpus(c); err != nil {
+		t.Fatal(err)
+	}
+	baseRep, err := ReplayChaos(base, nil, queries, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRep.Failed+baseRep.Degraded == 0 {
+		t.Fatal("the schedule did not degrade the baseline — the comparison is vacuous")
+	}
+
+	// Protected run: two index instances plus the resilience middleware.
+	// The policy is tuned so the counters reconcile exactly: with a
+	// 1-failure threshold and an effectively permanent open window, the
+	// first contact of each crashed destination costs one wire failure,
+	// opens the breaker, and spends one (zero-delay) retry that is
+	// short-circuited; every later contact short-circuits without
+	// touching the wire. Hedging stays off — it races goroutines, which
+	// chaos runs must not.
+	pol := resilience.Policy{
+		MaxAttempts: 2,
+		Breaker: resilience.BreakerPolicy{
+			FailureThreshold: 1,
+			OpenFor:          time.Hour,
+			HalfOpenProbes:   1,
+		},
+	}
+	reg := telemetry.New(256)
+	prot, err := NewResilientDeployment(r, 0, 2, reg, &pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prot.Close()
+	if err := prot.InsertCorpus(c); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := prot.Net.Stats()
+	protRep, err := ReplayChaos(prot, prot.Index, queries, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireFailures := prot.Net.Stats().Failures - statsBefore.Failures
+
+	// Availability: ≥ 99% of queries answered, and never worse than the
+	// unprotected baseline.
+	avail := float64(protRep.Answered) / float64(len(queries))
+	if avail < 0.99 {
+		t.Errorf("protected availability = %.3f (%d/%d answered), want >= 0.99",
+			avail, protRep.Answered, len(queries))
+	}
+	if protRep.Answered < baseRep.Answered {
+		t.Errorf("protected answered %d < baseline %d", protRep.Answered, baseRep.Answered)
+	}
+
+	// Honesty: an answer missing matches must carry Completeness < 1,
+	// and a complete answer must be exact.
+	for i, out := range protRep.Outcomes {
+		if out.Err != "" {
+			continue
+		}
+		if len(out.ObjectIDs) < expected[i] && out.Completeness >= 1 {
+			t.Errorf("query %d (%s): %d/%d matches but Completeness = %v — silent loss",
+				i, out.QueryKey, len(out.ObjectIDs), expected[i], out.Completeness)
+		}
+		if out.Completeness >= 1 && len(out.ObjectIDs) != expected[i] {
+			t.Errorf("query %d (%s): complete answer has %d matches, corpus says %d",
+				i, out.QueryKey, len(out.ObjectIDs), expected[i])
+		}
+	}
+
+	// Counter reconciliation against the schedule: each crashed
+	// destination that the run contacted costs exactly one wire failure,
+	// one breaker open, and one short-circuited retry; nothing hedges.
+	snap := reg.Snapshot()
+	retries := snap.Counters["resilience_retries_total"]
+	opens := snap.Counters["resilience_breaker_opens_total"]
+	shorts := snap.Counters["resilience_breaker_short_circuits_total"]
+	if got := snap.Counters["resilience_hedges_total"]; got != 0 {
+		t.Errorf("hedges = %d, want 0 (hedging disabled)", got)
+	}
+	if opens == 0 {
+		t.Error("no breaker ever opened — the chaos schedule never bit")
+	}
+	if retries != opens {
+		t.Errorf("retries = %d, opens = %d — each first contact of a crashed node costs exactly one of each", retries, opens)
+	}
+	if retries != wireFailures {
+		t.Errorf("retries = %d, wire failures = %d — every wire failure funds exactly one retry", retries, wireFailures)
+	}
+	if opens > uint64(len(crashed)) {
+		t.Errorf("opens = %d exceeds the %d crashed nodes", opens, len(crashed))
+	}
+	if shorts < opens {
+		t.Errorf("short circuits = %d < opens = %d — every open breaker short-circuits at least its own retry", shorts, opens)
+	}
+	// Exactly the crashed destinations' breakers are open.
+	var openBreakers int
+	for _, a := range nodes {
+		if prot.Resilience.BreakerState(a) == resilience.Open {
+			openBreakers++
+			if !crashed[a] {
+				t.Errorf("breaker open for healthy node %s", a)
+			}
+		}
+	}
+	if uint64(openBreakers) != opens {
+		t.Errorf("open breakers = %d, opens counter = %d", openBreakers, opens)
+	}
+	if got := snap.Gauges["resilience_breaker_state"]; got != int64(openBreakers) {
+		t.Errorf("resilience_breaker_state gauge = %d, want %d", got, openBreakers)
+	}
+}

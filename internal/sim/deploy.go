@@ -9,6 +9,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/corpus"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/resilience"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
@@ -28,6 +29,13 @@ type Deployment struct {
 	// register their gauges on the one registry, its snapshot reports
 	// deployment-wide totals.
 	Telemetry *telemetry.Registry
+	// Index is the replicated view over all replica clients
+	// (Client == Index.Primary()). Nil unless the deployment was built
+	// by NewResilientDeployment with replicas > 1.
+	Index *core.Replicated
+	// Resilience is the policy middleware every client and server sends
+	// through. Nil unless the deployment was built with a policy.
+	Resilience *resilience.Middleware
 }
 
 // NewDeployment builds a 2^r-node deployment. cacheCapacity is the
@@ -40,11 +48,36 @@ func NewDeployment(r, cacheCapacity int) (*Deployment, error) {
 // in-memory network) wired to reg. A nil reg is equivalent to
 // NewDeployment.
 func NewInstrumentedDeployment(r, cacheCapacity int, reg *telemetry.Registry) (*Deployment, error) {
+	return NewResilientDeployment(r, cacheCapacity, 1, reg, nil)
+}
+
+// NewResilientDeployment is the chaos-harness deployment: the same
+// one-node-per-vertex fleet, optionally with replicas independent
+// index instances (each with its own hash seed, mirroring the Peer
+// replica wiring, so a crashed physical node silences different
+// keyword sets in each instance) and with every client and root→wave
+// send routed through a resilience.Middleware applying pol. replicas
+// < 2 disables replication; a nil pol disables the middleware, making
+// the deployment identical to NewInstrumentedDeployment.
+func NewResilientDeployment(r, cacheCapacity, replicas int, reg *telemetry.Registry, pol *resilience.Policy) (*Deployment, error) {
 	if r < 1 || r > 16 {
 		return nil, fmt.Errorf("sim: deployment r=%d outside the tractable range [1, 16]", r)
 	}
 	net := inmem.New(1)
 	net.SetTelemetry(reg)
+
+	// Everything above the raw network — servers driving waves, clients
+	// issuing queries — sends through the middleware when a policy is
+	// given. Binding stays on the raw network either way.
+	var sender transport.Sender = net
+	var mw *resilience.Middleware
+	if pol != nil {
+		mw = resilience.Wrap(net, *pol)
+		mw.SetReadOnly(core.ReadOnlyMessage)
+		mw.SetTelemetry(reg)
+		sender = mw
+	}
+
 	hasher := keyword.MustNewHasher(r, HashSeed)
 	size := 1 << uint(r)
 	addrs := make([]transport.Addr, size)
@@ -59,7 +92,7 @@ func NewInstrumentedDeployment(r, cacheCapacity int, reg *telemetry.Registry) (*
 		srv, err := core.NewServer(core.ServerConfig{
 			Hasher:        hasher,
 			Resolver:      resolver,
-			Sender:        net,
+			Sender:        sender,
 			CacheCapacity: cacheCapacity,
 			Telemetry:     reg,
 		})
@@ -73,22 +106,60 @@ func NewInstrumentedDeployment(r, cacheCapacity int, reg *telemetry.Registry) (*
 			return nil, err
 		}
 	}
-	client, err := core.NewClient(hasher, resolver, net)
-	if err != nil {
-		net.Close()
-		return nil, err
+
+	if replicas < 1 {
+		replicas = 1
 	}
-	return &Deployment{R: r, Net: net, Hasher: hasher, Servers: servers, Client: client, Telemetry: reg}, nil
+	// One client per index instance; the shared server fleet hosts every
+	// instance's tables (same as a Peer deployment).
+	clients := make([]*core.Client, replicas)
+	for i := range clients {
+		instance, seed := core.DefaultInstance, uint64(HashSeed)
+		if i > 0 {
+			instance = fmt.Sprintf("%s-replica-%d", core.DefaultInstance, i)
+			seed += uint64(i) * 0x9e3779b97f4a7c15
+		}
+		var err error
+		clients[i], err = core.NewInstanceClient(instance, keyword.MustNewHasher(r, seed), resolver, sender)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	d := &Deployment{
+		R: r, Net: net, Hasher: hasher, Servers: servers,
+		Client: clients[0], Telemetry: reg, Resilience: mw,
+	}
+	if replicas > 1 {
+		index, err := core.NewReplicated(clients...)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		index.SetTelemetry(reg)
+		d.Index = index
+	}
+	return d, nil
 }
 
 // Close releases the deployment's network.
 func (d *Deployment) Close() { d.Net.Close() }
 
-// InsertCorpus indexes every record of the corpus.
+// InsertCorpus indexes every record of the corpus — into every replica
+// when the deployment is replicated.
 func (d *Deployment) InsertCorpus(c *corpus.Corpus) error {
 	ctx := context.Background()
+	insert := func(ctx context.Context, obj core.Object) error {
+		var err error
+		if d.Index != nil {
+			_, err = d.Index.Insert(ctx, obj)
+		} else {
+			_, err = d.Client.Insert(ctx, obj)
+		}
+		return err
+	}
 	for _, rec := range c.Records() {
-		if _, err := d.Client.Insert(ctx, core.Object{ID: rec.ID, Keywords: rec.Keywords}); err != nil {
+		if err := insert(ctx, core.Object{ID: rec.ID, Keywords: rec.Keywords}); err != nil {
 			return fmt.Errorf("index record %s: %w", rec.ID, err)
 		}
 	}

@@ -36,6 +36,7 @@ type Network struct {
 	handlers map[transport.Addr]transport.Handler
 	down     map[transport.Addr]bool
 	blocked  map[[2]transport.Addr]bool
+	latency  map[transport.Addr]time.Duration
 	dropProb float64
 	rng      *rand.Rand
 
@@ -67,6 +68,7 @@ func New(seed int64) *Network {
 		handlers: make(map[transport.Addr]transport.Handler),
 		down:     make(map[transport.Addr]bool),
 		blocked:  make(map[[2]transport.Addr]bool),
+		latency:  make(map[transport.Addr]time.Duration),
 		rng:      rand.New(rand.NewSource(seed)),
 		byType:   make(map[reflect.Type]uint64),
 	}
@@ -177,8 +179,18 @@ func (n *Network) SendFrom(ctx context.Context, from, to transport.Addr, body an
 		metFail.Inc()
 		return nil, fmt.Errorf("send to %q dropped: %w", to, transport.ErrUnreachable)
 	}
+	delay := n.latency[to]
 	n.mu.Unlock()
 
+	if delay > 0 {
+		// A slow node, not a dead one: the request still arrives unless
+		// the caller gives up first.
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	var started time.Time
 	if metLatency != nil {
 		started = time.Now()
@@ -202,6 +214,20 @@ func (n *Network) SetDown(addr transport.Addr, down bool) {
 		n.down[addr] = true
 	} else {
 		delete(n.down, addr)
+	}
+}
+
+// SetLatency injects a fixed delivery delay in front of addr's handler
+// (0 removes it). Unlike SetDown, a slow node still answers — unless
+// the caller's context expires first, which is exactly the case the
+// chaos harness uses to exercise per-attempt timeouts and hedging.
+func (n *Network) SetLatency(addr transport.Addr, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d > 0 {
+		n.latency[addr] = d
+	} else {
+		delete(n.latency, addr)
 	}
 }
 

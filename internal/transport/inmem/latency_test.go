@@ -1,0 +1,44 @@
+package inmem
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSetLatencyDelaysDelivery(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	if _, err := n.Bind("a", echoHandler); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	n.SetLatency("a", 30*time.Millisecond)
+
+	start := time.Now()
+	if _, err := n.Send(context.Background(), "a", "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 30ms of injected latency", elapsed)
+	}
+
+	// A caller that cannot wait out the latency gets its context error,
+	// not a late response.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	n.SetLatency("a", time.Hour)
+	if _, err := n.Send(ctx, "a", "hello"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Send under latency = %v, want DeadlineExceeded", err)
+	}
+
+	// Clearing the latency restores prompt delivery.
+	n.SetLatency("a", 0)
+	start = time.Now()
+	if _, err := n.Send(context.Background(), "a", "hello"); err != nil {
+		t.Fatalf("Send after clear: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("delivery took %v after latency was cleared", elapsed)
+	}
+}

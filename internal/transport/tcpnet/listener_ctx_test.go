@@ -1,0 +1,82 @@
+package tcpnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// Handlers run under a per-listener context that Close cancels, so a
+// request-scoped goroutine (a search wave, a maintenance probe) dies
+// with the endpoint instead of leaking past it.
+func TestListenerCloseCancelsHandlerContext(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	ctxCh := make(chan context.Context, 1)
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, _ transport.Addr, body any) (any, error) {
+		ctxCh <- ctx
+		return body, nil
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if _, err := n.Send(context.Background(), node.Addr(), ping{N: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	hctx := <-ctxCh
+	select {
+	case <-hctx.Done():
+		t.Fatal("handler context done while the listener is still open")
+	default:
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-hctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler context not cancelled by listener Close")
+	}
+}
+
+// A handler blocked on its context must be released by Close rather
+// than deadlocking the endpoint shutdown.
+func TestListenerCloseUnblocksPendingHandler(t *testing.T) {
+	registerTestTypes()
+	n := New()
+	defer n.Close()
+	entered := make(chan struct{})
+	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, _ transport.Addr, body any) (any, error) {
+		close(entered)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		// The response is lost to the shutdown; only the unblocking matters.
+		_, _ = n.Send(context.Background(), node.Addr(), ping{N: 1})
+	}()
+	<-entered
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- node.Close() }()
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind a context-blocked handler")
+	}
+	select {
+	case <-sendDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight Send never returned after Close")
+	}
+}

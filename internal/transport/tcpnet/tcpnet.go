@@ -114,6 +114,8 @@ type listener struct {
 	addr    transport.Addr
 	wg      sync.WaitGroup
 	closed  chan struct{}
+	ctx     context.Context // cancelled by Close; parent of every handler call
+	cancel  context.CancelFunc
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -141,6 +143,7 @@ func (n *Network) Bind(addr transport.Addr, handler transport.Handler) (transpor
 		closed:  make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	l.ctx, l.cancel = context.WithCancel(context.Background())
 	n.mu.Lock()
 	n.listeners = append(n.listeners, l)
 	n.mu.Unlock()
@@ -159,6 +162,10 @@ func (l *listener) Close() error {
 	default:
 	}
 	close(l.closed)
+	// Stop in-flight handlers: they run under l.ctx, so cancelling here
+	// lets blocked handlers return and the wg.Wait below complete
+	// instead of leaking goroutines (or deadlocking) during shutdown.
+	l.cancel()
 	err := l.ln.Close()
 	// Unblock serveConn goroutines parked in Read.
 	l.mu.Lock()
@@ -218,7 +225,7 @@ func (l *listener) serveConn(conn net.Conn) {
 			handled.Inc(fmt.Sprintf("%T", req.Body))
 		}
 		var resp response
-		body, err := l.handler(context.Background(), transport.Addr(req.From), req.Body)
+		body, err := l.handler(l.ctx, transport.Addr(req.From), req.Body)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {

@@ -30,6 +30,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/dht/chord"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/resilience"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
 	"github.com/p2pkeyword/keysearch/internal/transport/tcpnet"
@@ -62,7 +63,20 @@ type (
 	Addr = transport.Addr
 	// Category groups matches by their extra keywords for refinement.
 	Category = core.Category
+	// ResiliencePolicy configures the retry/backoff, circuit-breaker
+	// and hedging behaviour applied to a peer's RPCs when set on
+	// Config.Resilience.
+	ResiliencePolicy = resilience.Policy
+	// BreakerPolicy configures the per-destination circuit breakers
+	// within a ResiliencePolicy.
+	BreakerPolicy = resilience.BreakerPolicy
 )
+
+// DefaultResilience returns the recommended production resilience
+// policy: three attempts with 10ms–2s full-jitter backoff, breakers
+// opening after five consecutive failures for one second, hedging
+// disabled (enable it by setting HedgeDelay).
+func DefaultResilience() ResiliencePolicy { return resilience.DefaultPolicy() }
 
 // Traversal orders.
 const (

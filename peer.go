@@ -11,6 +11,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/dht/chord"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/resilience"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
@@ -55,6 +56,14 @@ type Config struct {
 	// layer of the peer (DHT, index server, replication). Nil disables
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Registry
+	// Resilience, when non-nil, routes every outbound RPC of this peer
+	// — Chord maintenance and lookups, index waves, client operations —
+	// through a resilience middleware applying the policy: retry with
+	// full-jitter backoff, per-destination circuit breakers, and hedged
+	// sends for read-only RPCs. Nil disables the layer (raw transport
+	// semantics, as before). See DefaultResilience for the recommended
+	// production policy.
+	Resilience *ResiliencePolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +89,7 @@ type Peer struct {
 	cfg      Config
 	addr     transport.Addr
 	network  transport.Network
+	sender   transport.Sender // network, or the resilience middleware over it
 	endpoint transport.Node
 	chord    *chord.Node
 	server   *core.Server
@@ -112,7 +122,19 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 	}
 	resolved := endpoint.Addr()
 
-	node := chord.New(resolved, network, chord.Config{
+	// Every outbound RPC of this peer goes through one sender; with a
+	// resilience policy configured that sender is the policy middleware
+	// (retry/breakers/hedging) over the raw network. Binding stays on
+	// the raw network either way.
+	var sender transport.Sender = network
+	if cfg.Resilience != nil {
+		mw := resilience.Wrap(network, *cfg.Resilience)
+		mw.SetReadOnly(resilience.AnyOf(core.ReadOnlyMessage, chord.ReadOnlyRPC))
+		mw.SetTelemetry(cfg.Telemetry)
+		sender = mw
+	}
+
+	node := chord.New(resolved, sender, chord.Config{
 		SuccessorListLen: cfg.SuccessorListLen,
 		Telemetry:        cfg.Telemetry,
 	})
@@ -120,7 +142,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 	server, err := core.NewServer(core.ServerConfig{
 		Hasher:        hasher,
 		Resolver:      resolver,
-		Sender:        network,
+		Sender:        sender,
 		CacheCapacity: cfg.CacheCapacity,
 		Owner:         node.Owns,
 		Telemetry:     cfg.Telemetry,
@@ -147,7 +169,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 			endpoint.Close()
 			return nil, err
 		}
-		clients[i], err = core.NewInstanceClient(instance, replicaHasher, resolver, network)
+		clients[i], err = core.NewInstanceClient(instance, replicaHasher, resolver, sender)
 		if err != nil {
 			endpoint.Close()
 			return nil, err
@@ -167,6 +189,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		cfg:      cfg,
 		addr:     resolved,
 		network:  network,
+		sender:   sender,
 		endpoint: endpoint,
 		chord:    node,
 		server:   server,
@@ -196,7 +219,7 @@ func (p *Peer) Join(ctx context.Context, seed Addr) error {
 	if succ := p.chord.Successor(); succ.Addr != "" && succ.Addr != p.addr {
 		// Best effort: stabilization and stale-binding retries cover a
 		// missed handoff, at the cost of temporarily invisible entries.
-		_, _ = p.server.PullHandoff(ctx, p.network, succ.Addr,
+		_, _ = p.server.PullHandoff(ctx, p.sender, succ.Addr,
 			uint64(p.chord.ID()), uint64(succ.ID))
 	}
 	if p.cfg.MaintenanceInterval > 0 {
@@ -232,7 +255,7 @@ func (p *Peer) Leave(ctx context.Context) error {
 	succ := p.chord.Successor()
 	leaveErr := p.chord.Leave(ctx)
 	if succ.Addr != "" && succ.Addr != p.addr {
-		if _, err := p.server.DrainTo(ctx, p.network, succ.Addr); err != nil && leaveErr == nil {
+		if _, err := p.server.DrainTo(ctx, p.sender, succ.Addr); err != nil && leaveErr == nil {
 			leaveErr = err
 		}
 	}
@@ -361,7 +384,7 @@ func (p *Peer) NewDecomposedIndex(classify func(word string) string, families ma
 			return nil, fmt.Errorf("family %q: %w", name, err)
 		}
 		instance := p.cfg.Instance + "/family/" + name
-		client, err := core.NewInstanceClient(instance, hasher, p.resolver, p.network)
+		client, err := core.NewInstanceClient(instance, hasher, p.resolver, p.sender)
 		if err != nil {
 			return nil, fmt.Errorf("family %q: %w", name, err)
 		}
