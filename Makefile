@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke figures fmt vet clean ci chaos
 
 all: build test
 
 # Full verification gate: static checks, build, the race-enabled test
-# suite (includes the telemetry concurrency hammer), and the seeded
-# chaos suite.
-ci: vet build race chaos
+# suite (includes the telemetry concurrency hammer), the seeded chaos
+# suite, and a single-iteration benchmark smoke pass.
+ci: vet build race chaos bench-smoke
+
+# One iteration of every benchmark, as a smoke test: the figure
+# pipelines still run end to end and BenchmarkWaveBatching enforces its
+# >= 3x physical-frame reduction on the 64-peer fleet at r = 10.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Seeded chaos suite: deterministic fault-schedule replays and the
 # resilience policy tests, under the race detector.
@@ -41,6 +47,7 @@ figures:
 	$(GO) run ./cmd/ksbench -fig 8 > results/fig8.txt
 	$(GO) run ./cmd/ksbench -fig 9 -fig9-max 60000 > results/fig9.txt
 	$(GO) run ./cmd/ksbench -fig ft > results/ft.txt
+	$(GO) run ./cmd/ksbench -fig batch > results/batch.txt
 
 fmt:
 	gofmt -w .

@@ -406,6 +406,66 @@ func BenchmarkMicroInsertDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkWaveBatching runs the same exhaustive parallel search on a
+// 64-peer fleet at r = 10 with wave batching off and on. It fails
+// unless the batched run sends at least 3x fewer physical RPC frames
+// while returning a byte-identical match sequence, and reports both
+// frame counts and the reduction factor.
+func BenchmarkWaveBatching(b *testing.B) {
+	c, log := benchWorkload(b)
+	qs := log.PopularOfSize(1, 1)
+	if len(qs) == 0 {
+		b.Skip("no size-1 query template")
+	}
+	q := qs[0]
+	build := func(mode BatchMode) *sim.Deployment {
+		d, err := sim.NewCustomDeployment(sim.DeployConfig{R: 10, Peers: 64, Batch: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.InsertCorpus(c); err != nil {
+			d.Close()
+			b.Fatal(err)
+		}
+		return d
+	}
+	off := build(BatchOff)
+	defer off.Close()
+	on := build(BatchOn)
+	defer on.Close()
+
+	ctx := context.Background()
+	opts := SearchOptions{Order: ParallelLevels, NoCache: true}
+	var framesOff, framesOn int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ro, err := off.Client.SupersetSearch(ctx, q, All, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, err := on.Client.SupersetSearch(ctx, q, All, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ro.Matches) != len(rb.Matches) {
+			b.Fatalf("match count diverged: %d unbatched, %d batched", len(ro.Matches), len(rb.Matches))
+		}
+		for j := range ro.Matches {
+			if ro.Matches[j] != rb.Matches[j] {
+				b.Fatalf("match[%d] diverged: %+v vs %+v", j, ro.Matches[j], rb.Matches[j])
+			}
+		}
+		framesOff, framesOn = ro.Stats.PhysFrames, rb.Stats.PhysFrames
+	}
+	b.StopTimer()
+	if framesOn == 0 || framesOff < 3*framesOn {
+		b.Fatalf("frame reduction below 3x: %d unbatched vs %d batched", framesOff, framesOn)
+	}
+	b.ReportMetric(float64(framesOff), "frames-unbatched")
+	b.ReportMetric(float64(framesOn), "frames-batched")
+	b.ReportMetric(float64(framesOff)/float64(framesOn), "frame-reduction")
+}
+
 // BenchmarkFaultToleranceStudy regenerates the Sections 1/3.4
 // fault-tolerance comparison: hypercube searches degrade gracefully
 // while the DII baseline blocks whole keywords.

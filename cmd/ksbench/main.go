@@ -25,7 +25,9 @@ import (
 	"strings"
 
 	"github.com/p2pkeyword/keysearch/internal/analytic"
+	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
 	"github.com/p2pkeyword/keysearch/internal/sim"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
@@ -40,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ksbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, or all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, batch, or all")
 		objects   = fs.Int("objects", corpus.DefaultObjects, "corpus size (paper: 131180)")
 		queries   = fs.Int("queries", 178000, "query-log length for fig 9 (paper: ~178000/day)")
 		templates = fs.Int("templates", 2000, "distinct query templates")
@@ -51,6 +53,8 @@ func run(args []string) error {
 		fig9Max   = fs.Int("fig9-max", 0, "cap on replayed queries (0 = full log)")
 		fig9Res   = fs.Int("fig9-maxresults", 20, "result-size cap for fig 9 query templates (see EXPERIMENTS.md)")
 		telem     = fs.Bool("telemetry", false, "instrument the simulated deployments and print a JSON registry snapshot after the run")
+		batchOn   = fs.Bool("batch-waves", true, "coalesce parallel search waves into one RPC frame per distinct peer in the simulated deployments")
+		batchN    = fs.Int("batch-peers", 64, "physical fleet size for the 'batch' study")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,7 +111,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(out, "fig8 query log: top-10 templates account for %.1f%% of volume (paper: >60%%)\n\n",
 			100*log.TopShare(10))
-		if err := runFig8(out, c, log, parseInts(*fig8R), *fig8Q, reg); err != nil {
+		if err := runFig8(out, c, log, parseInts(*fig8R), *fig8Q, reg, batchMode(*batchOn)); err != nil {
 			return err
 		}
 	}
@@ -130,7 +134,18 @@ func run(args []string) error {
 		}
 	}
 	if want("costs") {
-		if err := runCosts(out, c, reg); err != nil {
+		if err := runCosts(out, c, reg, batchMode(*batchOn)); err != nil {
+			return err
+		}
+	}
+	if want("batch") {
+		log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+			Queries: *queries, Templates: *templates, Seed: *seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		if err := runBatchStudy(out, c, log, *batchN); err != nil {
 			return err
 		}
 	}
@@ -236,11 +251,11 @@ func renderEq1(out *os.File) {
 	fmt.Fprintln(out)
 }
 
-func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, perM int, reg *telemetry.Registry) error {
+func runFig8(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, perM int, reg *telemetry.Registry, batch core.BatchMode) error {
 	recalls := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
 	for _, r := range rs {
 		fmt.Fprintf(os.Stderr, "fig8: deploying 2^%d index nodes and inserting corpus...\n", r)
-		d, err := sim.NewInstrumentedDeployment(r, 0, reg)
+		d, err := sim.NewCustomDeployment(sim.DeployConfig{R: r, Telemetry: reg, Batch: batch})
 		if err != nil {
 			return err
 		}
@@ -285,8 +300,34 @@ func runFig9(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, rs []int, max
 	return nil
 }
 
-func runCosts(out *os.File, c *corpus.Corpus, reg *telemetry.Registry) error {
-	d, err := sim.NewInstrumentedDeployment(10, 0, reg)
+// batchMode maps the -batch-waves flag onto the core knob.
+func batchMode(on bool) core.BatchMode {
+	if on {
+		return core.BatchOn
+	}
+	return core.BatchOff
+}
+
+// runBatchStudy measures physical-frame savings of wave batching on a
+// folded deployment: 2^10 logical vertices on a peers-node fleet.
+func runBatchStudy(out *os.File, c *corpus.Corpus, log *corpus.QueryLog, peers int) error {
+	var queries []keyword.Set
+	for m := 1; m <= 3; m++ {
+		queries = append(queries, log.PopularOfSize(m, 3)...)
+	}
+	fmt.Fprintf(os.Stderr, "batch study: %d queries over 2^10 vertices on %d peers (batched vs unbatched)...\n",
+		len(queries), peers)
+	res, err := sim.BatchStudy(c, queries, 10, peers, 0)
+	if err != nil {
+		return err
+	}
+	sim.RenderBatchStudy(out, res)
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runCosts(out *os.File, c *corpus.Corpus, reg *telemetry.Registry, batch core.BatchMode) error {
+	d, err := sim.NewCustomDeployment(sim.DeployConfig{R: 10, Telemetry: reg, Batch: batch})
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,7 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty = disabled)")
 		resilient   = fs.Bool("resilience", true, "retry/backoff and circuit breakers on outbound RPCs")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "duplicate still-unanswered read-only RPCs after this delay (0 = no hedging; requires -resilience)")
+		batchWaves  = fs.Bool("batch-waves", true, "coalesce parallel search waves into one RPC frame per distinct peer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,12 +84,17 @@ func run(args []string) error {
 		p.HedgeDelay = *hedgeAfter
 		pol = &p
 	}
+	batch := keysearch.BatchOn
+	if !*batchWaves {
+		batch = keysearch.BatchOff
+	}
 	peer, err := keysearch.NewPeer(transport, keysearch.Addr(*listen), keysearch.Config{
 		Dim:                 *dim,
 		CacheCapacity:       *cache,
 		MaintenanceInterval: 500 * time.Millisecond,
 		Telemetry:           reg,
 		Resilience:          pol,
+		BatchWaves:          batch,
 	})
 	if err != nil {
 		return err

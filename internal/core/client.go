@@ -188,6 +188,7 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 		NodesContacted: resp.SubNodes,
 		Messages:       resp.SubMsgs + 2, // plus the initiator↔root round trip
 		Rounds:         resp.Rounds,
+		PhysFrames:     resp.PhysFrames + 1, // plus the initiator's frame to the root
 		CacheHit:       resp.CacheHit,
 	}
 	if resp.CacheHit {

@@ -27,6 +27,13 @@ type deployment struct {
 
 func newDeployment(t *testing.T, r, nServers, cacheCap int) *deployment {
 	t.Helper()
+	return newDeploymentMode(t, r, nServers, cacheCap, BatchAuto)
+}
+
+// newDeploymentMode is newDeployment with an explicit wave-batching
+// mode, for tests comparing the batched and per-message dispatch paths.
+func newDeploymentMode(t *testing.T, r, nServers, cacheCap int, mode BatchMode) *deployment {
+	t.Helper()
 	net := inmem.New(1)
 	t.Cleanup(func() { net.Close() })
 	hasher := keyword.MustNewHasher(r, 42)
@@ -44,6 +51,7 @@ func newDeployment(t *testing.T, r, nServers, cacheCap int) *deployment {
 			Resolver:      resolver,
 			Sender:        net,
 			CacheCapacity: cacheCap,
+			BatchWaves:    mode,
 		})
 		if err != nil {
 			t.Fatalf("NewServer: %v", err)

@@ -59,6 +59,7 @@ type (
 		SubMsgs     int // messages exchanged by the root with them
 		Rounds      int // sequential message rounds (parallel: waves)
 		FailedNodes int // nodes skipped because they were unreachable
+		PhysFrames  int // physical RPC frames the root actually sent
 		CacheHit    bool
 		ErrCode     int // protocol-level outcome (errCode*)
 		// Trace records per-node visit outcomes in traversal order
@@ -94,6 +95,44 @@ type (
 		Dim    int
 	}
 
+	// msgSubQueryBatch coalesces an entire wave's worth of msgSubQuery
+	// work units destined for the same physical peer into one RPC
+	// frame. Each unit is the exact payload a standalone msgSubQuery
+	// would have carried; the receiver answers every unit under a
+	// single lock acquisition and reports per-unit outcomes so the
+	// root's failure accounting (Lemma 3.2) is unchanged. The batch as
+	// a whole is read-only and therefore hedgeable.
+	msgSubQueryBatch struct {
+		Instance string
+		Dim      int // hypercube dimensionality of the instance (0 = server default)
+		Root     uint64
+		QueryKey string
+		Limit    int
+		Units    []wireUnit
+	}
+
+	// wireUnit is one logical sub-query inside a batch.
+	wireUnit struct {
+		Vertex uint64
+		Skip   int
+		GenDim int
+	}
+
+	respSubQueryBatch struct {
+		Results []respSubUnit
+	}
+
+	// respSubUnit mirrors respSubQuery for one batched unit. ErrCode is
+	// nonzero when this particular vertex could not be served (e.g. the
+	// peer no longer owns it after a ring change); the root then falls
+	// back to a per-unit send with the usual resolve-retry path.
+	respSubUnit struct {
+		Matches   []Match
+		Remaining int
+		Children  []wireEdge
+		ErrCode   int
+	}
+
 	respAck struct{}
 
 	// msgBulkInsert transfers a batch of index entries, used when a
@@ -123,7 +162,7 @@ type (
 // middleware via SetReadOnly (combine layers with resilience.AnyOf).
 func ReadOnlyMessage(body any) bool {
 	switch m := body.(type) {
-	case msgPinQuery, msgSubQuery:
+	case msgPinQuery, msgSubQuery, msgSubQueryBatch:
 		return true
 	case msgTQuery:
 		return !m.Cumulative && m.SessionID == 0
@@ -149,6 +188,7 @@ func RegisterTypes() {
 		msgPinQuery{}, respPinQuery{},
 		msgTQuery{}, respTQuery{},
 		msgSubQuery{}, respSubQuery{},
+		msgSubQueryBatch{}, respSubQueryBatch{},
 		msgBulkInsert{},
 		msgHandoffRange{}, respHandoffRange{},
 		Match{},

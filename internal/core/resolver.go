@@ -28,15 +28,31 @@ func VertexKey(instance string, v hypercube.Vertex) dht.ID {
 	return dht.HashString("hx:" + instance + ":" + strconv.FormatUint(uint64(v), 16))
 }
 
+// BatchResolver is an optional Resolver extension for resolving a
+// whole wave of vertices at once. dispatchWave prefers it when the
+// configured resolver implements it; addrs and errs are positionally
+// aligned with vs.
+type BatchResolver interface {
+	Resolver
+	ResolveBatch(ctx context.Context, instance string, vs []hypercube.Vertex) (addrs []transport.Addr, errs []error)
+}
+
+// batchResolveFanout bounds the concurrent overlay lookups one
+// ResolveBatch call may have in flight.
+const batchResolveFanout = 16
+
 // OverlayResolver resolves vertices through a dht.Overlay lookup,
 // caching (instance, vertex)→address bindings (the neighbor caching of
 // Section 3.4, remark 4). Invalidate drops a cached binding after a
-// send to it fails, so churn is handled by re-resolution.
+// send to it fails, so churn is handled by re-resolution. Concurrent
+// Resolve calls for the same cold binding are deduplicated: one caller
+// performs the overlay lookup and the rest wait for its outcome.
 type OverlayResolver struct {
 	overlay dht.Overlay
 
-	mu    sync.Mutex
-	cache map[bindingKey]transport.Addr
+	mu      sync.Mutex
+	cache   map[bindingKey]transport.Addr
+	flights map[bindingKey]*flight
 }
 
 type bindingKey struct {
@@ -44,13 +60,24 @@ type bindingKey struct {
 	vertex   hypercube.Vertex
 }
 
-var _ Resolver = (*OverlayResolver)(nil)
+// flight is one in-progress overlay lookup; joiners block on done.
+type flight struct {
+	done chan struct{}
+	addr transport.Addr
+	err  error
+}
+
+var (
+	_ Resolver      = (*OverlayResolver)(nil)
+	_ BatchResolver = (*OverlayResolver)(nil)
+)
 
 // NewOverlayResolver builds a caching resolver over the overlay.
 func NewOverlayResolver(overlay dht.Overlay) *OverlayResolver {
 	return &OverlayResolver{
 		overlay: overlay,
 		cache:   make(map[bindingKey]transport.Addr),
+		flights: make(map[bindingKey]*flight),
 	}
 }
 
@@ -62,16 +89,60 @@ func (r *OverlayResolver) Resolve(ctx context.Context, instance string, v hyperc
 		r.mu.Unlock()
 		return addr, nil
 	}
+	if fl, ok := r.flights[key]; ok {
+		// Another goroutine is already looking this binding up; wait
+		// for its answer instead of stampeding the overlay.
+		r.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.addr, fl.err
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	r.flights[key] = fl
 	r.mu.Unlock()
 
 	addr, _, err := r.overlay.Lookup(ctx, VertexKey(instance, v))
 	if err != nil {
-		return "", fmt.Errorf("resolve vertex %d: %w", v, err)
+		err = fmt.Errorf("resolve vertex %d: %w", v, err)
 	}
+	fl.addr, fl.err = addr, err
+
 	r.mu.Lock()
-	r.cache[key] = addr
+	if err == nil {
+		r.cache[key] = addr
+	}
+	delete(r.flights, key)
 	r.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return "", err
+	}
 	return addr, nil
+}
+
+// ResolveBatch resolves a wave of vertices with bounded concurrency.
+// Duplicate vertices in vs and concurrent calls for overlapping waves
+// collapse onto single overlay lookups via the cache and the
+// singleflight table.
+func (r *OverlayResolver) ResolveBatch(ctx context.Context, instance string, vs []hypercube.Vertex) ([]transport.Addr, []error) {
+	addrs := make([]transport.Addr, len(vs))
+	errs := make([]error, len(vs))
+	sem := make(chan struct{}, batchResolveFanout)
+	var wg sync.WaitGroup
+	for i, v := range vs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, v hypercube.Vertex) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			addrs[i], errs[i] = r.Resolve(ctx, instance, v)
+		}(i, v)
+	}
+	wg.Wait()
+	return addrs, errs
 }
 
 // Invalidate forgets the cached binding for v in the given instance.
@@ -93,7 +164,10 @@ func (r *OverlayResolver) CacheSize() int {
 // physical-node deployments of Section 4 without DHT traffic.
 type FuncResolver func(v hypercube.Vertex) transport.Addr
 
-var _ Resolver = (FuncResolver)(nil)
+var (
+	_ Resolver      = (FuncResolver)(nil)
+	_ BatchResolver = (FuncResolver)(nil)
+)
 
 // Resolve implements Resolver, ignoring the instance name.
 func (f FuncResolver) Resolve(_ context.Context, _ string, v hypercube.Vertex) (transport.Addr, error) {
@@ -102,4 +176,15 @@ func (f FuncResolver) Resolve(_ context.Context, _ string, v hypercube.Vertex) (
 		return "", fmt.Errorf("core: no address for vertex %d", v)
 	}
 	return addr, nil
+}
+
+// ResolveBatch implements BatchResolver; the mapping function is pure,
+// so the batch is a plain loop.
+func (f FuncResolver) ResolveBatch(ctx context.Context, instance string, vs []hypercube.Vertex) ([]transport.Addr, []error) {
+	addrs := make([]transport.Addr, len(vs))
+	errs := make([]error, len(vs))
+	for i, v := range vs {
+		addrs[i], errs[i] = f.Resolve(ctx, instance, v)
+	}
+	return addrs, errs
 }

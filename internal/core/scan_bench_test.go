@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// benchSender satisfies ServerConfig.Sender for benchmarks that never
+// leave the local server.
+type benchSender struct{}
+
+func (benchSender) Send(context.Context, transport.Addr, any) (any, error) {
+	return nil, fmt.Errorf("bench: no network")
+}
+
+// benchScanServer builds a standalone server with one crowded vertex:
+// entries keyword sets, ids object IDs per entry.
+func benchScanServer(b *testing.B, entries, ids int) (*Server, hypercube.Vertex, keyword.Set) {
+	b.Helper()
+	hasher := keyword.MustNewHasher(8, 42)
+	srv, err := NewServer(ServerConfig{
+		Hasher:   hasher,
+		Resolver: FuncResolver(func(hypercube.Vertex) transport.Addr { return "bench-0" }),
+		Sender:   benchSender{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := hypercube.Vertex(5)
+	for i := 0; i < entries; i++ {
+		key := keyword.NewSet("hub", "w"+strconv.Itoa(i)).Key()
+		for j := 0; j < ids; j++ {
+			srv.insertEntry(DefaultInstance, v, key, "o-"+strconv.Itoa(i)+"-"+strconv.Itoa(j))
+		}
+	}
+	return srv, v, keyword.NewSet("hub")
+}
+
+// BenchmarkScanVertexSortedCache isolates the sorted-scan-order caching
+// of table.sortedKeys and entry.ids: "warm" reuses the cached order
+// built on the first scan (the steady state — scans vastly outnumber
+// mutations), "cold" invalidates it before every scan, paying the
+// full rebuild-and-sort on each, as every scan did before the cache.
+func BenchmarkScanVertexSortedCache(b *testing.B) {
+	const entries, ids = 200, 5
+	for _, mode := range []string{"warm", "cold"} {
+		b.Run(mode, func(b *testing.B) {
+			srv, v, query := benchScanServer(b, entries, ids)
+			srv.scanVertex(DefaultInstance, v, v, query, 0, -1) // build the cache once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cold" {
+					srv.mu.Lock()
+					tbl := srv.tables[DefaultInstance][v]
+					tbl.sorted = nil
+					for _, e := range tbl.entries {
+						e.sortedIDs = nil
+					}
+					srv.mu.Unlock()
+				}
+				matches, _ := srv.scanVertex(DefaultInstance, v, v, query, 0, -1)
+				if len(matches) != entries*ids {
+					b.Fatalf("scan returned %d matches, want %d", len(matches), entries*ids)
+				}
+			}
+		})
+	}
+}

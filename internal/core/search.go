@@ -9,6 +9,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
+	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
 // response error codes carried in respTQuery (the transport reports
@@ -16,6 +17,10 @@ import (
 const (
 	errCodeNone = iota
 	errCodeNoSession
+	// errCodeNotOwner flags one unit of a msgSubQueryBatch whose vertex
+	// the receiving peer no longer owns; the root retries that unit on
+	// the per-message path, which heals stale resolver bindings.
+	errCodeNotOwner
 )
 
 // maxBottomUpFree bounds the free dimensions of a bottom-up traversal:
@@ -115,11 +120,12 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		msgs      int
 		failed    int
 		rounds    int
+		frames    int
 	)
 	if sess.order == ParallelLevels {
-		collected, nodes, msgs, failed, rounds = s.traverseParallel(ctx, sess, rootV, msg.Threshold, trace)
+		collected, nodes, msgs, failed, rounds, frames = s.traverseParallel(ctx, sess, rootV, msg.Threshold, trace)
 	} else {
-		collected, nodes, msgs, failed = s.traverseSequential(ctx, sess, rootV, msg.Threshold, trace)
+		collected, nodes, msgs, failed, frames = s.traverseSequential(ctx, sess, rootV, msg.Threshold, trace)
 		rounds = nodes
 	}
 	exhausted := len(sess.work) == 0
@@ -130,6 +136,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		SubNodes:    nodes,
 		SubMsgs:     msgs,
 		FailedNodes: failed,
+		PhysFrames:  frames,
 		Rounds:      rounds,
 	}
 	if msg.WantTrace && trace != nil {
@@ -146,6 +153,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		elapsedNS := time.Since(startedAt).Nanoseconds()
 		s.met.searchNodes.Add(uint64(nodes))
 		s.met.searchMsgs.Add(uint64(msgs))
+		s.met.physFrames.Add(uint64(frames))
 		s.met.searchFailed.Add(uint64(failed))
 		s.met.searchRounds.Add(uint64(rounds))
 		s.met.searchMatches.Add(uint64(len(collected)))
@@ -235,12 +243,17 @@ func newSession(cube hypercube.Cube, instance, queryKey string, query keyword.Se
 	return sess, nil
 }
 
-// visitResult is the outcome of scanning one hypercube node.
+// visitResult is the outcome of scanning one hypercube node. remote
+// reports the paper's logical accounting — whether this vertex counts
+// as a T_QUERY/T_CONT exchange — while frames counts the physical RPC
+// frames actually sent for it (zero when a batch or a local shortcut
+// absorbed it).
 type visitResult struct {
 	matches   []Match
 	remaining int
 	children  []hypercube.ChildEdge
 	remote    bool
+	frames    int
 	err       error
 }
 
@@ -268,12 +281,16 @@ func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hyp
 		Skip:     u.skip,
 		GenDim:   u.genDim,
 	}
-	var raw any
+	var (
+		raw    any
+		frames int
+	)
 	for attempt := 0; ; attempt++ {
 		addr, err := s.cfg.Resolver.Resolve(ctx, instance, u.vertex)
 		if err != nil {
-			return visitResult{remote: true, err: err}
+			return visitResult{remote: true, frames: frames, err: err}
 		}
+		frames++
 		raw, err = s.cfg.Sender.Send(ctx, addr, msg)
 		if err == nil {
 			break
@@ -284,17 +301,17 @@ func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hyp
 			inv.Invalidate(instance, u.vertex)
 			continue
 		}
-		return visitResult{remote: true, err: err}
+		return visitResult{remote: true, frames: frames, err: err}
 	}
 	sq, ok := raw.(respSubQuery)
 	if !ok {
-		return visitResult{remote: true, err: fmt.Errorf("core: unexpected sub-query response %T", raw)}
+		return visitResult{remote: true, frames: frames, err: fmt.Errorf("core: unexpected sub-query response %T", raw)}
 	}
 	children := make([]hypercube.ChildEdge, len(sq.Children))
 	for i, e := range sq.Children {
 		children[i] = hypercube.ChildEdge{To: hypercube.Vertex(e.Vertex), Dim: e.Dim}
 	}
-	return visitResult{matches: sq.Matches, remaining: sq.Remaining, children: children, remote: true}
+	return visitResult{matches: sq.Matches, remaining: sq.Remaining, children: children, remote: true, frames: frames}
 }
 
 // traverseSequential implements the paper's sequential Steps 1–3: pop
@@ -302,13 +319,14 @@ func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hyp
 // soon as the threshold is met (T_STOP). Failed nodes are skipped —
 // their subtree is still reachable because the child list is
 // regenerable locally — and counted in failed.
-func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed int) {
+func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, frames int) {
 	need := threshold
 	for len(sess.work) > 0 && need > 0 {
 		u := sess.work[0]
 		sess.work = sess.work[1:]
 		res := s.visit(ctx, sess, u, rootV, need)
 		nodes++
+		frames += res.frames
 		if res.remote {
 			msgs += 2
 		}
@@ -338,7 +356,7 @@ func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hy
 			sess.work = append([]workUnit{{vertex: u.vertex, genDim: -1, skip: u.skip + len(res.matches)}}, sess.work...)
 		}
 	}
-	return collected, nodes, msgs, failed
+	return collected, nodes, msgs, failed, frames
 }
 
 // traverseParallel queries all frontier nodes of a wave concurrently
@@ -346,31 +364,54 @@ func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hy
 // frontier order so the output matches TopDown; over-fetched matches
 // from nodes beyond the stopping point are discarded and those nodes
 // re-queued as match-only units for later continuation.
-func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, rounds int) {
+//
+// With BatchWaves on, each wave is dispatched as one msgSubQueryBatch
+// per distinct physical peer instead of one msgSubQuery per vertex,
+// and exhaustive searches (threshold All — no early stop can occur)
+// flatten the entire remaining subtree into a single mega-wave, since
+// SBT child lists are pure geometry the root can generate itself. Both
+// transformations change only the physical framing: the accounting
+// loop below consumes results in the exact order and with the exact
+// logical-message, failure and continuation semantics of the
+// per-message path.
+func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, rounds, frames int) {
+	batch := s.cfg.BatchWaves == BatchOn
 	need := threshold
 	for len(sess.work) > 0 && need > 0 {
 		rounds++
 		wave := sess.work
 		sess.work = nil
-		results := make([]visitResult, len(wave))
-
-		sem := make(chan struct{}, s.cfg.ParallelFanout)
-		var wg sync.WaitGroup
-		for i, u := range wave {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, u workUnit) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[i] = s.visit(ctx, sess, u, rootV, need)
-			}(i, u)
+		if batch && rounds == 1 && threshold == All &&
+			sess.cube.Dim()-rootV.OnesCount() <= maxBottomUpFree {
+			wave = expandFrontier(sess.cube, rootV, wave)
 		}
-		wg.Wait()
+
+		var results []visitResult
+		if batch {
+			var waveFrames int
+			results, waveFrames = s.dispatchWave(ctx, sess, wave, rootV, need)
+			frames += waveFrames
+		} else {
+			results = make([]visitResult, len(wave))
+			sem := make(chan struct{}, s.cfg.ParallelFanout)
+			var wg sync.WaitGroup
+			for i, u := range wave {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int, u workUnit) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					results[i] = s.visit(ctx, sess, u, rootV, need)
+				}(i, u)
+			}
+			wg.Wait()
+		}
 
 		var nextLevel []workUnit
 		for i, u := range wave {
 			res := results[i]
 			nodes++
+			frames += res.frames
 			if res.remote {
 				msgs += 2
 			}
@@ -415,7 +456,200 @@ func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hype
 		}
 		sess.work = append(sess.work, nextLevel...)
 	}
-	return collected, nodes, msgs, failed, rounds
+	return collected, nodes, msgs, failed, rounds, frames
+}
+
+// expandFrontier transitively expands a frontier into the full list of
+// work units its traversal would visit, in the exact order the
+// level-by-level waves would concatenate to: each unit is followed by
+// its SBT children, generated breadth-first. Expanded units carry
+// genDim -1 so the accounting loop neither re-appends their children
+// on success nor regenerates them on failure — the whole subtree is
+// already in the wave.
+func expandFrontier(cube hypercube.Cube, rootV hypercube.Vertex, frontier []workUnit) []workUnit {
+	out := make([]workUnit, 0, cube.SubcubeSize(rootV))
+	queue := append(make([]workUnit, 0, len(frontier)), frontier...)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u.genDim >= 0 {
+			queue = append(queue, asUnits(cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+			u.genDim = -1
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// dispatchWave answers one wave of work units, coalescing every unit
+// that resolves to the same physical peer into one msgSubQueryBatch.
+// The returned results are positionally aligned with wave; the second
+// return value counts the batch frames sent (per-unit fallback frames
+// are carried in the individual results). Units the dispatching server
+// can answer itself — the query root, plus any vertex resolving to the
+// root's own address — are scanned locally with no frame at all; their
+// remote flag still follows the paper's logical accounting, which
+// charges an exchange for every vertex other than the root. Any unit a
+// batch cannot serve (transport failure, or per-unit ownership error)
+// falls back to the per-message visit path with its resolve-retry
+// healing, so failure semantics are identical to the unbatched mode.
+func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUnit, rootV hypercube.Vertex, limit int) ([]visitResult, int) {
+	instance := sess.instance
+	results := make([]visitResult, len(wave))
+
+	// Resolve each distinct non-root vertex once.
+	distinct := make([]hypercube.Vertex, 0, len(wave))
+	pos := make(map[hypercube.Vertex]int, len(wave))
+	for _, u := range wave {
+		if u.vertex == rootV {
+			continue
+		}
+		if _, ok := pos[u.vertex]; !ok {
+			pos[u.vertex] = len(distinct)
+			distinct = append(distinct, u.vertex)
+		}
+	}
+	var (
+		addrs []transport.Addr
+		errs  []error
+	)
+	if br, ok := s.cfg.Resolver.(BatchResolver); ok {
+		addrs, errs = br.ResolveBatch(ctx, instance, distinct)
+	} else {
+		addrs = make([]transport.Addr, len(distinct))
+		errs = make([]error, len(distinct))
+		sem := make(chan struct{}, s.cfg.ParallelFanout)
+		var wg sync.WaitGroup
+		for i, v := range distinct {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, v hypercube.Vertex) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				addrs[i], errs[i] = s.cfg.Resolver.Resolve(ctx, instance, v)
+			}(i, v)
+		}
+		wg.Wait()
+	}
+
+	// The root's own address identifies which other vertices this
+	// server hosts; failing to resolve it only disables that shortcut.
+	var selfAddr transport.Addr
+	if a, err := s.cfg.Resolver.Resolve(ctx, instance, rootV); err == nil {
+		selfAddr = a
+	}
+
+	// Group wave positions by destination peer, preserving first-seen
+	// dispatch order.
+	local := make([]int, 0, len(wave))
+	byAddr := make(map[transport.Addr][]int)
+	order := make([]transport.Addr, 0, len(wave))
+	for i, u := range wave {
+		if u.vertex == rootV {
+			local = append(local, i)
+			continue
+		}
+		p := pos[u.vertex]
+		if errs[p] != nil {
+			results[i] = visitResult{remote: true, err: errs[p]}
+			continue
+		}
+		addr := addrs[p]
+		if selfAddr != "" && addr == selfAddr {
+			local = append(local, i)
+			continue
+		}
+		if _, ok := byAddr[addr]; !ok {
+			order = append(order, addr)
+		}
+		byAddr[addr] = append(byAddr[addr], i)
+	}
+
+	// Local units: scanned directly, no frame. A vertex the resolver
+	// maps here but the DHT layer no longer owns takes the remote path.
+	for _, i := range local {
+		u := wave[i]
+		if u.vertex != rootV && !s.owns(instance, u.vertex) {
+			results[i] = s.visit(ctx, sess, u, rootV, limit)
+			continue
+		}
+		matches, remaining := s.scanVertex(instance, u.vertex, rootV, sess.query, u.skip, limit)
+		var children []hypercube.ChildEdge
+		if u.genDim >= 0 {
+			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
+		}
+		results[i] = visitResult{matches: matches, remaining: remaining, children: children, remote: u.vertex != rootV}
+		if u.vertex != rootV {
+			s.met.coalesced.Inc() // frame avoided entirely
+		}
+	}
+
+	// One batch per distinct peer, concurrently, fanout-bounded.
+	frames := make([]int, len(order))
+	sem := make(chan struct{}, s.cfg.ParallelFanout)
+	var wg sync.WaitGroup
+	for k, addr := range order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int, addr transport.Addr, idx []int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			frames[k] = s.sendBatch(ctx, sess, addr, idx, wave, rootV, limit, results)
+		}(k, addr, byAddr[addr])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, f := range frames {
+		total += f
+	}
+	return results, total
+}
+
+// sendBatch sends one coalesced msgSubQueryBatch and unpacks per-unit
+// outcomes into results (positions idx of wave). It returns the number
+// of batch frames sent; units the batch could not serve are retried on
+// the per-message path and carry those frames in their own results.
+func (s *Server) sendBatch(ctx context.Context, sess *session, addr transport.Addr, idx []int, wave []workUnit, rootV hypercube.Vertex, limit int, results []visitResult) int {
+	units := make([]wireUnit, len(idx))
+	for j, i := range idx {
+		u := wave[i]
+		units[j] = wireUnit{Vertex: uint64(u.vertex), Skip: u.skip, GenDim: u.genDim}
+	}
+	msg := msgSubQueryBatch{
+		Instance: sess.instance,
+		Dim:      sess.cube.Dim(),
+		Root:     uint64(rootV),
+		QueryKey: sess.queryKey,
+		Limit:    limit,
+		Units:    units,
+	}
+	s.met.batchSize.Observe(int64(len(units)))
+	raw, err := s.cfg.Sender.Send(ctx, addr, msg)
+	resp, shapeOK := raw.(respSubQueryBatch)
+	if err != nil || !shapeOK || len(resp.Results) != len(idx) {
+		// The whole frame failed (peer down, partitioned, or answered
+		// nonsense): every unit retries individually, which reproduces
+		// the unbatched failure accounting exactly.
+		for _, i := range idx {
+			results[i] = s.visit(ctx, sess, wave[i], rootV, limit)
+		}
+		return 1
+	}
+	s.met.coalesced.Add(uint64(len(units) - 1))
+	for j, i := range idx {
+		r := resp.Results[j]
+		if r.ErrCode != 0 {
+			results[i] = s.visit(ctx, sess, wave[i], rootV, limit)
+			continue
+		}
+		children := make([]hypercube.ChildEdge, len(r.Children))
+		for k, e := range r.Children {
+			children[k] = hypercube.ChildEdge{To: hypercube.Vertex(e.Vertex), Dim: e.Dim}
+		}
+		results[i] = visitResult{matches: r.Matches, remaining: r.Remaining, children: children, remote: true}
+	}
+	return 1
 }
 
 func asUnits(edges []hypercube.ChildEdge) []workUnit {

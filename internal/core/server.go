@@ -15,6 +15,23 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
+// BatchMode selects whether ParallelLevels waves coalesce their
+// sub-queries into one msgSubQueryBatch per distinct physical peer.
+// Batching changes only the physical framing: logical SubMsgs
+// accounting, match order, Completeness and failed-subtree math are
+// identical either way.
+type BatchMode int
+
+const (
+	// BatchAuto resolves to the default (on) at server construction.
+	BatchAuto BatchMode = iota
+	// BatchOn coalesces each wave into one RPC frame per distinct peer.
+	BatchOn
+	// BatchOff dispatches one msgSubQuery per frontier vertex (the
+	// paper's literal per-node exchange).
+	BatchOff
+)
+
 // ServerConfig configures an index Server.
 type ServerConfig struct {
 	// Hasher fixes the hypercube dimensionality and keyword hash; it
@@ -33,6 +50,9 @@ type ServerConfig struct {
 	// ParallelFanout bounds concurrent sub-queries in ParallelLevels
 	// traversal. Default 32.
 	ParallelFanout int
+	// BatchWaves controls wave batching for ParallelLevels searches
+	// this server roots (BatchAuto = on).
+	BatchWaves BatchMode
 	// Owner, when set, validates that this node currently owns a DHT
 	// key before serving requests for it. Requests for keys the node
 	// no longer owns (its range was taken over by a joiner) are
@@ -53,6 +73,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.ParallelFanout <= 0 {
 		c.ParallelFanout = 32
+	}
+	if c.BatchWaves == BatchAuto {
+		c.BatchWaves = BatchOn
 	}
 	return c
 }
@@ -81,13 +104,14 @@ type Server struct {
 // nil registry every field is nil, and the nil-safe instrument methods
 // make each site a no-op.
 type serverMetrics struct {
-	opInsert  *telemetry.Counter // core_ops_total{op=…}
-	opDelete  *telemetry.Counter
-	opPin     *telemetry.Counter
-	opSub     *telemetry.Counter
-	opBulk    *telemetry.Counter
-	opHandoff *telemetry.Counter
-	opSearch  *telemetry.Counter
+	opInsert   *telemetry.Counter // core_ops_total{op=…}
+	opDelete   *telemetry.Counter
+	opPin      *telemetry.Counter
+	opSub      *telemetry.Counter
+	opSubBatch *telemetry.Counter
+	opBulk     *telemetry.Counter
+	opHandoff  *telemetry.Counter
+	opSearch   *telemetry.Counter
 
 	searchNodes   *telemetry.Counter   // core_search_nodes_total
 	searchMsgs    *telemetry.Counter   // core_search_msgs_total
@@ -97,6 +121,10 @@ type serverMetrics struct {
 	searchLatency *telemetry.Histogram // core_search_duration_ns
 	cacheHits     *telemetry.Counter   // core_cache_hits_total
 	cacheMisses   *telemetry.Counter   // core_cache_misses_total
+
+	batchSize  *telemetry.Histogram // core_search_batch_size
+	coalesced  *telemetry.Counter   // core_search_msgs_coalesced_total
+	physFrames *telemetry.Counter   // core_search_phys_frames_total
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -106,6 +134,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		opDelete:      ops.With("delete"),
 		opPin:         ops.With("pin-search"),
 		opSub:         ops.With("sub-query"),
+		opSubBatch:    ops.With("sub-query-batch"),
 		opBulk:        ops.With("bulk-insert"),
 		opHandoff:     ops.With("handoff"),
 		opSearch:      ops.With("superset-search"),
@@ -117,6 +146,9 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		searchLatency: reg.Histogram("core_search_duration_ns", telemetry.DefaultLatencyBuckets),
 		cacheHits:     reg.Counter("core_cache_hits_total"),
 		cacheMisses:   reg.Counter("core_cache_misses_total"),
+		batchSize:     reg.Histogram("core_search_batch_size", telemetry.ExpBuckets(1, 2, 11)),
+		coalesced:     reg.Counter("core_search_msgs_coalesced_total"),
+		physFrames:    reg.Counter("core_search_phys_frames_total"),
 	}
 }
 
@@ -237,6 +269,13 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 		}
 		s.met.opSub.Inc()
 		return s.subQuery(msg), nil
+	case msgSubQueryBatch:
+		// Ownership is validated per unit, not for the whole frame: a
+		// ring change may have re-homed a subset of the batch's
+		// vertices, and the root falls back to per-vertex sends for
+		// exactly those.
+		s.met.opSubBatch.Inc()
+		return s.subQueryBatch(msg), nil
 	case msgBulkInsert:
 		s.met.opBulk.Inc()
 		for _, e := range msg.Entries {
@@ -362,6 +401,49 @@ func (s *Server) subQuery(msg msgSubQuery) respSubQuery {
 	return resp
 }
 
+// subQueryBatch answers a coalesced wave of sub-queries in one frame.
+// All table scans happen under a single lock acquisition; the SBT
+// child lists are pure geometry and are computed outside the lock.
+// Per-unit outcomes keep the root's accounting identical to the
+// per-message path.
+func (s *Server) subQueryBatch(msg msgSubQueryBatch) respSubQueryBatch {
+	query := keyword.ParseKey(msg.QueryKey)
+	root := hypercube.Vertex(msg.Root)
+	results := make([]respSubUnit, len(msg.Units))
+
+	// Ownership checks consult the DHT layer (its own locking), so they
+	// run before the table lock is taken.
+	for i, u := range msg.Units {
+		if !s.owns(msg.Instance, hypercube.Vertex(u.Vertex)) {
+			results[i] = respSubUnit{ErrCode: errCodeNotOwner}
+		}
+	}
+
+	s.mu.Lock()
+	for i, u := range msg.Units {
+		if results[i].ErrCode != 0 {
+			continue
+		}
+		matches, remaining := s.scanVertexLocked(msg.Instance, hypercube.Vertex(u.Vertex), root, query, u.Skip, msg.Limit)
+		results[i] = respSubUnit{Matches: matches, Remaining: remaining}
+	}
+	s.mu.Unlock()
+
+	cube, cubeErr := s.cubeFor(msg.Dim)
+	for i, u := range msg.Units {
+		if results[i].ErrCode != 0 || u.GenDim < 0 || cubeErr != nil {
+			continue
+		}
+		edges := cube.InducedChildEdges(root, hypercube.Vertex(u.Vertex), u.GenDim)
+		children := make([]wireEdge, len(edges))
+		for j, e := range edges {
+			children[j] = wireEdge{Vertex: uint64(e.To), Dim: e.Dim}
+		}
+		results[i].Children = children
+	}
+	return respSubQueryBatch{Results: results}
+}
+
 // cubeFor returns the hypercube geometry for an instance's declared
 // dimensionality (0 falls back to the server's default).
 func (s *Server) cubeFor(dim int) (hypercube.Cube, error) {
@@ -377,6 +459,13 @@ func (s *Server) cubeFor(dim int) (hypercube.Cube, error) {
 func (s *Server) scanVertex(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.scanVertexLocked(instance, v, root, query, skip, limit)
+}
+
+// scanVertexLocked is scanVertex without the locking; callers must
+// hold s.mu. subQueryBatch uses it to scan a whole wave's vertices
+// under one acquisition.
+func (s *Server) scanVertexLocked(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
 	tbl, ok := s.tables[instance][v]
 	if !ok {
 		return nil, 0

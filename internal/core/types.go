@@ -69,6 +69,12 @@ type Stats struct {
 	// per level wave for ParallelLevels — the Section 3.5 time
 	// complexities 2^(r-|One|) versus r-|One|.
 	Rounds int
+	// PhysFrames is the number of physical RPC frames sent for the
+	// search, including the initiator's request to the root. Wave
+	// batching makes this far smaller than Messages (which keeps the
+	// paper's per-logical-vertex accounting) by coalescing each wave
+	// into one frame per distinct physical peer.
+	PhysFrames int
 	// CacheHit reports that the root answered entirely from its cache.
 	CacheHit bool
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// BatchPoint is the measured cost of one exhaustive ParallelLevels
+// query run with wave batching off and on, over the same corpus and
+// the same physical fleet.
+type BatchPoint struct {
+	QueryKey  string
+	M         int  // query keyword count
+	Matches   int  // result size (identical in both modes)
+	Msgs      int  // logical messages (identical in both modes)
+	FramesOff int  // physical RPC frames, unbatched
+	FramesOn  int  // physical RPC frames, batched
+	Identical bool // byte-identical match sequences
+}
+
+// Reduction is the frames-off / frames-on ratio.
+func (p BatchPoint) Reduction() float64 {
+	if p.FramesOn == 0 {
+		return 0
+	}
+	return float64(p.FramesOff) / float64(p.FramesOn)
+}
+
+// BatchStudyResult aggregates a wave-batching comparison run.
+type BatchStudyResult struct {
+	R      int
+	Peers  int
+	Points []BatchPoint
+}
+
+// BatchStudy measures how many physical RPC frames wave batching saves
+// on exhaustive ParallelLevels searches when the 2^r logical vertices
+// are folded onto a fleet of peers physical nodes. Each query runs
+// uncached against two identically loaded deployments — one with
+// batching off, one on — and the match sequences are compared
+// byte-for-byte.
+func BatchStudy(c *corpus.Corpus, queries []keyword.Set, r, peers, cacheCapacity int) (*BatchStudyResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("sim: batch study needs queries")
+	}
+	deployments := make([]*Deployment, 2)
+	for i, mode := range []core.BatchMode{core.BatchOff, core.BatchOn} {
+		d, err := NewCustomDeployment(DeployConfig{
+			R: r, Peers: peers, CacheCapacity: cacheCapacity, Batch: mode,
+		})
+		if err != nil {
+			for _, prev := range deployments[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		defer d.Close()
+		if err := d.InsertCorpus(c); err != nil {
+			return nil, err
+		}
+		deployments[i] = d
+	}
+	off, on := deployments[0], deployments[1]
+
+	ctx := context.Background()
+	opts := core.SearchOptions{Order: core.ParallelLevels, NoCache: true}
+	res := &BatchStudyResult{R: r, Peers: peers}
+	for _, q := range queries {
+		ro, err := off.Client.SupersetSearch(ctx, q, core.All, opts)
+		if err != nil {
+			return nil, fmt.Errorf("unbatched search %v: %w", q, err)
+		}
+		rb, err := on.Client.SupersetSearch(ctx, q, core.All, opts)
+		if err != nil {
+			return nil, fmt.Errorf("batched search %v: %w", q, err)
+		}
+		res.Points = append(res.Points, BatchPoint{
+			QueryKey:  q.Key(),
+			M:         q.Len(),
+			Matches:   len(rb.Matches),
+			Msgs:      rb.Stats.Messages,
+			FramesOff: ro.Stats.PhysFrames,
+			FramesOn:  rb.Stats.PhysFrames,
+			Identical: sameMatches(ro.Matches, rb.Matches),
+		})
+	}
+	return res, nil
+}
+
+// sameMatches compares two match sequences field by field.
+func sameMatches(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderBatchStudy prints a BatchStudyResult as a table.
+func RenderBatchStudy(w io.Writer, res *BatchStudyResult) {
+	fmt.Fprintf(w, "Wave batching — physical frames per exhaustive parallel search (r=%d, %d peers)\n",
+		res.R, res.Peers)
+	fmt.Fprintf(w, "%-28s %3s %8s %8s %10s %10s %8s %6s\n",
+		"query", "m", "matches", "msgs", "frames", "frames", "reduction", "equal")
+	fmt.Fprintf(w, "%-28s %3s %8s %8s %10s %10s %8s %6s\n",
+		"", "", "", "(logical)", "unbatched", "batched", "", "")
+	var sumOff, sumOn int
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-28s %3d %8d %8d %10d %10d %7.1fx %6v\n",
+			p.QueryKey, p.M, p.Matches, p.Msgs, p.FramesOff, p.FramesOn, p.Reduction(), p.Identical)
+		sumOff += p.FramesOff
+		sumOn += p.FramesOn
+	}
+	if sumOn > 0 {
+		fmt.Fprintf(w, "%-28s %3s %8s %8s %10d %10d %7.1fx\n",
+			"total", "", "", "", sumOff, sumOn, float64(sumOff)/float64(sumOn))
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// parallelSearcher forces every chaos-replay query through the
+// ParallelLevels order, the traversal wave batching applies to.
+type parallelSearcher struct{ c *core.Client }
+
+func (p parallelSearcher) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts core.SearchOptions) (core.Result, error) {
+	opts.Order = core.ParallelLevels
+	return p.c.SupersetSearch(ctx, k, threshold, opts)
+}
+
+// TestChaosReplayFingerprintUnchangedByBatching replays one seeded
+// chaos schedule — crashes, recoveries and partitions over a folded
+// 16-peer fleet — against a batched and an unbatched deployment and
+// requires byte-identical outcome fingerprints: same per-query errors,
+// object IDs in order, completeness and failed-subtree counts.
+func TestChaosReplayFingerprintUnchangedByBatching(t *testing.T) {
+	const (
+		r         = 6
+		peers     = 16
+		chaosSeed = 21
+	)
+	c := testCorpus(t, 600)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 150, Templates: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := FaultStudyQueries(log, 6)
+	if len(queries) < 10 {
+		t.Fatalf("too few study queries: %d", len(queries))
+	}
+
+	run := func(mode core.BatchMode) string {
+		d, err := NewCustomDeployment(DeployConfig{R: r, Peers: peers, Batch: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if err := d.InsertCorpus(c); err != nil {
+			t.Fatal(err)
+		}
+		sched, err := GenerateChaos(chaosSeed, ChaosConfig{
+			Queries: len(queries), Nodes: d.Addrs,
+			CrashFrac: 0.2, Recover: true,
+			Partitions: 2, PartitionSpan: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := ReplayChaos(d, parallelSearcher{d.Client}, queries, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Failed+report.Degraded == 0 {
+			t.Fatal("chaos schedule caused no degradation; the comparison is vacuous")
+		}
+		return report.Fingerprint()
+	}
+
+	off := run(core.BatchOff)
+	on := run(core.BatchOn)
+	if off != on {
+		t.Fatalf("chaos fingerprints diverge:\n  unbatched %s\n  batched   %s", off, on)
+	}
+}
+
+// TestBatchStudyReducesFrames runs the ksbench batch study end to end
+// on a small fleet and checks its invariants: identical matches in both
+// modes, identical logical message counts, and strictly fewer physical
+// frames batched on every exhaustive query.
+func TestBatchStudyReducesFrames(t *testing.T) {
+	c := testCorpus(t, 600)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 200, Templates: 60, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []keyword.Set
+	for m := 1; m <= 2; m++ {
+		queries = append(queries, log.PopularOfSize(m, 2)...)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no study queries")
+	}
+
+	res, err := BatchStudy(c, queries, 8, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(queries) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(queries))
+	}
+	for _, p := range res.Points {
+		if !p.Identical {
+			t.Errorf("query %s: match sequences diverge", p.QueryKey)
+		}
+		if p.FramesOn >= p.FramesOff {
+			t.Errorf("query %s: frames %d batched vs %d unbatched — no reduction",
+				p.QueryKey, p.FramesOn, p.FramesOff)
+		}
+	}
+
+	if _, err := BatchStudy(c, nil, 8, 16, 0); err == nil {
+		t.Error("empty query list accepted")
+	}
+}

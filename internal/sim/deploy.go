@@ -15,14 +15,18 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
 )
 
-// Deployment is a live in-memory index deployment with one physical
-// node per logical hypercube vertex, the configuration of the paper's
-// query experiments (Figures 8 and 9).
+// Deployment is a live in-memory index deployment, by default with one
+// physical node per logical hypercube vertex — the configuration of
+// the paper's query experiments (Figures 8 and 9). DeployConfig.Peers
+// folds the 2^r logical vertices onto fewer physical nodes
+// round-robin, the realistic regime wave batching targets.
 type Deployment struct {
 	R       int
+	Peers   int // physical nodes (default 2^r: one per vertex)
 	Net     *inmem.Network
 	Hasher  keyword.Hasher
-	Servers []*core.Server // indexed by vertex
+	Servers []*core.Server   // indexed by peer
+	Addrs   []transport.Addr // indexed by peer
 	Client  *core.Client
 	// Telemetry is the registry shared by every node of the deployment
 	// (nil for uninstrumented deployments). Because all 2^r servers
@@ -60,53 +64,91 @@ func NewInstrumentedDeployment(r, cacheCapacity int, reg *telemetry.Registry) (*
 // < 2 disables replication; a nil pol disables the middleware, making
 // the deployment identical to NewInstrumentedDeployment.
 func NewResilientDeployment(r, cacheCapacity, replicas int, reg *telemetry.Registry, pol *resilience.Policy) (*Deployment, error) {
+	return NewCustomDeployment(DeployConfig{
+		R: r, CacheCapacity: cacheCapacity, Replicas: replicas,
+		Telemetry: reg, Policy: pol,
+	})
+}
+
+// DeployConfig parameterizes NewCustomDeployment.
+type DeployConfig struct {
+	// R is the hypercube dimensionality (required, 1–16).
+	R int
+	// Peers is the number of physical nodes the 2^r logical vertices
+	// fold onto, assigned round-robin (vertex v lives on peer v mod
+	// Peers). 0 means one peer per vertex.
+	Peers int
+	// CacheCapacity is the per-node FIFO cache size in object-ID units.
+	CacheCapacity int
+	// Replicas is the number of independent index instances (< 2
+	// disables replication).
+	Replicas int
+	// Telemetry instruments every node and the network when non-nil.
+	Telemetry *telemetry.Registry
+	// Policy routes every client and root→wave send through a
+	// resilience middleware when non-nil.
+	Policy *resilience.Policy
+	// Batch selects wave batching for ParallelLevels searches on every
+	// server of the fleet (BatchAuto = on).
+	Batch core.BatchMode
+}
+
+// NewCustomDeployment builds an in-memory deployment from cfg.
+func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
+	r := cfg.R
 	if r < 1 || r > 16 {
 		return nil, fmt.Errorf("sim: deployment r=%d outside the tractable range [1, 16]", r)
 	}
+	size := 1 << uint(r)
+	peers := cfg.Peers
+	if peers <= 0 || peers > size {
+		peers = size
+	}
 	net := inmem.New(1)
-	net.SetTelemetry(reg)
+	net.SetTelemetry(cfg.Telemetry)
 
 	// Everything above the raw network — servers driving waves, clients
 	// issuing queries — sends through the middleware when a policy is
 	// given. Binding stays on the raw network either way.
 	var sender transport.Sender = net
 	var mw *resilience.Middleware
-	if pol != nil {
-		mw = resilience.Wrap(net, *pol)
+	if cfg.Policy != nil {
+		mw = resilience.Wrap(net, *cfg.Policy)
 		mw.SetReadOnly(core.ReadOnlyMessage)
-		mw.SetTelemetry(reg)
+		mw.SetTelemetry(cfg.Telemetry)
 		sender = mw
 	}
 
 	hasher := keyword.MustNewHasher(r, HashSeed)
-	size := 1 << uint(r)
-	addrs := make([]transport.Addr, size)
-	for v := range addrs {
-		addrs[v] = transport.Addr("v" + strconv.Itoa(v))
+	addrs := make([]transport.Addr, peers)
+	for p := range addrs {
+		addrs[p] = transport.Addr("v" + strconv.Itoa(p))
 	}
 	resolver := core.FuncResolver(func(v hypercube.Vertex) transport.Addr {
-		return addrs[int(v)]
+		return addrs[int(uint64(v)%uint64(peers))]
 	})
-	servers := make([]*core.Server, size)
-	for v := range servers {
+	servers := make([]*core.Server, peers)
+	for p := range servers {
 		srv, err := core.NewServer(core.ServerConfig{
 			Hasher:        hasher,
 			Resolver:      resolver,
 			Sender:        sender,
-			CacheCapacity: cacheCapacity,
-			Telemetry:     reg,
+			CacheCapacity: cfg.CacheCapacity,
+			BatchWaves:    cfg.Batch,
+			Telemetry:     cfg.Telemetry,
 		})
 		if err != nil {
 			net.Close()
 			return nil, err
 		}
-		servers[v] = srv
-		if _, err := net.Bind(addrs[v], srv.Handler); err != nil {
+		servers[p] = srv
+		if _, err := net.Bind(addrs[p], srv.Handler); err != nil {
 			net.Close()
 			return nil, err
 		}
 	}
 
+	replicas := cfg.Replicas
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -127,8 +169,8 @@ func NewResilientDeployment(r, cacheCapacity, replicas int, reg *telemetry.Regis
 		}
 	}
 	d := &Deployment{
-		R: r, Net: net, Hasher: hasher, Servers: servers,
-		Client: clients[0], Telemetry: reg, Resilience: mw,
+		R: r, Peers: peers, Net: net, Hasher: hasher, Servers: servers,
+		Addrs: addrs, Client: clients[0], Telemetry: cfg.Telemetry, Resilience: mw,
 	}
 	if replicas > 1 {
 		index, err := core.NewReplicated(clients...)
@@ -136,7 +178,7 @@ func NewResilientDeployment(r, cacheCapacity, replicas int, reg *telemetry.Regis
 			net.Close()
 			return nil, err
 		}
-		index.SetTelemetry(reg)
+		index.SetTelemetry(cfg.Telemetry)
 		d.Index = index
 	}
 	return d, nil
@@ -166,5 +208,6 @@ func (d *Deployment) InsertCorpus(c *corpus.Corpus) error {
 	return nil
 }
 
-// Nodes returns the number of logical (= physical) nodes, 2^r.
+// Nodes returns the number of logical hypercube nodes, 2^r (the
+// physical fleet size is Peers).
 func (d *Deployment) Nodes() int { return 1 << uint(d.R) }

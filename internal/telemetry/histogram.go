@@ -88,7 +88,7 @@ func (h *Histogram) Sum() int64 {
 // Bucket is one histogram bucket in a snapshot: the cumulative count
 // of observations <= UpperBound (Prometheus "le" semantics).
 type Bucket struct {
-	UpperBound int64  `json:"le"`   // math.MaxInt64 stands for +Inf
+	UpperBound int64  `json:"le"` // math.MaxInt64 stands for +Inf
 	Count      uint64 `json:"count"`
 }
 

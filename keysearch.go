@@ -70,6 +70,9 @@ type (
 	// BreakerPolicy configures the per-destination circuit breakers
 	// within a ResiliencePolicy.
 	BreakerPolicy = resilience.BreakerPolicy
+	// BatchMode selects wave batching for ParallelLevels searches (see
+	// Config.BatchWaves).
+	BatchMode = core.BatchMode
 )
 
 // DefaultResilience returns the recommended production resilience
@@ -90,6 +93,18 @@ const (
 
 // All is a search threshold meaning "every matching object".
 const All = core.All
+
+// Wave-batching modes (Config.BatchWaves).
+const (
+	// BatchAuto resolves to the default (BatchOn).
+	BatchAuto = core.BatchAuto
+	// BatchOn coalesces each parallel wave into one RPC frame per
+	// distinct physical peer.
+	BatchOn = core.BatchOn
+	// BatchOff sends one RPC per logical vertex (the paper's literal
+	// per-node exchange).
+	BatchOff = core.BatchOff
+)
 
 // Re-exported sentinel errors.
 var (

@@ -64,6 +64,12 @@ type Config struct {
 	// semantics, as before). See DefaultResilience for the recommended
 	// production policy.
 	Resilience *ResiliencePolicy
+	// BatchWaves controls wave batching for ParallelLevels searches
+	// this peer roots: each frontier wave is coalesced into one RPC
+	// frame per distinct physical peer instead of one per logical
+	// vertex (default BatchOn). Logical message accounting and result
+	// contents are identical either way; see Stats.PhysFrames.
+	BatchWaves BatchMode
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +150,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Resolver:      resolver,
 		Sender:        sender,
 		CacheCapacity: cfg.CacheCapacity,
+		BatchWaves:    cfg.BatchWaves,
 		Owner:         node.Owns,
 		Telemetry:     cfg.Telemetry,
 	})

@@ -59,6 +59,22 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		t.Errorf("holder = %s, want %s", refs[0].Holder, peers[1].Addr())
 	}
 
+	// Batched parallel search over TCP: exercises the msgSubQueryBatch
+	// gob round trip against real sockets. Fewer physical frames than
+	// logical messages proves waves actually coalesced.
+	pres, err := peers[2].Search(ctx, NewKeywordSet("distributed"), All,
+		SearchOptions{Order: ParallelLevels, NoCache: true})
+	if err != nil {
+		t.Fatalf("ParallelLevels search over TCP: %v", err)
+	}
+	if len(pres.Matches) != 1 || pres.Matches[0].ObjectID != "tcp-obj" {
+		t.Fatalf("ParallelLevels search = %+v", pres.Matches)
+	}
+	if pres.Stats.PhysFrames <= 0 || pres.Stats.PhysFrames >= pres.Stats.Messages {
+		t.Errorf("PhysFrames = %d, Messages = %d: batching saved nothing over TCP",
+			pres.Stats.PhysFrames, pres.Stats.Messages)
+	}
+
 	// Pin search and cursor over TCP as well.
 	ids, _, err := peers[0].PinSearch(ctx, obj.Keywords)
 	if err != nil || len(ids) != 1 {
