@@ -10,16 +10,20 @@ all: build test
 ci: vet build race chaos bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
-# pipelines still run end to end and BenchmarkWaveBatching enforces its
-# >= 3x physical-frame reduction on the 64-peer fleet at r = 10.
+# pipelines still run end to end, BenchmarkWaveBatching enforces its
+# >= 3x physical-frame reduction on the 64-peer fleet at r = 10, and
+# BenchmarkParallelBatchScan enforces >= 2x scan throughput from
+# sharding + parallel batch scans on machines with 4+ cores.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Seeded chaos suite: deterministic fault-schedule replays and the
-# resilience policy tests, under the race detector.
+# Seeded chaos suite: deterministic fault-schedule replays, the
+# resilience policy tests, and the server concurrency hammer
+# (parallel inserts/deletes/batch scans on one sharded server), all
+# under the race detector.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Breaker|Retry|Hedge|Latency|ListenerClose' \
-		./internal/sim/ ./internal/resilience/ ./internal/transport/...
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|Retry|Hedge|Latency|ListenerClose|Hammer' \
+		./internal/sim/ ./internal/resilience/ ./internal/transport/... ./internal/core/
 
 build:
 	$(GO) build ./...

@@ -50,6 +50,8 @@ func run(args []string) error {
 		resilient   = fs.Bool("resilience", true, "retry/backoff and circuit breakers on outbound RPCs")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "duplicate still-unanswered read-only RPCs after this delay (0 = no hedging; requires -resilience)")
 		batchWaves  = fs.Bool("batch-waves", true, "coalesce parallel search waves into one RPC frame per distinct peer")
+		shards      = fs.Int("shards", 0, "index-table lock stripes (0 = GOMAXPROCS rounded to a power of two, 1 = single lock)")
+		scanPar     = fs.Int("scan-parallelism", 0, "worker pool for batched sub-query scans (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +97,8 @@ func run(args []string) error {
 		Telemetry:           reg,
 		Resilience:          pol,
 		BatchWaves:          batch,
+		Shards:              *shards,
+		ScanParallelism:     *scanPar,
 	})
 	if err != nil {
 		return err

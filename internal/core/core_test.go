@@ -34,6 +34,14 @@ func newDeployment(t *testing.T, r, nServers, cacheCap int) *deployment {
 // mode, for tests comparing the batched and per-message dispatch paths.
 func newDeploymentMode(t *testing.T, r, nServers, cacheCap int, mode BatchMode) *deployment {
 	t.Helper()
+	return newDeploymentTuned(t, r, nServers, cacheCap, mode, 0, 0)
+}
+
+// newDeploymentTuned additionally pins every server's lock-stripe count
+// and scan parallelism, for tests comparing the sharded/parallel and
+// single-lock/sequential configurations (0 = library defaults).
+func newDeploymentTuned(t *testing.T, r, nServers, cacheCap int, mode BatchMode, shards, scanPar int) *deployment {
+	t.Helper()
 	net := inmem.New(1)
 	t.Cleanup(func() { net.Close() })
 	hasher := keyword.MustNewHasher(r, 42)
@@ -47,11 +55,13 @@ func newDeploymentMode(t *testing.T, r, nServers, cacheCap int, mode BatchMode) 
 	servers := make([]*Server, nServers)
 	for i := range servers {
 		srv, err := NewServer(ServerConfig{
-			Hasher:        hasher,
-			Resolver:      resolver,
-			Sender:        net,
-			CacheCapacity: cacheCap,
-			BatchWaves:    mode,
+			Hasher:          hasher,
+			Resolver:        resolver,
+			Sender:          net,
+			CacheCapacity:   cacheCap,
+			BatchWaves:      mode,
+			Shards:          shards,
+			ScanParallelism: scanPar,
 		})
 		if err != nil {
 			t.Fatalf("NewServer: %v", err)

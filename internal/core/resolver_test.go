@@ -139,22 +139,3 @@ func TestClientAccessors(t *testing.T) {
 	}
 }
 
-func TestSessionStoreEviction(t *testing.T) {
-	st := newSessionStore(2)
-	id1 := st.save(&session{queryKey: "a"})
-	id2 := st.save(&session{queryKey: "b"})
-	id3 := st.save(&session{queryKey: "c"}) // evicts id1
-	if st.len() != 2 {
-		t.Errorf("len = %d", st.len())
-	}
-	if st.take(id1) != nil {
-		t.Error("oldest session survived eviction")
-	}
-	if st.take(id2) == nil || st.take(id3) == nil {
-		t.Error("recent sessions lost")
-	}
-	if st.take(id2) != nil {
-		t.Error("take is not single-shot")
-	}
-
-}

@@ -56,13 +56,14 @@ func BenchmarkScanVertexSortedCache(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if mode == "cold" {
-					srv.mu.Lock()
-					tbl := srv.tables[DefaultInstance][v]
-					tbl.sorted = nil
+					sh := srv.shardFor(DefaultInstance, v)
+					sh.mu.Lock()
+					tbl := sh.tables[DefaultInstance][v]
+					tbl.sorted.Store(nil)
 					for _, e := range tbl.entries {
-						e.sortedIDs = nil
+						e.sortedIDs.Store(nil)
 					}
-					srv.mu.Unlock()
+					sh.mu.Unlock()
 				}
 				matches, _ := srv.scanVertex(DefaultInstance, v, v, query, 0, -1)
 				if len(matches) != entries*ids {

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
@@ -16,7 +19,7 @@ import (
 )
 
 // BatchMode selects whether ParallelLevels waves coalesce their
-// sub-queries into one msgSubQueryBatch per distinct physical peer.
+// sub-queries into one msgSubQueryBatch per physical peer.
 // Batching changes only the physical framing: logical SubMsgs
 // accounting, match order, Completeness and failed-subtree math are
 // identical either way.
@@ -31,6 +34,10 @@ const (
 	// paper's literal per-node exchange).
 	BatchOff
 )
+
+// maxShards bounds the lock-stripe count: beyond a few hundred stripes
+// the extra maps cost memory without reducing contention further.
+const maxShards = 256
 
 // ServerConfig configures an index Server.
 type ServerConfig struct {
@@ -50,6 +57,19 @@ type ServerConfig struct {
 	// ParallelFanout bounds concurrent sub-queries in ParallelLevels
 	// traversal. Default 32.
 	ParallelFanout int
+	// Shards is the number of lock stripes the server's table state is
+	// split across (shard by hash(instance, vertex)). Rounded up to a
+	// power of two and capped at 256; 0 selects GOMAXPROCS rounded up.
+	// Reads (scans, pin queries) take a shard read lock, so they only
+	// contend with writers on the same stripe. 1 restores a single
+	// (read-write) lock over all tables.
+	Shards int
+	// ScanParallelism bounds the worker pool one msgSubQueryBatch
+	// frame's table scans fan out across. 0 selects GOMAXPROCS; 1
+	// scans the frame's units sequentially (the pre-sharding
+	// behaviour). Result assembly is positional, so parallelism never
+	// changes match order or accounting.
+	ScanParallelism int
 	// BatchWaves controls wave batching for ParallelLevels searches
 	// this server roots (BatchAuto = on).
 	BatchWaves BatchMode
@@ -67,12 +87,31 @@ type ServerConfig struct {
 	Telemetry *telemetry.Registry
 }
 
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 256
 	}
 	if c.ParallelFanout <= 0 {
 		c.ParallelFanout = 32
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
+	if c.ScanParallelism <= 0 {
+		c.ScanParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.BatchWaves == BatchAuto {
 		c.BatchWaves = BatchOn
@@ -84,6 +123,11 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // index tables of every logical vertex the mapping g assigns to the
 // node, answers pin and sub-queries, and — for queries whose root
 // vertex it hosts — orchestrates the superset-search traversal.
+//
+// Table state is lock-striped: each (instance, vertex) pair lives on
+// exactly one shard, guarded by that shard's RWMutex. Scans and pin
+// queries take read locks, so a wave of batch scans proceeds on all
+// cores and only excludes writers touching the same stripe.
 type Server struct {
 	cfg  ServerConfig
 	cube hypercube.Cube
@@ -94,10 +138,80 @@ type Server struct {
 	// steps (see runSearch).
 	searchSeq atomic.Uint64
 
-	mu       sync.Mutex
-	tables   map[string]map[hypercube.Vertex]*table // instance → vertex → Tbl
+	shards   []*tableShard // length is a power of two
 	cache    *fifoCache
 	sessions *sessionStore
+}
+
+// tableShard is one lock stripe of the server's table state.
+type tableShard struct {
+	mu     sync.RWMutex
+	tables map[string]map[hypercube.Vertex]*table // instance → vertex → Tbl
+}
+
+// shardFor returns the stripe holding vertex v of the given instance.
+// The hash must depend on both coordinates: instances salt their
+// vertex→node mapping, so one physical node routinely hosts the same
+// vertex ID for several instances.
+func (s *Server) shardFor(instance string, v hypercube.Vertex) *tableShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	// Inline FNV-1a over the instance bytes and the vertex, allocation
+	// free (fmt/string concat would dominate the scan fast path).
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(instance); i++ {
+		h ^= uint64(instance[i])
+		h *= prime64
+	}
+	x := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime64
+		x >>= 8
+	}
+	return s.shards[h&uint64(len(s.shards)-1)]
+}
+
+// lock acquires the shard's write lock, timing the wait when the
+// server is instrumented (uninstrumented servers take no timestamps).
+func (sh *tableShard) lock(h *telemetry.Histogram) {
+	if h == nil {
+		sh.mu.Lock()
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// rlock is lock for readers.
+func (sh *tableShard) rlock(h *telemetry.Histogram) {
+	if h == nil {
+		sh.mu.RLock()
+		return
+	}
+	start := time.Now()
+	sh.mu.RLock()
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// entryCount reports the shard's ⟨keyword set, objects⟩ entry total
+// (the per-shard load gauge).
+func (sh *tableShard) entryCount() int64 {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var n int64
+	for _, vertices := range sh.tables {
+		for _, tbl := range vertices {
+			n += int64(len(tbl.entries))
+		}
+	}
+	return n
 }
 
 // serverMetrics holds the server's pre-resolved instruments. With a
@@ -125,6 +239,9 @@ type serverMetrics struct {
 	batchSize  *telemetry.Histogram // core_search_batch_size
 	coalesced  *telemetry.Counter   // core_search_msgs_coalesced_total
 	physFrames *telemetry.Counter   // core_search_phys_frames_total
+
+	shardLockWait *telemetry.Histogram // core_server_shard_lock_wait_ns
+	scanParUnits  *telemetry.Counter   // core_scan_parallel_units_total
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -149,6 +266,10 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		batchSize:     reg.Histogram("core_search_batch_size", telemetry.ExpBuckets(1, 2, 11)),
 		coalesced:     reg.Counter("core_search_msgs_coalesced_total"),
 		physFrames:    reg.Counter("core_search_phys_frames_total"),
+		// Lock waits sit well under the RPC latency floor; buckets span
+		// ~256ns to ~17ms in powers of 4.
+		shardLockWait: reg.Histogram("core_server_shard_lock_wait_ns", telemetry.ExpBuckets(256, 4, 9)),
+		scanParUnits:  reg.Counter("core_scan_parallel_units_total"),
 	}
 }
 
@@ -158,39 +279,56 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 // workloads).
 type table struct {
 	entries map[string]*entry // keyed by Set.Key()
-	sorted  []string          // sorted keys of entries; nil when stale
+	// sorted holds the cached sorted keys of entries; nil when stale.
+	// Published atomically so concurrent readers under the shard read
+	// lock may rebuild it in parallel — every rebuild produces the
+	// identical slice, so the last store winning is harmless. A
+	// published slice is immutable from then on.
+	sorted atomic.Pointer[[]string]
 }
 
 // sortedKeys returns the table's entry keys in sorted order, rebuilding
-// the cached order if stale. Callers must hold the server mutex.
+// the cached order if stale. Callers must hold the vertex's shard lock
+// in at least read mode (the entries map must not be mutated
+// concurrently); writers invalidate under the exclusive lock.
 func (t *table) sortedKeys() []string {
-	if t.sorted == nil {
-		t.sorted = make([]string, 0, len(t.entries))
-		for k := range t.entries {
-			t.sorted = append(t.sorted, k)
-		}
-		sort.Strings(t.sorted)
+	if p := t.sorted.Load(); p != nil {
+		return *p
 	}
-	return t.sorted
+	keys := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t.sorted.Store(&keys)
+	return keys
 }
 
 type entry struct {
-	set       keyword.Set
-	objects   map[string]struct{}
-	sortedIDs []string // sorted object IDs; nil when stale
+	set     keyword.Set
+	objects map[string]struct{}
+	// sortedIDs caches the sorted object IDs; same publication contract
+	// as table.sorted: immutable once stored, rebuilt by any reader
+	// holding the shard lock (read or write), invalidated by writers.
+	sortedIDs atomic.Pointer[[]string]
 }
 
 // ids returns the entry's object IDs in sorted order, rebuilding the
-// cached order if stale. Callers must hold the server mutex.
+// cached order if stale. Callers must hold the vertex's shard lock in
+// at least read mode. The returned slice is immutable — callers may
+// retain and read it after releasing the lock, but must never write
+// to it.
 func (e *entry) ids() []string {
-	if e.sortedIDs == nil {
-		e.sortedIDs = make([]string, 0, len(e.objects))
-		for id := range e.objects {
-			e.sortedIDs = append(e.sortedIDs, id)
-		}
-		sort.Strings(e.sortedIDs)
+	if p := e.sortedIDs.Load(); p != nil {
+		return *p
 	}
-	return e.sortedIDs
+	ids := make([]string, 0, len(e.objects))
+	for id := range e.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.sortedIDs.Store(&ids)
+	return ids
 }
 
 // NewServer builds an index server.
@@ -203,11 +341,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := make([]*tableShard, cfg.Shards)
+	for i := range shards {
+		shards[i] = &tableShard{tables: make(map[string]map[hypercube.Vertex]*table)}
+	}
 	s := &Server{
 		cfg:      cfg,
 		cube:     cube,
 		met:      newServerMetrics(cfg.Telemetry),
-		tables:   make(map[string]map[hypercube.Vertex]*table),
+		shards:   shards,
 		cache:    newFIFOCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
@@ -219,6 +361,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		reg.GaugeFunc("core_index_objects", func() int64 { return int64(s.Stats().Objects) })
 		reg.GaugeFunc("core_cache_queries", func() int64 { return int64(s.cache.len()) })
 		reg.GaugeFunc("core_sessions_active", func() int64 { return int64(s.sessions.len()) })
+		for i, sh := range s.shards {
+			sh := sh
+			reg.GaugeFunc("core_server_shard_entries{shard=\""+strconv.Itoa(i)+"\"}", sh.entryCount)
+		}
 	}
 	return s, nil
 }
@@ -300,12 +446,12 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 // instance and invalidates cached query results the new entry could
 // extend.
 func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, objectID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vertices, ok := s.tables[instance]
+	sh := s.shardFor(instance, v)
+	sh.lock(s.met.shardLockWait)
+	vertices, ok := sh.tables[instance]
 	if !ok {
 		vertices = make(map[hypercube.Vertex]*table)
-		s.tables[instance] = vertices
+		sh.tables[instance] = vertices
 	}
 	tbl, ok := vertices[v]
 	if !ok {
@@ -316,56 +462,69 @@ func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, object
 	if !ok {
 		e = &entry{set: keyword.ParseKey(setKey), objects: make(map[string]struct{})}
 		tbl.entries[setKey] = e
-		tbl.sorted = nil
+		tbl.sorted.Store(nil)
 	}
 	if _, dup := e.objects[objectID]; !dup {
 		e.objects[objectID] = struct{}{}
-		e.sortedIDs = nil
+		e.sortedIDs.Store(nil)
 	}
-	s.cache.invalidateSubsetsOf(instance, e.set)
+	set := e.set
+	sh.mu.Unlock()
+	// The cache has its own lock; invalidating outside the shard lock
+	// keeps the lock order flat (shard locks never nest with others).
+	s.cache.invalidateSubsetsOf(instance, set)
 }
 
 // deleteEntry removes ⟨K, σ⟩ from the table of vertex v in the given
 // instance.
 func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, objectID string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vertices, ok := s.tables[instance]
+	sh := s.shardFor(instance, v)
+	sh.lock(s.met.shardLockWait)
+	vertices, ok := sh.tables[instance]
 	if !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	tbl, ok := vertices[v]
 	if !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	e, ok := tbl.entries[setKey]
 	if !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	if _, ok := e.objects[objectID]; !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	delete(e.objects, objectID)
-	e.sortedIDs = nil
+	e.sortedIDs.Store(nil)
 	if len(e.objects) == 0 {
 		delete(tbl.entries, setKey)
-		tbl.sorted = nil
+		tbl.sorted.Store(nil)
 		if len(tbl.entries) == 0 {
 			delete(vertices, v)
 			if len(vertices) == 0 {
-				delete(s.tables, instance)
+				delete(sh.tables, instance)
 			}
 		}
 	}
-	s.cache.invalidateSubsetsOf(instance, e.set)
+	set := e.set
+	sh.mu.Unlock()
+	s.cache.invalidateSubsetsOf(instance, set)
 	return true
 }
 
 // pinQuery returns the objects indexed under exactly the given set.
+// The returned ID slice is the entry's immutable sorted-ID snapshot —
+// never mutated after publication — so no defensive copy is taken.
 func (s *Server) pinQuery(instance string, v hypercube.Vertex, setKey string) respPinQuery {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tbl, ok := s.tables[instance][v]
+	sh := s.shardFor(instance, v)
+	sh.rlock(s.met.shardLockWait)
+	defer sh.mu.RUnlock()
+	tbl, ok := sh.tables[instance][v]
 	if !ok {
 		return respPinQuery{}
 	}
@@ -373,10 +532,7 @@ func (s *Server) pinQuery(instance string, v hypercube.Vertex, setKey string) re
 	if !ok {
 		return respPinQuery{}
 	}
-	ids := e.ids()
-	out := make([]string, len(ids))
-	copy(out, ids)
-	return respPinQuery{ObjectIDs: out}
+	return respPinQuery{ObjectIDs: e.ids()}
 }
 
 // subQuery scans the table of msg.Vertex for entries whose keyword set
@@ -402,32 +558,65 @@ func (s *Server) subQuery(msg msgSubQuery) respSubQuery {
 }
 
 // subQueryBatch answers a coalesced wave of sub-queries in one frame.
-// All table scans happen under a single lock acquisition; the SBT
-// child lists are pure geometry and are computed outside the lock.
-// Per-unit outcomes keep the root's accounting identical to the
-// per-message path.
+// The per-unit table scans fan out across a worker pool bounded by
+// ScanParallelism; each scan takes only its vertex's shard read lock,
+// so a mega-wave frame spreads over every core instead of serializing
+// on one mutex. Results are written positionally, which keeps match
+// order, per-unit outcomes and the root's accounting byte-identical to
+// the sequential path. SBT child lists are pure geometry and are
+// computed outside any lock.
 func (s *Server) subQueryBatch(msg msgSubQueryBatch) respSubQueryBatch {
 	query := keyword.ParseKey(msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
 	results := make([]respSubUnit, len(msg.Units))
 
 	// Ownership checks consult the DHT layer (its own locking), so they
-	// run before the table lock is taken.
+	// run before any table lock is taken.
 	for i, u := range msg.Units {
 		if !s.owns(msg.Instance, hypercube.Vertex(u.Vertex)) {
 			results[i] = respSubUnit{ErrCode: errCodeNotOwner}
 		}
 	}
 
-	s.mu.Lock()
-	for i, u := range msg.Units {
-		if results[i].ErrCode != 0 {
-			continue
-		}
-		matches, remaining := s.scanVertexLocked(msg.Instance, hypercube.Vertex(u.Vertex), root, query, u.Skip, msg.Limit)
+	scan := func(i int) {
+		u := msg.Units[i]
+		matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(u.Vertex), root, query, u.Skip, msg.Limit)
 		results[i] = respSubUnit{Matches: matches, Remaining: remaining}
 	}
-	s.mu.Unlock()
+	workers := s.cfg.ScanParallelism
+	if workers > len(msg.Units) {
+		workers = len(msg.Units)
+	}
+	if workers <= 1 {
+		for i := range msg.Units {
+			if results[i].ErrCode == 0 {
+				scan(i)
+			}
+		}
+	} else {
+		// Work-stealing over an atomic cursor: cheaper than a channel
+		// for the short unit lists typical of folded fleets, and the
+		// positional writes need no ordering between workers.
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(msg.Units) {
+						return
+					}
+					if results[i].ErrCode == 0 {
+						scan(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		s.met.scanParUnits.Add(uint64(len(msg.Units)))
+	}
 
 	cube, cubeErr := s.cubeFor(msg.Dim)
 	for i, u := range msg.Units {
@@ -453,27 +642,39 @@ func (s *Server) cubeFor(dim int) (hypercube.Cube, error) {
 	return hypercube.New(dim)
 }
 
+// matchScratch pools the append buffers scans collect matches into
+// before sizing the returned slice exactly. The grown backing arrays
+// are reused across scans, so a hot server stops paying the
+// grow-and-copy churn of append on every crowded vertex.
+var matchScratch = sync.Pool{
+	New: func() any {
+		buf := make([]Match, 0, 64)
+		return &buf
+	},
+}
+
 // scanVertex collects matches ⟨K', O⟩ with K' ⊇ query from vertex v's
 // table in deterministic (sorted) order. limit < 0 means unlimited.
 // remaining reports matches present beyond the returned window.
 func (s *Server) scanVertex(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.scanVertexLocked(instance, v, root, query, skip, limit)
+	sh := s.shardFor(instance, v)
+	sh.rlock(s.met.shardLockWait)
+	defer sh.mu.RUnlock()
+	return scanVertexLocked(sh, instance, v, root, query, skip, limit)
 }
 
 // scanVertexLocked is scanVertex without the locking; callers must
-// hold s.mu. subQueryBatch uses it to scan a whole wave's vertices
-// under one acquisition.
-func (s *Server) scanVertexLocked(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
-	tbl, ok := s.tables[instance][v]
+// hold sh — the shard owning (instance, v) — in at least read mode.
+func scanVertexLocked(sh *tableShard, instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
+	tbl, ok := sh.tables[instance][v]
 	if !ok {
 		return nil, 0
 	}
 	setKeys := tbl.sortedKeys()
 
+	bufp := matchScratch.Get().(*[]Match)
+	buf := (*bufp)[:0]
 	depth := -1 // computed lazily; same for all entries of this vertex w.r.t. query root
-	var out []Match
 	remaining := 0
 	seen := 0
 	for _, k := range setKeys {
@@ -486,14 +687,14 @@ func (s *Server) scanVertexLocked(instance string, v, root hypercube.Vertex, que
 				seen++
 				continue
 			}
-			if limit >= 0 && len(out) >= limit {
+			if limit >= 0 && len(buf) >= limit {
 				remaining++
 				continue
 			}
 			if depth < 0 {
 				depth = hypercube.Hamming(root, v)
 			}
-			out = append(out, Match{
+			buf = append(buf, Match{
 				ObjectID: id,
 				SetKey:   k,
 				Vertex:   uint64(v),
@@ -501,6 +702,13 @@ func (s *Server) scanVertexLocked(instance string, v, root hypercube.Vertex, que
 			})
 		}
 	}
+	var out []Match
+	if len(buf) > 0 {
+		out = make([]Match, len(buf))
+		copy(out, buf)
+	}
+	*bufp = buf[:0]
+	matchScratch.Put(bufp)
 	return out, remaining
 }
 
@@ -513,19 +721,23 @@ type TableStats struct {
 }
 
 // Stats returns current storage counters, aggregated over every index
-// instance the node hosts.
+// instance the node hosts. Shards are read-locked one at a time, so
+// the totals are per-shard consistent but not a global snapshot —
+// fine for the load experiments and diagnostics they feed.
 func (s *Server) Stats() TableStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var st TableStats
-	for _, vertices := range s.tables {
-		st.Vertices += len(vertices)
-		for _, tbl := range vertices {
-			st.Entries += len(tbl.entries)
-			for _, e := range tbl.entries {
-				st.Objects += len(e.objects)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, vertices := range sh.tables {
+			st.Vertices += len(vertices)
+			for _, tbl := range vertices {
+				st.Entries += len(tbl.entries)
+				for _, e := range tbl.entries {
+					st.Objects += len(e.objects)
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return st
 }
@@ -543,30 +755,32 @@ func (s *Server) CacheCapacity() int { return s.cache.capacity }
 // predecessor now owns: those whose vertex key is outside (newID,
 // ownerID] — mirroring Chord's reference handoff on join.
 func (s *Server) extractRange(newID, ownerID dht.ID) []BulkEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []BulkEntry
-	for instance, vertices := range s.tables {
-		for v, tbl := range vertices {
-			key := VertexKey(instance, v)
-			if dht.Between(key, newID, ownerID) {
-				continue // still ours
-			}
-			for setKey, e := range tbl.entries {
-				for id := range e.objects {
-					out = append(out, BulkEntry{
-						Instance: instance,
-						Vertex:   uint64(v),
-						SetKey:   setKey,
-						ObjectID: id,
-					})
+	for _, sh := range s.shards {
+		sh.lock(s.met.shardLockWait)
+		for instance, vertices := range sh.tables {
+			for v, tbl := range vertices {
+				key := VertexKey(instance, v)
+				if dht.Between(key, newID, ownerID) {
+					continue // still ours
 				}
+				for setKey, e := range tbl.entries {
+					for id := range e.objects {
+						out = append(out, BulkEntry{
+							Instance: instance,
+							Vertex:   uint64(v),
+							SetKey:   setKey,
+							ObjectID: id,
+						})
+					}
+				}
+				delete(vertices, v)
 			}
-			delete(vertices, v)
+			if len(vertices) == 0 {
+				delete(sh.tables, instance)
+			}
 		}
-		if len(vertices) == 0 {
-			delete(s.tables, instance)
-		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -592,24 +806,26 @@ func (s *Server) PullHandoff(ctx context.Context, sender transport.Sender, addr 
 // Drain removes and returns every index entry this server hosts, for
 // transfer to another node on graceful departure.
 func (s *Server) Drain() []BulkEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []BulkEntry
-	for instance, vertices := range s.tables {
-		for v, tbl := range vertices {
-			for setKey, e := range tbl.entries {
-				for id := range e.objects {
-					out = append(out, BulkEntry{
-						Instance: instance,
-						Vertex:   uint64(v),
-						SetKey:   setKey,
-						ObjectID: id,
-					})
+	for _, sh := range s.shards {
+		sh.lock(s.met.shardLockWait)
+		for instance, vertices := range sh.tables {
+			for v, tbl := range vertices {
+				for setKey, e := range tbl.entries {
+					for id := range e.objects {
+						out = append(out, BulkEntry{
+							Instance: instance,
+							Vertex:   uint64(v),
+							SetKey:   setKey,
+							ObjectID: id,
+						})
+					}
 				}
 			}
 		}
+		sh.tables = make(map[string]map[hypercube.Vertex]*table)
+		sh.mu.Unlock()
 	}
-	s.tables = make(map[string]map[hypercube.Vertex]*table)
 	return out
 }
 

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// TestSessionStoreEviction exercises the store at its capacity limit:
+// saving past max evicts the oldest session, taking an evicted ID
+// yields nil, and the live count never exceeds max.
+func TestSessionStoreEviction(t *testing.T) {
+	const max = 3
+	st := newSessionStore(max)
+
+	sessions := make([]*session, 5)
+	ids := make([]uint64, 5)
+	for i := range sessions {
+		sessions[i] = &session{queryKey: "q"}
+		ids[i] = st.save(sessions[i])
+		if got := st.len(); got > max {
+			t.Fatalf("after save %d: len = %d, want <= %d", i, got, max)
+		}
+	}
+	if st.len() != max {
+		t.Fatalf("len = %d, want %d", st.len(), max)
+	}
+
+	// The two oldest (ids[0], ids[1]) were evicted by saves 4 and 5.
+	for _, id := range ids[:2] {
+		if got := st.take(id); got != nil {
+			t.Fatalf("take(%d) on evicted session = %v, want nil", id, got)
+		}
+	}
+	// The newest max sessions survive and come back identically.
+	for i, id := range ids[2:] {
+		got := st.take(id)
+		if got != sessions[i+2] {
+			t.Fatalf("take(%d) = %p, want the saved session %p", id, got, sessions[i+2])
+		}
+	}
+	if st.len() != 0 {
+		t.Fatalf("len after draining = %d, want 0", st.len())
+	}
+
+	// take is single-shot: a drained ID stays gone.
+	if got := st.take(ids[4]); got != nil {
+		t.Fatalf("re-take(%d) = %v, want nil", ids[4], got)
+	}
+}
+
+// TestSessionStoreTakeRemoves checks take's removal semantics: a
+// taken ID cannot be taken twice, and taking from the middle keeps the
+// eviction order of the remaining sessions intact.
+func TestSessionStoreTakeRemoves(t *testing.T) {
+	st := newSessionStore(2)
+	a := st.save(&session{queryKey: "a"})
+	b := st.save(&session{queryKey: "b"})
+
+	if got := st.take(a); got == nil || got.queryKey != "a" {
+		t.Fatalf("take(a) = %v, want session a", got)
+	}
+	if got := st.take(a); got != nil {
+		t.Fatalf("second take(a) = %v, want nil", got)
+	}
+
+	// With a gone, saving one more must not evict b (only one live).
+	c := st.save(&session{queryKey: "c"})
+	if got := st.take(b); got == nil || got.queryKey != "b" {
+		t.Fatalf("take(b) after unrelated save = %v, want session b", got)
+	}
+	if got := st.take(c); got == nil || got.queryKey != "c" {
+		t.Fatalf("take(c) = %v, want session c", got)
+	}
+}

@@ -62,9 +62,11 @@ func RegisterTypes() {
 }
 
 // Server stores posting lists for the logical nodes assigned to one
-// physical node.
+// physical node. Fetches and load scans — the read-mostly query path —
+// take the lock in read mode, so concurrent searches never serialize
+// on each other.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	postings map[hypercube.Vertex]map[string]map[string]struct{} // vertex → word → object IDs
 }
 
@@ -129,8 +131,8 @@ func (s *Server) delete(v hypercube.Vertex, word, objectID string) bool {
 }
 
 func (s *Server) fetch(v hypercube.Vertex, word string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	byWord, ok := s.postings[v]
 	if !ok {
 		return nil
@@ -150,8 +152,8 @@ func (s *Server) fetch(v hypercube.Vertex, word string) []string {
 // Load returns the total number of object references stored (the
 // Figure 6 load metric: one reference per keyword per object).
 func (s *Server) Load() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := 0
 	for _, byWord := range s.postings {
 		for _, ids := range byWord {

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+)
+
+// TestChaosFingerprintInvariantUnderSharding replays one seeded fault
+// schedule against deployments spanning the server tuning matrix
+// {single lock, 8 shards} × {sequential, parallel scans} on a folded
+// 16-peer fleet, and requires byte-identical outcome fingerprints.
+// Sharding and scan parallelism must be invisible in every observable
+// — answers, errors, completeness, failed subtrees — even while nodes
+// crash, recover, and partition mid-run.
+func TestChaosFingerprintInvariantUnderSharding(t *testing.T) {
+	const (
+		r         = 6
+		peers     = 16
+		chaosSeed = 7
+	)
+	c := testCorpus(t, 800)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 200, Templates: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := FaultStudyQueries(log, 8)
+	if len(queries) < 12 {
+		t.Fatalf("too few study queries: %d", len(queries))
+	}
+
+	// The schedule faults physical peers, so its node list is the folded
+	// fleet's address list, not the 2^r logical vertices.
+	d0, err := NewCustomDeployment(DeployConfig{R: r, Peers: peers, Shards: 1, ScanParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := d0.Addrs
+	sched, err := GenerateChaos(chaosSeed, ChaosConfig{
+		Queries: len(queries), Nodes: nodes,
+		CrashFrac: 0.2, Recover: true,
+		Partitions: 2, PartitionSpan: 6,
+	})
+	if err != nil {
+		d0.Close()
+		t.Fatal(err)
+	}
+
+	run := func(d *Deployment) string {
+		defer d.Close()
+		if err := d.InsertCorpus(c); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplayChaos(d, nil, queries, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Degraded+rep.Failed == 0 {
+			t.Fatal("schedule injected no observable degradation — the comparison is vacuous")
+		}
+		return rep.Fingerprint()
+	}
+
+	baseline := run(d0)
+	for _, cfg := range []struct {
+		shards  int
+		scanPar int
+	}{
+		{8, 1},
+		{1, 8},
+		{8, 8},
+	} {
+		d, err := NewCustomDeployment(DeployConfig{
+			R: r, Peers: peers,
+			Shards: cfg.shards, ScanParallelism: cfg.scanPar,
+			Batch: core.BatchOn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(d); got != baseline {
+			t.Errorf("shards=%d scanPar=%d: fingerprint %s differs from single-lock baseline %s",
+				cfg.shards, cfg.scanPar, got, baseline)
+		}
+	}
+}

@@ -91,6 +91,14 @@ type DeployConfig struct {
 	// Batch selects wave batching for ParallelLevels searches on every
 	// server of the fleet (BatchAuto = on).
 	Batch core.BatchMode
+	// Shards is the per-server lock-stripe count (0 = GOMAXPROCS
+	// rounded up to a power of two; 1 = a single read-write lock). See
+	// core.ServerConfig.Shards.
+	Shards int
+	// ScanParallelism bounds each server's batched-scan worker pool
+	// (0 = GOMAXPROCS; 1 = sequential). See
+	// core.ServerConfig.ScanParallelism.
+	ScanParallelism int
 }
 
 // NewCustomDeployment builds an in-memory deployment from cfg.
@@ -133,9 +141,11 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 			Hasher:        hasher,
 			Resolver:      resolver,
 			Sender:        sender,
-			CacheCapacity: cfg.CacheCapacity,
-			BatchWaves:    cfg.Batch,
-			Telemetry:     cfg.Telemetry,
+			CacheCapacity:   cfg.CacheCapacity,
+			BatchWaves:      cfg.Batch,
+			Shards:          cfg.Shards,
+			ScanParallelism: cfg.ScanParallelism,
+			Telemetry:       cfg.Telemetry,
 		})
 		if err != nil {
 			net.Close()

@@ -117,9 +117,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		gauges[name] += sum
 	}
+	lastFamily := ""
 	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
-			name, name, gauges[name]); err != nil {
+		// Gauges registered with inline labels (name{label="v"}) share
+		// one metric family: the TYPE line carries the bare family name
+		// and is emitted once per family, not per labelled series.
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, gauges[name]); err != nil {
 			return err
 		}
 	}

@@ -70,6 +70,16 @@ type Config struct {
 	// vertex (default BatchOn). Logical message accounting and result
 	// contents are identical either way; see Stats.PhysFrames.
 	BatchWaves BatchMode
+	// Shards is the number of lock stripes the peer's index-server
+	// table state is split across (0 = GOMAXPROCS rounded up to a
+	// power of two; 1 = a single read-write lock). See
+	// core.ServerConfig.Shards.
+	Shards int
+	// ScanParallelism bounds the worker pool a batched sub-query
+	// frame's table scans fan out across on this peer (0 = GOMAXPROCS;
+	// 1 = sequential). Results are byte-identical at any setting. See
+	// core.ServerConfig.ScanParallelism.
+	ScanParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -149,10 +159,12 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Hasher:        hasher,
 		Resolver:      resolver,
 		Sender:        sender,
-		CacheCapacity: cfg.CacheCapacity,
-		BatchWaves:    cfg.BatchWaves,
-		Owner:         node.Owns,
-		Telemetry:     cfg.Telemetry,
+		CacheCapacity:   cfg.CacheCapacity,
+		BatchWaves:      cfg.BatchWaves,
+		Shards:          cfg.Shards,
+		ScanParallelism: cfg.ScanParallelism,
+		Owner:           node.Owns,
+		Telemetry:       cfg.Telemetry,
 	})
 	if err != nil {
 		endpoint.Close()
