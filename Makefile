@@ -1,21 +1,37 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke figures fmt vet clean ci chaos
 
 all: build test
 
 # Full verification gate: static checks, build, the race-enabled test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
-# suite, and a single-iteration benchmark smoke pass.
-ci: vet build race chaos bench-smoke
+# suite, the SIGKILL crash-recovery smoke, and a single-iteration
+# benchmark smoke pass.
+ci: vet build race chaos crash-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
-# >= 3x physical-frame reduction on the 64-peer fleet at r = 10, and
+# >= 3x physical-frame reduction on the 64-peer fleet at r = 10,
 # BenchmarkParallelBatchScan enforces >= 2x scan throughput from
-# sharding + parallel batch scans on machines with 4+ cores.
+# sharding + parallel batch scans, and BenchmarkDurableIndexingOverhead
+# gates the WAL's end-to-end indexing overhead at 10% with
+# fsync=interval (both gates engage on machines with 4+ cores). The
+# durability benchmarks are also recorded into results/wal.txt.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	mkdir -p results
+	$(GO) test -run '^$$' -bench BenchmarkWALAppend -benchtime 5000x ./internal/store/ \
+		| tee results/wal.txt
+	$(GO) test -run '^$$' -bench BenchmarkDurableIndexingOverhead -benchtime=1x ./internal/sim/ \
+		| tee -a results/wal.txt
+
+# SIGKILL crash-recovery smoke: a child process publishes through a
+# durable fsync=always peer, is killed without any shutdown path, and
+# a restart over the same data directory must answer pin and superset
+# searches exactly.
+crash-smoke:
+	$(GO) test -count=1 -run 'CrashRecovery' .
 
 # Seeded chaos suite: deterministic fault-schedule replays, the
 # resilience policy tests, and the server concurrency hammer

@@ -52,6 +52,9 @@ func run(args []string) error {
 		batchWaves  = fs.Bool("batch-waves", true, "coalesce parallel search waves into one RPC frame per distinct peer")
 		shards      = fs.Int("shards", 0, "index-table lock stripes (0 = GOMAXPROCS rounded to a power of two, 1 = single lock)")
 		scanPar     = fs.Int("scan-parallelism", 0, "worker pool for batched sub-query scans (0 = GOMAXPROCS, 1 = sequential)")
+		dataDir     = fs.String("data-dir", "", "durable index state directory: WAL + snapshots, replayed on restart (empty = in-memory only)")
+		fsyncPolicy = fs.String("fsync", "interval", "WAL flush policy with -data-dir: always | interval | off")
+		snapEvery   = fs.Int("snapshot-every", 0, "compact the WAL into a snapshot after this many mutations (0 = default, negative = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,11 +102,19 @@ func run(args []string) error {
 		BatchWaves:          batch,
 		Shards:              *shards,
 		ScanParallelism:     *scanPar,
+		DataDir:             *dataDir,
+		FsyncPolicy:         *fsyncPolicy,
+		SnapshotEvery:       *snapEvery,
 	})
 	if err != nil {
 		return err
 	}
 	defer peer.Close()
+	if *dataDir != "" {
+		st := peer.IndexStats()
+		fmt.Fprintf(os.Stderr, "durable index in %s (fsync=%s); recovered %d entries\n",
+			*dataDir, *fsyncPolicy, st.Entries)
+	}
 
 	ctx := context.Background()
 	if *join == "" {

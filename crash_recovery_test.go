@@ -1,0 +1,167 @@
+package keysearch
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"testing"
+	"time"
+)
+
+// crashSmokeObjects is the corpus the crash helper publishes and the
+// parent verifies after recovery. Shared so both processes agree on
+// the expected answers without an answer file.
+var crashSmokeObjects = []Object{
+	{ID: "alpha", Keywords: NewKeywordSet("storage", "dht", "index")},
+	{ID: "beta", Keywords: NewKeywordSet("storage", "dht", "search")},
+	{ID: "gamma", Keywords: NewKeywordSet("storage", "wal", "recovery")},
+	{ID: "delta", Keywords: NewKeywordSet("chord", "ring")},
+}
+
+// TestCrashRecoveryHelper is the subprocess half of the crash smoke:
+// it runs a durable single-node peer with fsync=always, publishes the
+// smoke corpus, announces readiness, and then blocks until the parent
+// SIGKILLs it. It is inert unless re-executed with KS_CRASH_HELPER=1.
+func TestCrashRecoveryHelper(t *testing.T) {
+	if os.Getenv("KS_CRASH_HELPER") != "1" {
+		t.Skip("crash helper: only runs re-executed by TestCrashRecoverySmoke")
+	}
+	RegisterTypes()
+	net := NewTCPTransport()
+	peer, err := NewPeer(net, "127.0.0.1:0", Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+		DataDir:             os.Getenv("KS_CRASH_DIR"),
+		FsyncPolicy:         "always",
+	})
+	if err != nil {
+		fmt.Println("HELPER-ERROR:", err)
+		os.Exit(1)
+	}
+	peer.Create()
+	ctx := context.Background()
+	for _, obj := range crashSmokeObjects {
+		if err := peer.Publish(ctx, obj, "local://"+obj.ID); err != nil {
+			fmt.Println("HELPER-ERROR:", err)
+			os.Exit(1)
+		}
+	}
+	// Every Publish returned with its WAL record fsynced (fsync=always),
+	// so the data dir is crash-consistent from here on.
+	fmt.Println("HELPER-READY")
+	select {}
+}
+
+// TestCrashRecoverySmoke is the end-to-end acceptance check for the
+// durability layer: a peer is populated in a child process, killed
+// with SIGKILL mid-life (no shutdown path runs), and a fresh peer
+// restarted over the same data directory must answer pin and superset
+// searches exactly as the published corpus dictates.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short")
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRecoveryHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "KS_CRASH_HELPER=1", "KS_CRASH_DIR="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "HELPER-READY" {
+				ready <- nil
+				return
+			}
+			if len(line) > 12 && line[:12] == "HELPER-ERROR" {
+				ready <- fmt.Errorf("%s", line)
+				return
+			}
+		}
+		ready <- fmt.Errorf("helper exited before READY: %v", sc.Err())
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("helper never became ready")
+	}
+
+	// SIGKILL: the helper gets no chance to flush, close, or snapshot.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Restart over the same data directory and interrogate the index.
+	RegisterTypes()
+	net := NewTCPTransport()
+	defer net.Close()
+	peer, err := NewPeer(net, "127.0.0.1:0", Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+		DataDir:             dir,
+	})
+	if err != nil {
+		t.Fatalf("restart from %s: %v", dir, err)
+	}
+	defer peer.Close()
+	peer.Create()
+
+	if st := peer.IndexStats(); st.Objects == 0 {
+		t.Fatalf("recovered index is empty: %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for _, obj := range crashSmokeObjects {
+		ids, _, err := peer.PinSearch(ctx, obj.Keywords)
+		if err != nil {
+			t.Fatalf("pin %v: %v", obj.Keywords, err)
+		}
+		if len(ids) != 1 || ids[0] != obj.ID {
+			t.Errorf("pin %v = %v, want [%s]", obj.Keywords, ids, obj.ID)
+		}
+	}
+
+	res, err := peer.Search(ctx, NewKeywordSet("storage"), All, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(res.Matches))
+	for i, m := range res.Matches {
+		got[i] = m.ObjectID
+	}
+	sort.Strings(got)
+	want := []string{"alpha", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("superset 'storage' = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("superset 'storage' = %v, want %v", got, want)
+		}
+	}
+	if !res.Exhausted {
+		t.Errorf("superset search not exhausted after recovery")
+	}
+}

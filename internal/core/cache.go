@@ -50,13 +50,20 @@ func (c *fifoCache) get(queryKey string, threshold int) ([]Match, bool, bool) {
 		return nil, false, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	item, ok := c.items[queryKey]
 	if !ok || (!item.exhausted && len(item.matches) < threshold) {
 		c.misses++
+		c.mu.Unlock()
 		return nil, false, false
 	}
 	c.hits++
+	c.mu.Unlock()
+	// Stored match slices are immutable once published (put clones
+	// before insert; no path writes to a stored slice), so the
+	// defensive copy for the caller happens outside the critical
+	// section — the cache mutex is a root-side serialization point,
+	// and a large cached result would otherwise stall every
+	// concurrent hit and invalidation behind the copy.
 	n := len(item.matches)
 	if threshold >= 0 && threshold < n {
 		n = threshold
@@ -124,6 +131,17 @@ func (c *fifoCache) invalidateSubsetsOf(instance string, changed keyword.Set) {
 		keep = append(keep, key)
 	}
 	c.order = keep
+}
+
+// reset drops every cached entry (the sim's crash model: process
+// memory is lost). Hit/miss counters survive — they feed
+// process-lifetime telemetry, not cached state.
+func (c *fifoCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.units = 0
+	c.order = nil
+	c.items = make(map[string]cachedResult)
 }
 
 func (c *fifoCache) stats() (hits, misses uint64) {

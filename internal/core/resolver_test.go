@@ -138,4 +138,3 @@ func TestClientAccessors(t *testing.T) {
 		t.Error("nil deps accepted")
 	}
 }
-

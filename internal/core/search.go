@@ -195,7 +195,12 @@ func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hyp
 	if n := len(steps); n > 0 {
 		kept := steps
 		if n > telemetry.MaxSpanSteps {
-			kept = steps[:telemetry.MaxSpanSteps]
+			// Truncate to the first MaxSpanSteps-1 steps plus the final
+			// one: the final step is where the wave halted, and a pure
+			// prefix cut would silently drop its T_STOP marker.
+			kept = make([]TraceStep, telemetry.MaxSpanSteps)
+			copy(kept, steps[:telemetry.MaxSpanSteps-1])
+			kept[telemetry.MaxSpanSteps-1] = steps[n-1]
 			span.DroppedSteps = n - telemetry.MaxSpanSteps
 		}
 		span.Steps = make([]telemetry.SpanStep, len(kept))
@@ -204,7 +209,7 @@ func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hyp
 			if i == 0 && msg.SessionID == 0 {
 				kind = telemetry.StepQuery // the initiator's T_QUERY at the root
 			}
-			if i == len(steps)-1 && !resp.Exhausted {
+			if i == len(kept)-1 && !resp.Exhausted {
 				kind = telemetry.StepStop // threshold met: the wave halted here
 			}
 			span.Steps[i] = telemetry.SpanStep{

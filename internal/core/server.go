@@ -14,6 +14,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
+	"github.com/p2pkeyword/keysearch/internal/store"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
@@ -73,6 +74,18 @@ type ServerConfig struct {
 	// BatchWaves controls wave batching for ParallelLevels searches
 	// this server roots (BatchAuto = on).
 	BatchWaves BatchMode
+	// DataDir, when non-empty, enables the durability layer: every
+	// table mutation appends a WAL record under this directory before
+	// it applies, and NewServer recovers snapshot + WAL tail back into
+	// the sharded tables on startup. Empty leaves the store nil and the
+	// hot path untouched (the telemetry no-op convention).
+	DataDir string
+	// Fsync selects the WAL flush policy when DataDir is set
+	// (default store.FsyncInterval: group-commit every 100ms).
+	Fsync store.FsyncPolicy
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appends (0 = store default, negative disables compaction).
+	SnapshotEvery int
 	// Owner, when set, validates that this node currently owns a DHT
 	// key before serving requests for it. Requests for keys the node
 	// no longer owns (its range was taken over by a joiner) are
@@ -141,6 +154,19 @@ type Server struct {
 	shards   []*tableShard // length is a power of two
 	cache    *fifoCache
 	sessions *sessionStore
+
+	// store is the durability layer; nil when DataDir is unset, and
+	// then never consulted on the hot path.
+	store *store.Store
+	// stateMu fences mutations against snapshot compaction: every
+	// durable mutation holds the read side across its WAL append +
+	// table apply, and compaction holds the write side across dump +
+	// truncate, so a snapshot is always a prefix-consistent cut of the
+	// log. Lock order: stateMu → store/shard mutexes, never reversed.
+	// Not taken at all when store is nil.
+	stateMu sync.RWMutex
+	// compacting collapses concurrent compaction triggers into one.
+	compacting atomic.Bool
 }
 
 // tableShard is one lock stripe of the server's table state.
@@ -353,6 +379,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cache:    newFIFOCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(store.Config{
+			Dir:           cfg.DataDir,
+			Fsync:         cfg.Fsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Telemetry:     cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if _, err := st.Recover(s.applyRecord); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("core: recover data dir %s: %w", cfg.DataDir, err)
+		}
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		// Sampled at snapshot time; with a shared registry every
 		// server's callback contributes to a deployment-wide sum.
@@ -394,14 +436,19 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 			return nil, ErrNotOwner
 		}
 		s.met.opInsert.Inc()
-		s.insertEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
+		if err := s.insertEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID); err != nil {
+			return nil, err
+		}
 		return respAck{}, nil
 	case msgDeleteEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, ErrNotOwner
 		}
 		s.met.opDelete.Inc()
-		found := s.deleteEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
+		found, err := s.deleteEntry(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey, msg.ObjectID)
+		if err != nil {
+			return nil, err
+		}
 		return respDeleteEntry{Found: found}, nil
 	case msgPinQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
@@ -425,12 +472,18 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 	case msgBulkInsert:
 		s.met.opBulk.Inc()
 		for _, e := range msg.Entries {
-			s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID)
+			if err := s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID); err != nil {
+				return nil, err
+			}
 		}
 		return respAck{}, nil
 	case msgHandoffRange:
 		s.met.opHandoff.Inc()
-		return respHandoffRange{Entries: s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))}, nil
+		entries, err := s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))
+		if err != nil {
+			return nil, err
+		}
+		return respHandoffRange{Entries: entries}, nil
 	case msgTQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, ErrNotOwner
@@ -442,10 +495,53 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 	}
 }
 
+// logMutation appends rec to the WAL under the stateMu read fence and
+// then runs apply. The fence spans append + apply so compaction's
+// write side can never observe a state whose log suffix it would then
+// truncate. When the server is not durable the fence and the append
+// both vanish (nil store ⇒ zero hot-path cost).
+func (s *Server) logMutation(rec store.Record, apply func()) error {
+	if s.store == nil {
+		apply()
+		return nil
+	}
+	s.stateMu.RLock()
+	due, err := s.store.Append(rec)
+	if err != nil {
+		s.stateMu.RUnlock()
+		return fmt.Errorf("core: wal append: %w", err)
+	}
+	apply()
+	s.stateMu.RUnlock()
+	if due {
+		s.compact()
+	}
+	return nil
+}
+
 // insertEntry adds ⟨K, σ⟩ to the table of vertex v in the given index
 // instance and invalidates cached query results the new entry could
-// extend.
-func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, objectID string) {
+// extend. Durable servers append the mutation to the WAL before it
+// applies; an append failure leaves the table untouched.
+func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, objectID string) error {
+	var set keyword.Set
+	err := s.logMutation(store.Record{
+		Op: store.OpInsert, Instance: instance, Vertex: uint64(v),
+		SetKey: setKey, ObjectID: objectID,
+	}, func() { set = s.applyInsert(instance, v, setKey, objectID) })
+	if err != nil {
+		return err
+	}
+	// The cache has its own lock; invalidating outside the shard lock
+	// keeps the lock order flat (shard locks never nest with others).
+	s.cache.invalidateSubsetsOf(instance, set)
+	return nil
+}
+
+// applyInsert is the table mutation of insertEntry: no logging, no
+// cache work. Recovery replays WAL records through it. It returns the
+// entry's keyword set for cache invalidation.
+func (s *Server) applyInsert(instance string, v hypercube.Vertex, setKey, objectID string) keyword.Set {
 	sh := s.shardFor(instance, v)
 	sh.lock(s.met.shardLockWait)
 	vertices, ok := sh.tables[instance]
@@ -470,34 +566,50 @@ func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, object
 	}
 	set := e.set
 	sh.mu.Unlock()
-	// The cache has its own lock; invalidating outside the shard lock
-	// keeps the lock order flat (shard locks never nest with others).
-	s.cache.invalidateSubsetsOf(instance, set)
+	return set
 }
 
 // deleteEntry removes ⟨K, σ⟩ from the table of vertex v in the given
-// instance.
-func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, objectID string) bool {
+// instance. A delete of an absent entry is still logged on durable
+// servers — replaying it is a no-op, so the record is harmless.
+func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, objectID string) (bool, error) {
+	var found bool
+	var set keyword.Set
+	err := s.logMutation(store.Record{
+		Op: store.OpDelete, Instance: instance, Vertex: uint64(v),
+		SetKey: setKey, ObjectID: objectID,
+	}, func() { found, set = s.applyDelete(instance, v, setKey, objectID) })
+	if err != nil {
+		return false, err
+	}
+	if found {
+		s.cache.invalidateSubsetsOf(instance, set)
+	}
+	return found, nil
+}
+
+// applyDelete is the table mutation of deleteEntry.
+func (s *Server) applyDelete(instance string, v hypercube.Vertex, setKey, objectID string) (bool, keyword.Set) {
 	sh := s.shardFor(instance, v)
 	sh.lock(s.met.shardLockWait)
 	vertices, ok := sh.tables[instance]
 	if !ok {
 		sh.mu.Unlock()
-		return false
+		return false, keyword.Set{}
 	}
 	tbl, ok := vertices[v]
 	if !ok {
 		sh.mu.Unlock()
-		return false
+		return false, keyword.Set{}
 	}
 	e, ok := tbl.entries[setKey]
 	if !ok {
 		sh.mu.Unlock()
-		return false
+		return false, keyword.Set{}
 	}
 	if _, ok := e.objects[objectID]; !ok {
 		sh.mu.Unlock()
-		return false
+		return false, keyword.Set{}
 	}
 	delete(e.objects, objectID)
 	e.sortedIDs.Store(nil)
@@ -513,8 +625,7 @@ func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, object
 	}
 	set := e.set
 	sh.mu.Unlock()
-	s.cache.invalidateSubsetsOf(instance, set)
-	return true
+	return true, set
 }
 
 // pinQuery returns the objects indexed under exactly the given set.
@@ -753,8 +864,20 @@ func (s *Server) CacheCapacity() int { return s.cache.capacity }
 
 // extractRange removes and returns the entries a newly joined
 // predecessor now owns: those whose vertex key is outside (newID,
-// ownerID] — mirroring Chord's reference handoff on join.
-func (s *Server) extractRange(newID, ownerID dht.ID) []BulkEntry {
+// ownerID] — mirroring Chord's reference handoff on join. The logged
+// OpHandoff record carries only the range bounds: which entries leave
+// is a deterministic function of key and bounds, so replay reproduces
+// the extraction exactly.
+func (s *Server) extractRange(newID, ownerID dht.ID) ([]BulkEntry, error) {
+	var out []BulkEntry
+	err := s.logMutation(store.Record{
+		Op: store.OpHandoff, NewID: uint64(newID), OwnerID: uint64(ownerID),
+	}, func() { out = s.applyExtractRange(newID, ownerID) })
+	return out, err
+}
+
+// applyExtractRange is the table mutation of extractRange.
+func (s *Server) applyExtractRange(newID, ownerID dht.ID) []BulkEntry {
 	var out []BulkEntry
 	for _, sh := range s.shards {
 		sh.lock(s.met.shardLockWait)
@@ -798,14 +921,26 @@ func (s *Server) PullHandoff(ctx context.Context, sender transport.Sender, addr 
 		return 0, fmt.Errorf("index handoff from %s: unexpected response %T", addr, raw)
 	}
 	for _, e := range resp.Entries {
-		s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID)
+		if err := s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID); err != nil {
+			return 0, err
+		}
 	}
 	return len(resp.Entries), nil
 }
 
 // Drain removes and returns every index entry this server hosts, for
-// transfer to another node on graceful departure.
-func (s *Server) Drain() []BulkEntry {
+// transfer to another node on graceful departure. Durable servers log
+// one OpClear record so a later recovery of the data dir reflects the
+// departure.
+func (s *Server) Drain() ([]BulkEntry, error) {
+	var out []BulkEntry
+	err := s.logMutation(store.Record{Op: store.OpClear},
+		func() { out = s.applyDrain() })
+	return out, err
+}
+
+// applyDrain is the table mutation of Drain.
+func (s *Server) applyDrain() []BulkEntry {
 	var out []BulkEntry
 	for _, sh := range s.shards {
 		sh.lock(s.met.shardLockWait)
@@ -833,7 +968,10 @@ func (s *Server) Drain() []BulkEntry {
 // departing node's DHT successor, which owns its key range after the
 // split). It returns the number of entries transferred.
 func (s *Server) DrainTo(ctx context.Context, sender transport.Sender, addr transport.Addr) (int, error) {
-	entries := s.Drain()
+	entries, err := s.Drain()
+	if err != nil {
+		return 0, err
+	}
 	if len(entries) == 0 {
 		return 0, nil
 	}
@@ -841,4 +979,108 @@ func (s *Server) DrainTo(ctx context.Context, sender transport.Sender, addr tran
 		return 0, fmt.Errorf("drain %d entries to %s: %w", len(entries), addr, err)
 	}
 	return len(entries), nil
+}
+
+// applyRecord replays one recovered WAL/snapshot record into the table
+// state. No cache invalidation: recovery runs before the server serves
+// queries (fresh caches), and the sim's in-process recovery resets the
+// cache alongside the tables.
+func (s *Server) applyRecord(rec store.Record) error {
+	switch rec.Op {
+	case store.OpInsert:
+		s.applyInsert(rec.Instance, hypercube.Vertex(rec.Vertex), rec.SetKey, rec.ObjectID)
+	case store.OpDelete:
+		s.applyDelete(rec.Instance, hypercube.Vertex(rec.Vertex), rec.SetKey, rec.ObjectID)
+	case store.OpHandoff:
+		s.applyExtractRange(dht.ID(rec.NewID), dht.ID(rec.OwnerID))
+	case store.OpClear:
+		s.applyDrain()
+	}
+	return nil
+}
+
+// compact snapshots the full table state and truncates the WAL. The
+// compacting flag collapses concurrent triggers; stateMu's write side
+// excludes every mutator for the duration, so the snapshot is a
+// consistent cut and nothing can append between dump and truncation.
+func (s *Server) compact() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if !s.store.SnapshotDue() {
+		return // another trigger compacted while we awaited the fence
+	}
+	// On failure the WAL simply keeps growing and the next threshold
+	// crossing retries; durability is never weakened by a failed
+	// compaction.
+	_ = s.store.WriteSnapshot(s.dumpAll)
+}
+
+// dumpAll emits every live entry as an OpInsert record (the snapshot
+// body). Callers hold stateMu exclusively, so shard read locks are
+// only needed to order with lock-free readers.
+func (s *Server) dumpAll(emit func(store.Record) error) error {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for instance, vertices := range sh.tables {
+			for v, tbl := range vertices {
+				for setKey, e := range tbl.entries {
+					for id := range e.objects {
+						err := emit(store.Record{
+							Op: store.OpInsert, Instance: instance,
+							Vertex: uint64(v), SetKey: setKey, ObjectID: id,
+						})
+						if err != nil {
+							sh.mu.RUnlock()
+							return err
+						}
+					}
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return nil
+}
+
+// CrashReset wipes the in-memory table, cache and session state while
+// leaving the data directory untouched — the crash model the sim's
+// durable-recovery mode uses: process memory is lost, disk survives.
+func (s *Server) CrashReset() {
+	s.stateMu.Lock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tables = make(map[string]map[hypercube.Vertex]*table)
+		sh.mu.Unlock()
+	}
+	s.stateMu.Unlock()
+	s.cache.reset()
+	s.sessions.reset()
+}
+
+// RecoverFromStore replays the data directory (snapshot + WAL tail)
+// into the table state and reports how many records were applied. It
+// is a no-op on non-durable servers. Replay is idempotent, so
+// recovering over live state also converges — but the intended caller
+// pairs it with CrashReset.
+func (s *Server) RecoverFromStore() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.store.Recover(s.applyRecord)
+}
+
+// Close flushes and closes the durability layer (nil-safe: a no-op
+// for non-durable servers). The server must not process further
+// mutations afterwards.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"sync"
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
@@ -35,16 +36,30 @@ type workUnit struct {
 }
 
 // sessionStore retains at most max sessions, evicting the oldest.
+// Insertion order lives in an intrusive list with an id→element index,
+// so save, take and eviction are all O(1) — cumulative-search paging
+// must not degrade to a linear scan under thousands of live sessions.
 type sessionStore struct {
 	mu     sync.Mutex
 	max    int
 	nextID uint64
-	order  []uint64
-	items  map[uint64]*session
+	order  *list.List               // of sessionElem, oldest at Front
+	index  map[uint64]*list.Element // session ID → its order element
+}
+
+// sessionElem is the list payload: the ID travels with the session so
+// eviction at Front can update the index without a reverse lookup.
+type sessionElem struct {
+	id   uint64
+	sess *session
 }
 
 func newSessionStore(max int) *sessionStore {
-	return &sessionStore{max: max, items: make(map[uint64]*session)}
+	return &sessionStore{
+		max:   max,
+		order: list.New(),
+		index: make(map[uint64]*list.Element),
+	}
 }
 
 // save stores sess and returns its new ID.
@@ -53,12 +68,11 @@ func (st *sessionStore) save(sess *session) uint64 {
 	defer st.mu.Unlock()
 	st.nextID++
 	id := st.nextID
-	st.items[id] = sess
-	st.order = append(st.order, id)
-	for len(st.items) > st.max && len(st.order) > 0 {
-		oldest := st.order[0]
-		st.order = st.order[1:]
-		delete(st.items, oldest)
+	st.index[id] = st.order.PushBack(sessionElem{id: id, sess: sess})
+	for len(st.index) > st.max {
+		oldest := st.order.Front()
+		st.order.Remove(oldest)
+		delete(st.index, oldest.Value.(sessionElem).id)
 	}
 	return id
 }
@@ -67,23 +81,28 @@ func (st *sessionStore) save(sess *session) uint64 {
 func (st *sessionStore) take(id uint64) *session {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	sess, ok := st.items[id]
+	el, ok := st.index[id]
 	if !ok {
 		return nil
 	}
-	delete(st.items, id)
-	for i, sid := range st.order {
-		if sid == id {
-			st.order = append(st.order[:i], st.order[i+1:]...)
-			break
-		}
-	}
-	return sess
+	delete(st.index, id)
+	st.order.Remove(el)
+	return el.Value.(sessionElem).sess
+}
+
+// reset drops every live session (the sim's crash model). nextID keeps
+// counting: stale session IDs from before the crash must miss, not
+// alias a post-recovery session.
+func (st *sessionStore) reset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.order.Init()
+	st.index = make(map[uint64]*list.Element)
 }
 
 // len returns the number of live sessions (test helper).
 func (st *sessionStore) len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return len(st.items)
+	return len(st.index)
 }

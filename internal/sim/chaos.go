@@ -227,7 +227,9 @@ func ReplayChaos(d *Deployment, s Searcher, queries []keyword.Set, sched ChaosSc
 	ei := 0
 	for qi, q := range queries {
 		for ei < len(sched.Events) && sched.Events[ei].AtQuery <= qi {
-			d.applyFault(sched.Events[ei])
+			if err := d.applyFault(sched.Events[ei]); err != nil {
+				return nil, err
+			}
 			ei++
 		}
 		out := QueryOutcome{QueryKey: q.Key(), Completeness: 1}
@@ -258,11 +260,28 @@ func ReplayChaos(d *Deployment, s Searcher, queries []keyword.Set, sched ChaosSc
 }
 
 // applyFault injects one scheduled event into the deployment network.
-func (d *Deployment) applyFault(ev FaultEvent) {
+// For durable deployments the crash model sharpens: FaultCrash also
+// wipes the node's in-memory tables (process death, not just a link
+// cut) and FaultRecover replays the node's data directory before
+// reconnecting it — so a recovered node answers from disk state, not
+// from conveniently surviving memory.
+func (d *Deployment) applyFault(ev FaultEvent) error {
 	switch ev.Kind {
 	case FaultCrash:
 		d.Net.SetDown(ev.Node, true)
+		if d.Durable {
+			if srv := d.serverAt(ev.Node); srv != nil {
+				srv.CrashReset()
+			}
+		}
 	case FaultRecover:
+		if d.Durable {
+			if srv := d.serverAt(ev.Node); srv != nil {
+				if _, err := srv.RecoverFromStore(); err != nil {
+					return fmt.Errorf("sim: durable recover %s: %w", ev.Node, err)
+				}
+			}
+		}
 		d.Net.SetDown(ev.Node, false)
 	case FaultSlow:
 		d.Net.SetLatency(ev.Node, ev.Latency)
@@ -274,4 +293,16 @@ func (d *Deployment) applyFault(ev FaultEvent) {
 	case FaultHeal:
 		d.Net.Block("", ev.Node, false)
 	}
+	return nil
+}
+
+// serverAt maps a deployment address back to its server (nil when the
+// address is not part of the fleet).
+func (d *Deployment) serverAt(addr transport.Addr) *core.Server {
+	for i, a := range d.Addrs {
+		if a == addr {
+			return d.Servers[i]
+		}
+	}
+	return nil
 }

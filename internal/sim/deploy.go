@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 
 	"github.com/p2pkeyword/keysearch/internal/core"
@@ -10,6 +11,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
 	"github.com/p2pkeyword/keysearch/internal/resilience"
+	"github.com/p2pkeyword/keysearch/internal/store"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 	"github.com/p2pkeyword/keysearch/internal/transport/inmem"
@@ -40,6 +42,12 @@ type Deployment struct {
 	// Resilience is the policy middleware every client and server sends
 	// through. Nil unless the deployment was built with a policy.
 	Resilience *resilience.Middleware
+	// Durable reports whether the fleet persists index state
+	// (DeployConfig.DataDir was set). The chaos harness switches its
+	// crash model on it: a durable crash wipes the node's memory and a
+	// recover replays the node's data directory, instead of the
+	// memory-survives model used for in-memory fleets.
+	Durable bool
 }
 
 // NewDeployment builds a 2^r-node deployment. cacheCapacity is the
@@ -99,6 +107,15 @@ type DeployConfig struct {
 	// (0 = GOMAXPROCS; 1 = sequential). See
 	// core.ServerConfig.ScanParallelism.
 	ScanParallelism int
+	// DataDir, when non-empty, makes every peer durable: peer p logs
+	// its index mutations under DataDir/peer-p and recovers them on
+	// construction. See core.ServerConfig.DataDir.
+	DataDir string
+	// Fsync is the WAL flush policy for durable fleets.
+	Fsync store.FsyncPolicy
+	// SnapshotEvery is the per-peer WAL compaction threshold
+	// (0 = library default, negative disables).
+	SnapshotEvery int
 }
 
 // NewCustomDeployment builds an in-memory deployment from cfg.
@@ -137,22 +154,35 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 	})
 	servers := make([]*core.Server, peers)
 	for p := range servers {
+		dataDir := ""
+		if cfg.DataDir != "" {
+			dataDir = filepath.Join(cfg.DataDir, "peer-"+strconv.Itoa(p))
+		}
 		srv, err := core.NewServer(core.ServerConfig{
-			Hasher:        hasher,
-			Resolver:      resolver,
-			Sender:        sender,
+			Hasher:          hasher,
+			Resolver:        resolver,
+			Sender:          sender,
 			CacheCapacity:   cfg.CacheCapacity,
 			BatchWaves:      cfg.Batch,
 			Shards:          cfg.Shards,
 			ScanParallelism: cfg.ScanParallelism,
+			DataDir:         dataDir,
+			Fsync:           cfg.Fsync,
+			SnapshotEvery:   cfg.SnapshotEvery,
 			Telemetry:       cfg.Telemetry,
 		})
 		if err != nil {
+			for _, s := range servers[:p] {
+				s.Close()
+			}
 			net.Close()
 			return nil, err
 		}
 		servers[p] = srv
 		if _, err := net.Bind(addrs[p], srv.Handler); err != nil {
+			for _, s := range servers[:p+1] {
+				s.Close()
+			}
 			net.Close()
 			return nil, err
 		}
@@ -181,6 +211,7 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 	d := &Deployment{
 		R: r, Peers: peers, Net: net, Hasher: hasher, Servers: servers,
 		Addrs: addrs, Client: clients[0], Telemetry: cfg.Telemetry, Resilience: mw,
+		Durable: cfg.DataDir != "",
 	}
 	if replicas > 1 {
 		index, err := core.NewReplicated(clients...)
@@ -194,8 +225,14 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 	return d, nil
 }
 
-// Close releases the deployment's network.
-func (d *Deployment) Close() { d.Net.Close() }
+// Close releases the deployment's network and flushes every peer's
+// durability layer (a no-op for in-memory fleets).
+func (d *Deployment) Close() {
+	for _, srv := range d.Servers {
+		srv.Close()
+	}
+	d.Net.Close()
+}
 
 // InsertCorpus indexes every record of the corpus — into every replica
 // when the deployment is replicated.

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op is the kind of one logged index mutation.
+type Op uint8
+
+const (
+	// OpInsert adds one ⟨instance, vertex, set key, object ID⟩ entry.
+	OpInsert Op = iota + 1
+	// OpDelete removes one entry.
+	OpDelete
+	// OpHandoff drops every entry whose vertex key left the node's DHT
+	// range when a predecessor joined: entries NOT in (NewID, OwnerID].
+	// The surviving set is a deterministic function of the table state,
+	// so replaying the record reproduces the extraction exactly.
+	OpHandoff
+	// OpClear wipes every entry (graceful departure drains the tables).
+	OpClear
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpHandoff:
+		return "handoff"
+	case OpClear:
+		return "clear"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one durable index mutation. Insert and Delete carry the
+// entry coordinates; Handoff carries the DHT range bounds; Clear
+// carries nothing. Records are idempotent: re-applying any suffix of
+// the log in order converges to the same table state, which is what
+// makes snapshot + full-WAL replay safe across every crash window of
+// the compaction protocol (see DESIGN §9).
+type Record struct {
+	Op       Op
+	Instance string
+	Vertex   uint64
+	SetKey   string
+	ObjectID string
+	NewID    uint64 // OpHandoff only
+	OwnerID  uint64 // OpHandoff only
+}
+
+// Frame layout: u32 little-endian payload length, u32 IEEE CRC of the
+// payload, then the payload. The CRC lets recovery distinguish a torn
+// tail (partial final write at a crash) from a corrupt middle.
+const frameHeaderLen = 8
+
+// maxPayloadLen rejects absurd length prefixes so a corrupt header
+// cannot drive a multi-gigabyte allocation during recovery.
+const maxPayloadLen = 1 << 20
+
+// errTruncatedFrame reports a frame that does not fully fit in the
+// remaining file: the torn tail a crash mid-append leaves behind.
+var errTruncatedFrame = errors.New("store: truncated record frame")
+
+// errCorruptFrame reports a full-length frame whose CRC does not match.
+var errCorruptFrame = errors.New("store: corrupt record frame")
+
+// appendRecord encodes rec as one CRC-framed payload appended to buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf = append(buf, byte(rec.Op))
+	switch rec.Op {
+	case OpInsert, OpDelete:
+		buf = binary.AppendUvarint(buf, rec.Vertex)
+		buf = appendString(buf, rec.Instance)
+		buf = appendString(buf, rec.SetKey)
+		buf = appendString(buf, rec.ObjectID)
+	case OpHandoff:
+		buf = binary.AppendUvarint(buf, rec.NewID)
+		buf = binary.AppendUvarint(buf, rec.OwnerID)
+	case OpClear:
+		// no payload beyond the op byte
+	}
+	payload := buf[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeRecord parses one framed record from data, returning the
+// record and the number of bytes consumed. errTruncatedFrame means the
+// tail of data is an incomplete frame; errCorruptFrame means a
+// complete frame failed its CRC.
+func decodeRecord(data []byte) (Record, int, error) {
+	if len(data) < frameHeaderLen {
+		return Record{}, 0, errTruncatedFrame
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	if plen == 0 || plen > maxPayloadLen {
+		return Record{}, 0, errCorruptFrame
+	}
+	if len(data) < frameHeaderLen+int(plen) {
+		return Record{}, 0, errTruncatedFrame
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:]) {
+		return Record{}, 0, errCorruptFrame
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderLen + int(plen), nil
+}
+
+func decodePayload(p []byte) (Record, error) {
+	rec := Record{Op: Op(p[0])}
+	p = p[1:]
+	var err error
+	switch rec.Op {
+	case OpInsert, OpDelete:
+		if rec.Vertex, p, err = readUvarint(p); err != nil {
+			return rec, err
+		}
+		if rec.Instance, p, err = readString(p); err != nil {
+			return rec, err
+		}
+		if rec.SetKey, p, err = readString(p); err != nil {
+			return rec, err
+		}
+		if rec.ObjectID, _, err = readString(p); err != nil {
+			return rec, err
+		}
+	case OpHandoff:
+		if rec.NewID, p, err = readUvarint(p); err != nil {
+			return rec, err
+		}
+		if rec.OwnerID, _, err = readUvarint(p); err != nil {
+			return rec, err
+		}
+	case OpClear:
+	default:
+		return rec, fmt.Errorf("%w: op %d", errCorruptFrame, rec.Op)
+	}
+	return rec, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errCorruptFrame
+	}
+	return v, p[n:], nil
+}
+
+func readString(p []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(p)
+	if err != nil || uint64(len(rest)) < n {
+		return "", nil, errCorruptFrame
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// readAll reads framed records from data, invoking apply for each, and
+// returns how many were applied. A truncated or corrupt frame stops
+// the scan (the surviving prefix is the recovered state); the offset of
+// the first bad byte is returned so the caller can truncate the tail.
+func readAll(data []byte, apply func(Record) error) (count int, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		rec, n, derr := decodeRecord(data[off:])
+		if derr != nil {
+			return count, off, nil // torn/corrupt tail: keep the prefix
+		}
+		if aerr := apply(rec); aerr != nil {
+			return count, off, aerr
+		}
+		off += n
+		count++
+	}
+	return count, off, nil
+}
+
+// writeFrames encodes records through emit into w (snapshot writing).
+type frameWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (fw *frameWriter) emit(rec Record) error {
+	if fw.err != nil {
+		return fw.err
+	}
+	fw.buf = appendRecord(fw.buf[:0], rec)
+	_, fw.err = fw.w.Write(fw.buf)
+	return fw.err
+}

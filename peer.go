@@ -12,6 +12,7 @@ import (
 	"github.com/p2pkeyword/keysearch/internal/dht/chord"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
 	"github.com/p2pkeyword/keysearch/internal/resilience"
+	"github.com/p2pkeyword/keysearch/internal/store"
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
@@ -80,6 +81,20 @@ type Config struct {
 	// 1 = sequential). Results are byte-identical at any setting. See
 	// core.ServerConfig.ScanParallelism.
 	ScanParallelism int
+	// DataDir, when non-empty, makes this peer's index durable: every
+	// table mutation is appended to a write-ahead log under the
+	// directory before it applies, periodically compacted into a
+	// snapshot, and replayed on the next start from the same directory.
+	// Empty (default) keeps the index purely in memory.
+	DataDir string
+	// FsyncPolicy selects how the WAL reaches disk when DataDir is
+	// set: "always" (fsync per mutation), "interval" (group commit,
+	// default), or "off" (flush only at snapshots and shutdown).
+	FsyncPolicy string
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// logged mutations (0 = library default, negative disables
+	// compaction). Only meaningful with DataDir set.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,19 +165,27 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		sender = mw
 	}
 
+	fsync, err := store.ParseFsyncPolicy(cfg.FsyncPolicy)
+	if err != nil {
+		endpoint.Close()
+		return nil, err
+	}
 	node := chord.New(resolved, sender, chord.Config{
 		SuccessorListLen: cfg.SuccessorListLen,
 		Telemetry:        cfg.Telemetry,
 	})
 	resolver := core.NewOverlayResolver(node)
 	server, err := core.NewServer(core.ServerConfig{
-		Hasher:        hasher,
-		Resolver:      resolver,
-		Sender:        sender,
+		Hasher:          hasher,
+		Resolver:        resolver,
+		Sender:          sender,
 		CacheCapacity:   cfg.CacheCapacity,
 		BatchWaves:      cfg.BatchWaves,
 		Shards:          cfg.Shards,
 		ScanParallelism: cfg.ScanParallelism,
+		DataDir:         cfg.DataDir,
+		Fsync:           fsync,
+		SnapshotEvery:   cfg.SnapshotEvery,
 		Owner:           node.Owns,
 		Telemetry:       cfg.Telemetry,
 	})
@@ -253,16 +276,22 @@ func (p *Peer) StabilizeOnce(ctx context.Context) error {
 	return p.chord.MaintainOnce(ctx)
 }
 
-// Close stops background maintenance and unbinds the endpoint. The
-// peer's stored references and index entries become unreachable
-// (crash-stop); the remaining network heals via Chord stabilization.
-// Use Leave for a graceful departure that preserves state.
+// Close stops background maintenance, unbinds the endpoint and flushes
+// the durability layer (when DataDir is set). The peer's stored
+// references and index entries become unreachable (crash-stop); the
+// remaining network heals via Chord stabilization. A durable peer
+// restarted from the same DataDir recovers its index. Use Leave for a
+// graceful departure that transfers state instead.
 func (p *Peer) Close() error {
 	p.chord.Shutdown()
-	if p.endpoint == nil {
-		return nil
+	var err error
+	if p.endpoint != nil {
+		err = p.endpoint.Close()
 	}
-	return p.endpoint.Close()
+	if serr := p.server.Close(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
 // Leave departs the network gracefully: the peer's DHT references and
@@ -282,6 +311,11 @@ func (p *Peer) Leave(ctx context.Context) error {
 		if err := p.endpoint.Close(); err != nil && leaveErr == nil {
 			leaveErr = err
 		}
+	}
+	// The drain was logged (OpClear), so a later restart from this
+	// DataDir correctly recovers an empty index.
+	if err := p.server.Close(); err != nil && leaveErr == nil {
+		leaveErr = err
 	}
 	return leaveErr
 }
