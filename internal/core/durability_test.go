@@ -4,8 +4,11 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
@@ -210,6 +213,175 @@ func TestDurableCrashResetRecover(t *testing.T) {
 		if !found {
 			t.Fatalf("object %s missing after recovery", o.ID)
 		}
+	}
+}
+
+// TestDurableConcurrentReplayHammer is the regression for the
+// WAL-order/apply-order inversion: concurrent mutations of the same
+// entry (and concurrent range extractions) must land in the log in
+// exactly the order their applies land, or recovery replays a
+// different history than the one that was acknowledged — e.g. an
+// insert that beat a delete in memory but lost the race to the log
+// is silently dropped on replay. It hammers one contended entry set,
+// then compares crash-recovered state against pre-crash memory.
+// `make chaos` runs it under -race.
+func TestDurableConcurrentReplayHammer(t *testing.T) {
+	const r = 6
+	dirs := tempDirs(t, 1)
+	d := newDurableDeployment(t, r, 1, 0, dirs, store.FsyncOff, 0, nil)
+	srv := d.servers[0]
+
+	const (
+		inst    = "main"
+		v       = hypercube.Vertex(3)
+		setKey  = "k"
+		writers = 4
+		ops     = 400
+	)
+	key := VertexKey(inst, v)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				// Three object IDs shared by every goroutine, so
+				// insert/delete pairs of the same entry race constantly.
+				obj := "o" + strconv.Itoa(i%3)
+				if (g+i)%2 == 0 {
+					if err := srv.insertEntry(inst, v, setKey, obj); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := srv.deleteEntry(inst, v, setKey, obj); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent range extraction of exactly the contended vertex:
+	// (key, key-1] keeps every id but key itself. An insert logged
+	// before the handoff but applied after it would survive in memory
+	// yet be extracted on replay — the unfaithful-handoff scenario.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := srv.extractRange(key, key-1); err != nil {
+				t.Error(err)
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Sharper probe: one insert and one delete of each of many fresh
+	// objects race pairwise, all pairs at once on the same shard, so a
+	// deep shard-lock queue forms and mutex barging shuffles acquisition
+	// order. Memory keeps whichever op applied last; replay keeps
+	// whichever appended last — a single inversion between the two
+	// orders flips that object's final presence, which the recovery
+	// comparison below detects.
+	const pairs = 512
+	start := make(chan struct{})
+	var pair sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		obj := "race-" + strconv.Itoa(p)
+		pair.Add(2)
+		go func() {
+			defer pair.Done()
+			<-start
+			if err := srv.insertEntry(inst, v, setKey, obj); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer pair.Done()
+			<-start
+			if _, err := srv.deleteEntry(inst, v, setKey, obj); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	pair.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	want := srv.pinQuery(inst, v, setKey).ObjectIDs
+	wantStats := srv.Stats()
+	srv.CrashReset()
+	if _, err := srv.RecoverFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.pinQuery(inst, v, setKey).ObjectIDs; !equalStrings(got, want) {
+		t.Fatalf("recovered entry objects %v, pre-crash memory had %v", got, want)
+	}
+	if got := srv.Stats(); got != wantStats {
+		t.Fatalf("recovered stats %+v, pre-crash memory had %+v", got, wantStats)
+	}
+}
+
+// TestDurableAppendApplyCriticalSection pins the critical-section
+// shape that makes WAL order equal apply order — deterministically,
+// where the probabilistic hammer above depends on scheduler luck. An
+// entry mutation must perform its append inside the entry's shard
+// write lock, so while the test holds that lock no record can reach
+// the log; a range mutation must perform its append under stateMu's
+// write side, so while the test holds the read side it cannot log
+// either. If either append escapes its critical section, a concurrent
+// mutation of the same entry can invert log order vs apply order and
+// recovery replays a different history than the one acknowledged.
+func TestDurableAppendApplyCriticalSection(t *testing.T) {
+	const (
+		inst   = "main"
+		v      = hypercube.Vertex(3)
+		setKey = "k"
+	)
+	reg := telemetry.New(8)
+	dirs := tempDirs(t, 1)
+	d := newDurableDeployment(t, 6, 1, 0, dirs, store.FsyncOff, 0, reg)
+	srv := d.servers[0]
+	appends := reg.Counter("store_wal_appends_total")
+
+	sh := srv.shardFor(inst, v)
+	sh.mu.Lock()
+	done := make(chan error, 1)
+	go func() { done <- srv.insertEntry(inst, v, setKey, "o1") }()
+	time.Sleep(20 * time.Millisecond)
+	if got := appends.Value(); got != 0 {
+		sh.mu.Unlock()
+		t.Fatalf("insert appended %d records outside the shard critical section", got)
+	}
+	sh.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := appends.Value(); got != 1 {
+		t.Fatalf("insert logged %d records after unlock, want 1", got)
+	}
+
+	srv.stateMu.RLock()
+	go func() {
+		_, err := srv.extractRange(0, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if got := appends.Value(); got != 1 {
+		srv.stateMu.RUnlock()
+		t.Fatalf("handoff appended outside the stateMu critical section (%d records)", got)
+	}
+	srv.stateMu.RUnlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := appends.Value(); got != 2 {
+		t.Fatalf("handoff logged %d records after unlock, want 2", got)
 	}
 }
 

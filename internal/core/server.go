@@ -158,12 +158,17 @@ type Server struct {
 	// store is the durability layer; nil when DataDir is unset, and
 	// then never consulted on the hot path.
 	store *store.Store
-	// stateMu fences mutations against snapshot compaction: every
-	// durable mutation holds the read side across its WAL append +
-	// table apply, and compaction holds the write side across dump +
-	// truncate, so a snapshot is always a prefix-consistent cut of the
-	// log. Lock order: stateMu → store/shard mutexes, never reversed.
-	// Not taken at all when store is nil.
+	// stateMu fences mutations against snapshot compaction and orders
+	// multi-shard mutations: every durable entry mutation holds the
+	// read side across its WAL append + table apply, while compaction,
+	// recovery and range mutations (handoff, clear) hold the write
+	// side — so a snapshot is always a prefix-consistent cut of the
+	// log and a range record is totally ordered against every entry
+	// record. Lock order: entry mutations take stateMu(R) → shard →
+	// store.mu; write-side holders take stateMu(W) → store.mu → shard.
+	// The two interior orders cannot deadlock because the exclusive
+	// fence guarantees they never run concurrently. Not taken at all
+	// when store is nil.
 	stateMu sync.RWMutex
 	// compacting collapses concurrent compaction triggers into one.
 	compacting atomic.Bool
@@ -495,24 +500,62 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 	}
 }
 
-// logMutation appends rec to the WAL under the stateMu read fence and
-// then runs apply. The fence spans append + apply so compaction's
-// write side can never observe a state whose log suffix it would then
-// truncate. When the server is not durable the fence and the append
-// both vanish (nil store ⇒ zero hot-path cost).
-func (s *Server) logMutation(rec store.Record, apply func()) error {
+// logEntryMutation appends rec to the WAL and applies it while
+// holding sh's write lock — sh must be the shard owning the record's
+// (instance, vertex). Holding the shard lock across append + apply
+// makes WAL order equal apply order for any two records touching the
+// same entry (same entry ⇒ same shard): without it, two concurrent
+// mutations of one entry could append as A,B but apply as B,A, and
+// recovery — which replays log order — would resurrect the loser.
+// The stateMu read fence spans the pair so compaction's write side
+// can never cut the log between an append and its apply, and so
+// range mutations (logRangeMutation) are totally ordered against
+// entry mutations. When the server is not durable the fence and the
+// append both vanish (nil store ⇒ zero hot-path cost beyond the
+// shard lock the apply always needed).
+func (s *Server) logEntryMutation(sh *tableShard, rec store.Record, applyLocked func()) error {
+	if s.store == nil {
+		sh.lock(s.met.shardLockWait)
+		applyLocked()
+		sh.mu.Unlock()
+		return nil
+	}
+	s.stateMu.RLock()
+	sh.lock(s.met.shardLockWait)
+	due, err := s.store.Append(rec)
+	if err != nil {
+		sh.mu.Unlock()
+		s.stateMu.RUnlock()
+		return fmt.Errorf("core: wal append: %w", err)
+	}
+	applyLocked()
+	sh.mu.Unlock()
+	s.stateMu.RUnlock()
+	if due {
+		s.compact()
+	}
+	return nil
+}
+
+// logRangeMutation appends and applies a record that touches every
+// shard (handoff, clear). A single shard lock cannot order it against
+// concurrent entry mutations, so it holds stateMu exclusively across
+// append + apply instead: entry mutations hold the read side for
+// their whole append+apply window, so the log position of the range
+// record exactly matches its position in the apply order.
+func (s *Server) logRangeMutation(rec store.Record, apply func()) error {
 	if s.store == nil {
 		apply()
 		return nil
 	}
-	s.stateMu.RLock()
+	s.stateMu.Lock()
 	due, err := s.store.Append(rec)
 	if err != nil {
-		s.stateMu.RUnlock()
+		s.stateMu.Unlock()
 		return fmt.Errorf("core: wal append: %w", err)
 	}
 	apply()
-	s.stateMu.RUnlock()
+	s.stateMu.Unlock()
 	if due {
 		s.compact()
 	}
@@ -524,11 +567,12 @@ func (s *Server) logMutation(rec store.Record, apply func()) error {
 // extend. Durable servers append the mutation to the WAL before it
 // applies; an append failure leaves the table untouched.
 func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, objectID string) error {
+	sh := s.shardFor(instance, v)
 	var set keyword.Set
-	err := s.logMutation(store.Record{
+	err := s.logEntryMutation(sh, store.Record{
 		Op: store.OpInsert, Instance: instance, Vertex: uint64(v),
 		SetKey: setKey, ObjectID: objectID,
-	}, func() { set = s.applyInsert(instance, v, setKey, objectID) })
+	}, func() { set = s.applyInsertLocked(sh, instance, v, setKey, objectID) })
 	if err != nil {
 		return err
 	}
@@ -539,11 +583,19 @@ func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, object
 }
 
 // applyInsert is the table mutation of insertEntry: no logging, no
-// cache work. Recovery replays WAL records through it. It returns the
-// entry's keyword set for cache invalidation.
+// cache work. Recovery replays WAL records through it.
 func (s *Server) applyInsert(instance string, v hypercube.Vertex, setKey, objectID string) keyword.Set {
 	sh := s.shardFor(instance, v)
 	sh.lock(s.met.shardLockWait)
+	defer sh.mu.Unlock()
+	return s.applyInsertLocked(sh, instance, v, setKey, objectID)
+}
+
+// applyInsertLocked is applyInsert under a caller-held write lock on
+// sh (the shard owning (instance, v)); logEntryMutation uses it to
+// keep the WAL append and the apply in one critical section. It
+// returns the entry's keyword set for cache invalidation.
+func (s *Server) applyInsertLocked(sh *tableShard, instance string, v hypercube.Vertex, setKey, objectID string) keyword.Set {
 	vertices, ok := sh.tables[instance]
 	if !ok {
 		vertices = make(map[hypercube.Vertex]*table)
@@ -564,21 +616,20 @@ func (s *Server) applyInsert(instance string, v hypercube.Vertex, setKey, object
 		e.objects[objectID] = struct{}{}
 		e.sortedIDs.Store(nil)
 	}
-	set := e.set
-	sh.mu.Unlock()
-	return set
+	return e.set
 }
 
 // deleteEntry removes ⟨K, σ⟩ from the table of vertex v in the given
 // instance. A delete of an absent entry is still logged on durable
 // servers — replaying it is a no-op, so the record is harmless.
 func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, objectID string) (bool, error) {
+	sh := s.shardFor(instance, v)
 	var found bool
 	var set keyword.Set
-	err := s.logMutation(store.Record{
+	err := s.logEntryMutation(sh, store.Record{
 		Op: store.OpDelete, Instance: instance, Vertex: uint64(v),
 		SetKey: setKey, ObjectID: objectID,
-	}, func() { found, set = s.applyDelete(instance, v, setKey, objectID) })
+	}, func() { found, set = s.applyDeleteLocked(sh, instance, v, setKey, objectID) })
 	if err != nil {
 		return false, err
 	}
@@ -592,23 +643,26 @@ func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, object
 func (s *Server) applyDelete(instance string, v hypercube.Vertex, setKey, objectID string) (bool, keyword.Set) {
 	sh := s.shardFor(instance, v)
 	sh.lock(s.met.shardLockWait)
+	defer sh.mu.Unlock()
+	return s.applyDeleteLocked(sh, instance, v, setKey, objectID)
+}
+
+// applyDeleteLocked is applyDelete under a caller-held write lock on
+// sh (the shard owning (instance, v)); see applyInsertLocked.
+func (s *Server) applyDeleteLocked(sh *tableShard, instance string, v hypercube.Vertex, setKey, objectID string) (bool, keyword.Set) {
 	vertices, ok := sh.tables[instance]
 	if !ok {
-		sh.mu.Unlock()
 		return false, keyword.Set{}
 	}
 	tbl, ok := vertices[v]
 	if !ok {
-		sh.mu.Unlock()
 		return false, keyword.Set{}
 	}
 	e, ok := tbl.entries[setKey]
 	if !ok {
-		sh.mu.Unlock()
 		return false, keyword.Set{}
 	}
 	if _, ok := e.objects[objectID]; !ok {
-		sh.mu.Unlock()
 		return false, keyword.Set{}
 	}
 	delete(e.objects, objectID)
@@ -623,9 +677,7 @@ func (s *Server) applyDelete(instance string, v hypercube.Vertex, setKey, object
 			}
 		}
 	}
-	set := e.set
-	sh.mu.Unlock()
-	return true, set
+	return true, e.set
 }
 
 // pinQuery returns the objects indexed under exactly the given set.
@@ -867,10 +919,12 @@ func (s *Server) CacheCapacity() int { return s.cache.capacity }
 // ownerID] — mirroring Chord's reference handoff on join. The logged
 // OpHandoff record carries only the range bounds: which entries leave
 // is a deterministic function of key and bounds, so replay reproduces
-// the extraction exactly.
+// the extraction exactly — provided every entry record lands in the
+// log on the same side of the handoff as its apply, which
+// logRangeMutation's exclusive fence guarantees.
 func (s *Server) extractRange(newID, ownerID dht.ID) ([]BulkEntry, error) {
 	var out []BulkEntry
-	err := s.logMutation(store.Record{
+	err := s.logRangeMutation(store.Record{
 		Op: store.OpHandoff, NewID: uint64(newID), OwnerID: uint64(ownerID),
 	}, func() { out = s.applyExtractRange(newID, ownerID) })
 	return out, err
@@ -934,7 +988,7 @@ func (s *Server) PullHandoff(ctx context.Context, sender transport.Sender, addr 
 // departure.
 func (s *Server) Drain() ([]BulkEntry, error) {
 	var out []BulkEntry
-	err := s.logMutation(store.Record{Op: store.OpClear},
+	err := s.logRangeMutation(store.Record{Op: store.OpClear},
 		func() { out = s.applyDrain() })
 	return out, err
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op on platforms without flock: Config.Dir exclusive
+// ownership is then the caller's responsibility, as before.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f, held for
+// the life of the file descriptor and released automatically when the
+// process dies — so a SIGKILLed node's restart is never blocked by a
+// stale lock, unlike an O_EXCL lock file. A second Open of the same
+// directory (another process, or another Store in this one: flock is
+// per open file description) fails immediately with EWOULDBLOCK.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

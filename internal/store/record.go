@@ -175,15 +175,24 @@ func readString(p []byte) (string, []byte, error) {
 }
 
 // readAll reads framed records from data, invoking apply for each, and
-// returns how many were applied. A truncated or corrupt frame stops
-// the scan (the surviving prefix is the recovered state); the offset of
-// the first bad byte is returned so the caller can truncate the tail.
+// returns how many were applied. A torn tail — the artifact of a crash
+// mid-append — stops the scan with err == nil and validLen < len(data),
+// so the caller keeps the prefix and truncates the rest. An
+// undecodable frame that is NOT the file's final frame cannot be a
+// torn write: valid frames follow it, so the bytes were once whole and
+// have since rotted. That is surfaced as an error (wrapping
+// errCorruptFrame) instead of silently dropping every record after it.
 func readAll(data []byte, apply func(Record) error) (count int, validLen int, err error) {
 	off := 0
 	for off < len(data) {
 		rec, n, derr := decodeRecord(data[off:])
 		if derr != nil {
-			return count, off, nil // torn/corrupt tail: keep the prefix
+			if isTornTail(data, off) {
+				return count, off, nil // keep the prefix, truncate the tail
+			}
+			// Intact frames follow the failure, so whatever derr says
+			// (CRC mismatch, garbled length, bad op) this is corruption.
+			return count, off, fmt.Errorf("%w at offset %d of %d", errCorruptFrame, off, len(data))
 		}
 		if aerr := apply(rec); aerr != nil {
 			return count, off, aerr
@@ -192,6 +201,28 @@ func readAll(data []byte, apply func(Record) error) (count int, validLen int, er
 		count++
 	}
 	return count, off, nil
+}
+
+// isTornTail reports whether the undecodable frame at off is a
+// plausible torn tail rather than mid-file corruption. A crash
+// mid-append tears only the physical end of the log, so the
+// discriminator is whether anything intact follows the bad bytes: if
+// a CRC-verified frame decodes at any later offset, the region was
+// necessarily whole once and has since rotted — that is corruption
+// and the caller must not silently drop the records after it. If
+// nothing decodes after off, the bad bytes are the tail (whatever a
+// partial write left of the final frame — short payload, garbled
+// length field, torn CRC) and the prefix is the recovered state. The
+// odds of garbage passing the CRC check are ~2⁻³², so a false
+// corruption verdict is negligible, and a false torn-tail verdict
+// would at worst drop bytes that no longer frame any record.
+func isTornTail(data []byte, off int) bool {
+	for cand := off + 1; cand+frameHeaderLen <= len(data); cand++ {
+		if _, _, err := decodeRecord(data[cand:]); err == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // writeFrames encodes records through emit into w (snapshot writing).

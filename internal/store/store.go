@@ -78,7 +78,8 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 // Config parameterizes Open.
 type Config struct {
 	// Dir is the data directory (created if absent). One store owns the
-	// directory exclusively.
+	// directory exclusively; Open enforces this with an advisory lock
+	// on the WAL file and fails fast on a second opener.
 	Dir string
 	// Fsync is the WAL fsync policy (default FsyncInterval).
 	Fsync FsyncPolicy
@@ -145,7 +146,14 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 
 // Open creates or reopens the store rooted at cfg.Dir. A reopened
 // store scans the WAL for a torn tail (a crash mid-append) and
-// truncates it, so subsequent appends never follow garbage.
+// truncates it, so subsequent appends never follow garbage; a corrupt
+// frame anywhere before the tail fails Open instead of silently
+// recovering partial state. The WAL file carries an advisory lock for
+// the store's lifetime, so a second opener of the same directory — a
+// concurrent process or a second Server in this one — fails fast
+// instead of interleaving appends into the same log. The lock dies
+// with the process (flock semantics), so a SIGKILLed node restarts
+// without stale-lockfile cleanup.
 func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("store: Config.Dir is required")
@@ -160,22 +168,39 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	walPath := filepath.Join(cfg.Dir, walName)
-	// Truncate any torn tail before positioning the writer at the end.
-	if data, err := os.ReadFile(walPath); err == nil {
-		if _, validLen, _ := readAll(data, func(Record) error { return nil }); validLen < len(data) {
-			if err := os.Truncate(walPath, int64(validLen)); err != nil {
-				return nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
-			}
-		}
-	}
 	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open WAL: %w", err)
 	}
+	if err := lockFile(wal); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another store: %w", cfg.Dir, err)
+	}
+	// Scan the surviving log: truncate a torn tail before positioning
+	// the writer at the end, and count the tail's records so the
+	// compaction threshold keeps accounting for appends across restarts
+	// (otherwise a node that restarts faster than it fills SnapshotEvery
+	// fresh appends never compacts and the WAL grows without bound).
+	tailRecords := 0
+	if data, err := os.ReadFile(walPath); err == nil {
+		n, validLen, rerr := readAll(data, func(Record) error { return nil })
+		if rerr != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: WAL %s: %w", walPath, rerr)
+		}
+		if validLen < len(data) {
+			if err := os.Truncate(walPath, int64(validLen)); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+			}
+		}
+		tailRecords = n
+	}
 	s := &Store{
-		cfg: cfg,
-		wal: wal,
-		met: newStoreMetrics(cfg.Telemetry),
+		cfg:     cfg,
+		wal:     wal,
+		appends: tailRecords,
+		met:     newStoreMetrics(cfg.Telemetry),
 	}
 	if cfg.Fsync == FsyncInterval {
 		s.stopFlush = make(chan struct{})
@@ -289,7 +314,11 @@ func (s *Store) Sync() error {
 // Recover replays the durable state into apply: first every snapshot
 // record, then every surviving WAL record, in order. It flushes the
 // append buffer first so in-process recovery sees all prior appends.
-// The replayed count is returned and added to
+// A torn WAL tail is skipped (the surviving prefix is the recovered
+// state); a corrupt frame anywhere else — including any malformed
+// snapshot frame, since the snapshot was fsynced whole before its
+// rename and admits no torn tail — is an error, never a silent
+// partial recovery. The replayed count is returned and added to
 // store_recovery_replayed_total.
 func (s *Store) Recover(apply func(Record) error) (int, error) {
 	s.mu.Lock()
@@ -299,10 +328,13 @@ func (s *Store) Recover(apply func(Record) error) (int, error) {
 	}
 	total := 0
 	if data, err := os.ReadFile(filepath.Join(s.cfg.Dir, snapName)); err == nil {
-		n, _, aerr := readAll(data, apply)
+		n, validLen, aerr := readAll(data, apply)
 		total += n
 		if aerr != nil {
 			return total, fmt.Errorf("store: snapshot replay: %w", aerr)
+		}
+		if validLen < len(data) {
+			return total, fmt.Errorf("store: snapshot truncated at offset %d of %d", validLen, len(data))
 		}
 	} else if !os.IsNotExist(err) {
 		return 0, fmt.Errorf("store: read snapshot: %w", err)

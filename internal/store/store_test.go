@@ -306,10 +306,12 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 	}
 }
 
-func TestCorruptMiddleStopsReplayAtPrefix(t *testing.T) {
-	dir := t.TempDir()
+// writeWAL populates a fresh store with n insert records and returns
+// the WAL bytes for corruption experiments.
+func writeWAL(t *testing.T, dir string, n int) []byte {
+	t.Helper()
 	s := openTest(t, dir, Config{Fsync: FsyncOff})
-	for i := 0; i < 10; i++ {
+	for i := 0; i < n; i++ {
 		if _, err := s.Append(rec(OpInsert, 1, "k", fmt.Sprintf("o%d", i))); err != nil {
 			t.Fatal(err)
 		}
@@ -317,24 +319,130 @@ func TestCorruptMiddleStopsReplayAtPrefix(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, walName)
-	data, err := os.ReadFile(walPath)
+	data, err := os.ReadFile(filepath.Join(dir, walName))
 	if err != nil {
 		t.Fatal(err)
 	}
+	return data
+}
+
+// TestCorruptMiddleFailsOpen: a CRC failure with valid frames after it
+// cannot be a torn tail — the bytes were whole once and have rotted.
+// That must surface as an error, not silently drop every record after
+// the bad frame.
+func TestCorruptMiddleFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	data := writeWAL(t, dir, 10)
 	data[len(data)/2] ^= 0xff // flip one bit mid-log
+	walPath := filepath.Join(dir, walName)
 	if err := os.WriteFile(walPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s2 := openTest(t, dir, Config{})
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a WAL with a corrupt middle frame")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Open error %q does not identify the corruption", err)
+	}
+}
+
+// TestCorruptFinalFrameIsTornTail: a CRC failure in the file's last
+// frame is indistinguishable from a torn sector write (header landed,
+// payload did not), so it is treated like a short tail: truncated,
+// with everything before it recovered.
+func TestCorruptFinalFrameIsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	data := writeWAL(t, dir, 5)
+	data[len(data)-1] ^= 0xff // corrupt the final frame's payload
+	walPath := filepath.Join(dir, walName)
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, dir, Config{})
 	got := tableModel{}
-	n, err := s2.Recover(got.apply)
+	n, err := s.Recover(got.apply)
+	if err != nil || n != 4 {
+		t.Fatalf("Recover = (%d, %v), want the 4 whole frames", n, err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() >= int64(len(data)) {
+		t.Fatalf("corrupt tail frame not truncated: size %d of %d", fi.Size(), len(data))
+	}
+}
+
+// TestCorruptSnapshotFailsRecovery: the snapshot is fsynced whole
+// before its rename, so it admits no torn tail — any malformed frame,
+// truncated or corrupt, must fail recovery rather than silently load
+// a partial table.
+func TestCorruptSnapshotFailsRecovery(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"corrupt":   func(b []byte) []byte { b[len(b)/2] ^= 0xff; return b },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			var snap []byte
+			for i := 0; i < 6; i++ {
+				snap = appendRecord(snap, rec(OpInsert, 2, "k", fmt.Sprintf("o%d", i)))
+			}
+			if err := os.WriteFile(filepath.Join(dir, snapName), mangle(snap), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := openTest(t, dir, Config{})
+			if _, err := s.Recover(tableModel{}.apply); err == nil {
+				t.Fatal("Recover accepted a malformed snapshot")
+			}
+		})
+	}
+}
+
+// TestRestartSeedsCompactionCounter: the appends-since-snapshot
+// counter must survive restarts by seeding from the recovered WAL
+// tail, or a node that restarts before filling SnapshotEvery fresh
+// appends never compacts and the WAL grows without bound.
+func TestRestartSeedsCompactionCounter(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{Fsync: FsyncOff, SnapshotEvery: 10})
+	for i := 0; i < 6; i++ {
+		if due, err := s.Append(rec(OpInsert, 1, "k", fmt.Sprintf("o%d", i))); err != nil || due {
+			t.Fatalf("append %d: (%v, %v)", i, due, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, Config{Fsync: FsyncOff, SnapshotEvery: 10})
+	for i := 6; i < 9; i++ {
+		if due, err := s2.Append(rec(OpInsert, 1, "k", fmt.Sprintf("o%d", i))); err != nil || due {
+			t.Fatalf("append %d after restart: (%v, %v)", i, due, err)
+		}
+	}
+	due, err := s2.Append(rec(OpInsert, 1, "k", "o9"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n >= 10 || n != len(got) {
-		t.Fatalf("corrupt-middle replay = %d records, state %d; want a strict prefix", n, len(got))
+	if !due {
+		t.Fatal("10th lifetime append not due for compaction: recovered tail not counted")
 	}
+}
+
+// TestOpenLocksDataDir: two stores over one directory would interleave
+// appends into the same WAL; the second opener must fail fast instead.
+func TestOpenLocksDataDir(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	if second, err := Open(Config{Dir: dir}); err == nil {
+		second.Close()
+		t.Fatal("second Open of a locked data dir succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the owning descriptor: reopening after Close
+	// (or a crash) needs no stale-lock cleanup.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Close()
 }
 
 func TestFsyncPolicyParsingAndTelemetry(t *testing.T) {
