@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke crash-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke figures fmt vet clean ci chaos
 
 all: build test
 
 # Full verification gate: static checks, build, the race-enabled test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
-# suite, the SIGKILL crash-recovery smoke, and a single-iteration
-# benchmark smoke pass.
-ci: vet build race chaos crash-smoke bench-smoke
+# suite, the SIGKILL crash-recovery smoke, the open-loop load-rig
+# smoke, and a single-iteration benchmark smoke pass.
+ci: vet build race chaos crash-smoke load-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
@@ -25,6 +25,14 @@ bench-smoke:
 		| tee results/wal.txt
 	$(GO) test -run '^$$' -bench BenchmarkDurableIndexingOverhead -benchtime=1x ./internal/sim/ \
 		| tee -a results/wal.txt
+
+# Open-loop load-rig smoke: a short seeded ksload-style run against an
+# inmem fleet with admission control on, asserting the accounting
+# identities the BENCH files rely on (outcome buckets partition the
+# offered load; server-side admission decisions reconcile with the
+# rig's view) plus a BENCH file round trip.
+load-smoke:
+	$(GO) test -count=1 -run 'TestLoadSmoke' ./internal/load/
 
 # SIGKILL crash-recovery smoke: a child process publishes through a
 # durable fsync=always peer, is killed without any shutdown path, and

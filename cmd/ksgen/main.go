@@ -31,11 +31,12 @@ func run(args []string) error {
 	var (
 		sample    = fs.Bool("sample", false, "print a Table 1-style sample of records")
 		records   = fs.Bool("records", false, "stream all records as TSV")
-		querylog  = fs.Bool("querylog", false, "stream a query log as TSV")
+		querylog  = fs.Bool("querylog", false, "stream a replayable query log as TSV (ksload -log format)")
 		objects   = fs.Int("objects", corpus.DefaultObjects, "corpus size")
 		queries   = fs.Int("queries", 178000, "query log length")
 		templates = fs.Int("templates", 2000, "distinct query templates")
 		seed      = fs.Int64("seed", 1, "generation seed")
+		out       = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,7 +49,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(os.Stdout)
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	w := bufio.NewWriter(dst)
 	defer w.Flush()
 
 	if *sample {
@@ -73,8 +83,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		for _, q := range log.Queries() {
-			fmt.Fprintf(w, "%d\t%s\n", q.Template, strings.Join(q.Keywords.Words(), ","))
+		// The canonical replay format (corpus.WriteTSV): deterministic
+		// per seed, parseable back by corpus.ReadQueryLogTSV and ksload.
+		if err := log.WriteTSV(w); err != nil {
+			return err
 		}
 	}
 	return nil

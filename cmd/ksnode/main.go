@@ -55,6 +55,13 @@ func run(args []string) error {
 		dataDir     = fs.String("data-dir", "", "durable index state directory: WAL + snapshots, replayed on restart (empty = in-memory only)")
 		fsyncPolicy = fs.String("fsync", "interval", "WAL flush policy with -data-dir: always | interval | off")
 		snapEvery   = fs.Int("snapshot-every", 0, "compact the WAL into a snapshot after this many mutations (0 = default, negative = never)")
+
+		admissionOn  = fs.Bool("admission", false, "shed client-facing load beyond the bounds below with typed overload errors (Retry-After hints)")
+		maxInflight  = fs.Int("max-inflight", 64, "admission: concurrent client-facing requests served (requires -admission)")
+		maxQueue     = fs.Int("max-queue", 0, "admission: bounded wait queue beyond -max-inflight (0 = 2x max-inflight, -1 = none)")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission: longest a request may wait for a slot")
+		clientRate   = fs.Float64("client-rate", 0, "admission: per-client sustained request rate, req/s (0 = no fair queuing)")
+		clientBurst  = fs.Float64("client-burst", 0, "admission: per-client token-bucket burst (0 = rate/4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +100,16 @@ func run(args []string) error {
 	if !*batchWaves {
 		batch = keysearch.BatchOff
 	}
+	var adm *keysearch.AdmissionPolicy
+	if *admissionOn {
+		adm = &keysearch.AdmissionPolicy{
+			MaxInflight:    *maxInflight,
+			MaxQueue:       *maxQueue,
+			QueueTimeout:   *queueTimeout,
+			PerClientRate:  *clientRate,
+			PerClientBurst: *clientBurst,
+		}
+	}
 	peer, err := keysearch.NewPeer(transport, keysearch.Addr(*listen), keysearch.Config{
 		Dim:                 *dim,
 		CacheCapacity:       *cache,
@@ -105,6 +122,7 @@ func run(args []string) error {
 		DataDir:             *dataDir,
 		FsyncPolicy:         *fsyncPolicy,
 		SnapshotEvery:       *snapEvery,
+		Admission:           adm,
 	})
 	if err != nil {
 		return err

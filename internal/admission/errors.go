@@ -1,0 +1,106 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Shed reasons carried in Overload.Reason (and the reason label of
+// admission_shed_reason_total).
+const (
+	// ReasonQueueFull: the inflight limit and the wait queue were both
+	// full at arrival.
+	ReasonQueueFull = "queue-full"
+	// ReasonQueueTimeout: the request waited QueueTimeout without a
+	// slot freeing up.
+	ReasonQueueTimeout = "queue-timeout"
+	// ReasonDeadline: the request's own deadline was (or would have
+	// been) exceeded before a slot freed up.
+	ReasonDeadline = "deadline"
+	// ReasonClientRate: the client exceeded its fair per-client rate.
+	ReasonClientRate = "client-rate"
+	// ReasonCancelled: the caller's context was cancelled while queued
+	// (reported as ctx.Err(), not as an Overload).
+	ReasonCancelled = "cancelled"
+)
+
+// ErrOverload is the sentinel matched by errors.Is for in-process
+// Overload values. Across a transport hop use FromError/IsOverload
+// instead: both transports flatten handler errors to strings, so
+// errors.Is cannot see through them.
+var ErrOverload = errors.New(overloadMarker)
+
+// overloadMarker is the canonical prefix of every Overload error
+// string. FromError recovers the structured error by parsing it, so
+// Retry-After survives the transports' error stringification.
+const overloadMarker = "admission: overload"
+
+// retryAfterSep separates the reason from the Retry-After duration in
+// the canonical encoding.
+const retryAfterSep = ", retry after "
+
+// Overload reports that a request was shed by admission control. The
+// client should back off at least RetryAfter before retrying.
+type Overload struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// RetryAfter is the server's estimate of when capacity will be
+	// available again.
+	RetryAfter time.Duration
+}
+
+// Error renders the canonical, parseable encoding:
+//
+//	admission: overload (queue-full, retry after 50ms)
+//
+// The format is a wire contract: FromError parses it back out of
+// stringified transport errors. Change it only with the parser.
+func (e *Overload) Error() string {
+	return fmt.Sprintf("%s (%s%s%s)", overloadMarker, e.Reason, retryAfterSep, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverload) match in-process values.
+func (e *Overload) Is(target error) bool { return target == ErrOverload }
+
+// FromError recovers the structured Overload from err: by unwrapping
+// when the value survived in-process, or by parsing the canonical
+// encoding out of the error string when the value crossed a transport
+// (both inmem and tcpnet flatten handler errors to strings).
+func FromError(err error) (*Overload, bool) {
+	if err == nil {
+		return nil, false
+	}
+	var o *Overload
+	if errors.As(err, &o) {
+		return o, true
+	}
+	s := err.Error()
+	i := strings.Index(s, overloadMarker+" (")
+	if i < 0 {
+		return nil, false
+	}
+	rest := s[i+len(overloadMarker)+2:]
+	end := strings.Index(rest, ")")
+	if end < 0 {
+		return nil, false
+	}
+	rest = rest[:end]
+	sep := strings.Index(rest, retryAfterSep)
+	if sep < 0 {
+		return nil, false
+	}
+	d, perr := time.ParseDuration(rest[sep+len(retryAfterSep):])
+	if perr != nil {
+		return nil, false
+	}
+	return &Overload{Reason: rest[:sep], RetryAfter: d}, true
+}
+
+// IsOverload reports whether err is (or wraps, or stringifies) an
+// admission Overload.
+func IsOverload(err error) bool {
+	_, ok := FromError(err)
+	return ok
+}

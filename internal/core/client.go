@@ -17,6 +17,7 @@ type Client struct {
 	hasher   keyword.Hasher
 	resolver Resolver
 	sender   transport.Sender
+	clientID string
 }
 
 // DefaultInstance is the index-instance name used when none is given.
@@ -44,6 +45,13 @@ func NewInstanceClient(instance string, hasher keyword.Hasher, resolver Resolver
 
 // Instance returns the index-instance name this client addresses.
 func (c *Client) Instance() string { return c.instance }
+
+// SetClientID attaches a client identity to every subsequent request
+// from this client. Servers running with admission control use it as
+// the fair-queuing key (per-client token buckets); the empty default
+// is anonymous and bypasses fair queuing. Not safe for concurrent use
+// with in-flight requests — set it right after construction.
+func (c *Client) SetClientID(id string) { c.clientID = id }
 
 // Hasher returns the deployment hasher (shared with servers).
 func (c *Client) Hasher() keyword.Hasher { return c.hasher }
@@ -95,6 +103,7 @@ func (c *Client) Insert(ctx context.Context, obj Object) (Stats, error) {
 		Vertex:   uint64(v),
 		SetKey:   obj.Keywords.Key(),
 		ObjectID: obj.ID,
+		ClientID: c.clientID,
 	})
 	if err != nil {
 		return Stats{}, fmt.Errorf("insert %q: %w", obj.ID, err)
@@ -114,6 +123,7 @@ func (c *Client) Delete(ctx context.Context, obj Object) (bool, Stats, error) {
 		Vertex:   uint64(v),
 		SetKey:   obj.Keywords.Key(),
 		ObjectID: obj.ID,
+		ClientID: c.clientID,
 	})
 	if err != nil {
 		return false, Stats{}, fmt.Errorf("delete %q: %w", obj.ID, err)
@@ -132,7 +142,7 @@ func (c *Client) PinSearch(ctx context.Context, k keyword.Set) ([]string, Stats,
 		return nil, Stats{}, ErrEmptyQuery
 	}
 	v := c.hasher.Vertex(k)
-	raw, err := c.send(ctx, v, msgPinQuery{Instance: c.instance, Vertex: uint64(v), SetKey: k.Key()})
+	raw, err := c.send(ctx, v, msgPinQuery{Instance: c.instance, Vertex: uint64(v), SetKey: k.Key(), ClientID: c.clientID})
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("pin search %v: %w", k, err)
 	}
@@ -161,8 +171,12 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 		return Result{}, fmt.Errorf("core: threshold %d must be positive", threshold)
 	}
 	opts = opts.withDefaults()
+	clientID := opts.ClientID
+	if clientID == "" {
+		clientID = c.clientID
+	}
 	v := c.hasher.Vertex(k)
-	raw, err := c.send(ctx, v, msgTQuery{
+	msg := msgTQuery{
 		Instance:   c.instance,
 		Dim:        c.hasher.Dim(),
 		Vertex:     uint64(v),
@@ -173,7 +187,12 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 		SessionID:  sessionID,
 		NoCache:    opts.NoCache,
 		WantTrace:  opts.Trace,
-	})
+		ClientID:   clientID,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		msg.DeadlineUnixNano = dl.UnixNano()
+	}
+	raw, err := c.send(ctx, v, msg)
 	if err != nil {
 		return Result{}, fmt.Errorf("superset search %v: %w", k, err)
 	}

@@ -8,12 +8,16 @@ import (
 // the messages are gob-friendly.
 type (
 	// msgInsertEntry places an index entry ⟨K_σ, σ⟩ at the logical
-	// vertex responsible for K_σ within one index instance.
+	// vertex responsible for K_σ within one index instance. ClientID
+	// (optional, on every client-facing message) identifies the
+	// originating client to the receiver's admission controller for
+	// fair queuing; empty means anonymous/internal traffic.
 	msgInsertEntry struct {
 		Instance string
 		Vertex   uint64
 		SetKey   string
 		ObjectID string
+		ClientID string
 	}
 
 	// msgDeleteEntry removes an index entry.
@@ -22,6 +26,7 @@ type (
 		Vertex   uint64
 		SetKey   string
 		ObjectID string
+		ClientID string
 	}
 	respDeleteEntry struct{ Found bool }
 
@@ -31,6 +36,7 @@ type (
 		Instance string
 		Vertex   uint64
 		SetKey   string
+		ClientID string
 	}
 	respPinQuery struct{ ObjectIDs []string }
 
@@ -50,6 +56,14 @@ type (
 		SessionID  uint64
 		NoCache    bool
 		WantTrace  bool
+		ClientID   string
+		// DeadlineUnixNano carries the initiator's context deadline to
+		// the root (0 = none). TCP handlers run under the listener's
+		// context, which knows nothing of the caller's deadline; the
+		// root re-derives a deadline-bearing context from this field so
+		// admission can shed doomed requests and an expired traversal
+		// abandons its remaining waves.
+		DeadlineUnixNano int64
 	}
 	respTQuery struct {
 		Matches     []Match
@@ -109,6 +123,11 @@ type (
 		QueryKey string
 		Limit    int
 		Units    []wireUnit
+		// DeadlineUnixNano propagates the search deadline into the
+		// frame (0 = none): a receiver whose transport context carries
+		// no deadline (tcpnet) still stops scanning units once the
+		// root's search has expired.
+		DeadlineUnixNano int64
 	}
 
 	// wireUnit is one logical sub-query inside a batch.

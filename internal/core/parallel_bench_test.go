@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"strconv"
@@ -71,7 +72,7 @@ func runBatchPass(srv *Server, frames []msgSubQueryBatch) ([]respSubQueryBatch, 
 	out := make([]respSubQueryBatch, len(frames))
 	start := time.Now()
 	for i := range frames {
-		out[i] = srv.subQueryBatch(frames[i])
+		out[i] = srv.subQueryBatch(context.Background(), frames[i])
 	}
 	return out, time.Since(start)
 }

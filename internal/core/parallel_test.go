@@ -108,7 +108,7 @@ func TestShardTelemetryExposition(t *testing.T) {
 		srv.insertEntry(DefaultInstance, hypercube.Vertex(i%64),
 			keyword.NewSet("hub", "w"+strconv.Itoa(i)).Key(), "o-"+strconv.Itoa(i))
 	}
-	srv.subQueryBatch(msgSubQueryBatch{
+	srv.subQueryBatch(context.Background(), msgSubQueryBatch{
 		Instance: DefaultInstance,
 		QueryKey: keyword.NewSet("hub").Key(),
 		Limit:    -1,
@@ -198,7 +198,7 @@ func TestServerConcurrencyHammer(t *testing.T) {
 	}
 	for w := 0; w < 4; w++ {
 		worker(func(int) { // batch scanner
-			resp := srv.subQueryBatch(frame)
+			resp := srv.subQueryBatch(context.Background(), frame)
 			if len(resp.Results) != len(frame.Units) {
 				t.Errorf("batch returned %d results for %d units", len(resp.Results), len(frame.Units))
 			}

@@ -21,6 +21,11 @@ const (
 	// the receiving peer no longer owns; the root retries that unit on
 	// the per-message path, which heals stale resolver bindings.
 	errCodeNotOwner
+	// errCodeCancelled flags a batch unit the receiver skipped because
+	// the search's deadline had already expired when its turn came. The
+	// root must NOT retry such units per-message — the whole search is
+	// being abandoned.
+	errCodeCancelled
 )
 
 // maxBottomUpFree bounds the free dimensions of a bottom-up traversal:
@@ -127,6 +132,14 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 	} else {
 		collected, nodes, msgs, failed, frames = s.traverseSequential(ctx, sess, rootV, msg.Threshold, trace)
 		rounds = nodes
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled or deadline-expired mid-traversal: the partial result
+		// set is not a correct answer at any threshold, so the search is
+		// abandoned outright — no caching, no session retention — and the
+		// initiator sees the context error.
+		s.met.searchAbandoned.Inc()
+		return respTQuery{}, fmt.Errorf("core: search abandoned: %w", err)
 	}
 	exhausted := len(sess.work) == 0
 
@@ -326,7 +339,7 @@ func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hyp
 // regenerable locally — and counted in failed.
 func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, frames int) {
 	need := threshold
-	for len(sess.work) > 0 && need > 0 {
+	for len(sess.work) > 0 && need > 0 && ctx.Err() == nil {
 		u := sess.work[0]
 		sess.work = sess.work[1:]
 		res := s.visit(ctx, sess, u, rootV, need)
@@ -382,7 +395,7 @@ func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hy
 func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hypercube.Vertex, threshold int, trace *[]TraceStep) (collected []Match, nodes, msgs, failed, rounds, frames int) {
 	batch := s.cfg.BatchWaves == BatchOn
 	need := threshold
-	for len(sess.work) > 0 && need > 0 {
+	for len(sess.work) > 0 && need > 0 && ctx.Err() == nil {
 		rounds++
 		wave := sess.work
 		sess.work = nil
@@ -629,10 +642,21 @@ func (s *Server) sendBatch(ctx context.Context, sess *session, addr transport.Ad
 		Limit:    limit,
 		Units:    units,
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		msg.DeadlineUnixNano = dl.UnixNano()
+	}
 	s.met.batchSize.Observe(int64(len(units)))
 	raw, err := s.cfg.Sender.Send(ctx, addr, msg)
 	resp, shapeOK := raw.(respSubQueryBatch)
 	if err != nil || !shapeOK || len(resp.Results) != len(idx) {
+		if cerr := ctx.Err(); cerr != nil {
+			// The search itself is dead; per-unit retries would only
+			// spray doomed frames at an already loaded peer.
+			for _, i := range idx {
+				results[i] = visitResult{remote: true, err: cerr}
+			}
+			return 1
+		}
 		// The whole frame failed (peer down, partitioned, or answered
 		// nonsense): every unit retries individually, which reproduces
 		// the unbatched failure accounting exactly.
@@ -644,6 +668,14 @@ func (s *Server) sendBatch(ctx context.Context, sess *session, addr transport.Ad
 	s.met.coalesced.Add(uint64(len(units) - 1))
 	for j, i := range idx {
 		r := resp.Results[j]
+		if r.ErrCode == errCodeCancelled {
+			cerr := ctx.Err()
+			if cerr == nil {
+				cerr = context.DeadlineExceeded
+			}
+			results[i] = visitResult{remote: true, err: cerr}
+			continue
+		}
 		if r.ErrCode != 0 {
 			results[i] = s.visit(ctx, sess, wave[i], rootV, limit)
 			continue

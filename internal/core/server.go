@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/p2pkeyword/keysearch/internal/admission"
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
@@ -86,6 +87,16 @@ type ServerConfig struct {
 	// SnapshotEvery compacts the WAL into a snapshot after this many
 	// appends (0 = store default, negative disables compaction).
 	SnapshotEvery int
+	// Admission, when non-nil, gates every client-facing operation
+	// this server receives (searches, pin queries, inserts, deletes)
+	// through an admission controller with the given policy: bounded
+	// inflight, a bounded deadline-aware wait queue, and per-client
+	// fair queuing. Shed requests fail fast with an
+	// admission.Overload carrying a Retry-After hint. Interior wave
+	// traffic (sub-queries, batches, bulk transfers, handoffs) is
+	// never gated — shedding mid-wave would waste work the root
+	// already paid for. Nil disables admission control entirely.
+	Admission *admission.Policy
 	// Owner, when set, validates that this node currently owns a DHT
 	// key before serving requests for it. Requests for keys the node
 	// no longer owns (its range was taken over by a joiner) are
@@ -145,6 +156,9 @@ type Server struct {
 	cfg  ServerConfig
 	cube hypercube.Cube
 	met  serverMetrics
+	// adm gates client-facing requests; nil (admission disabled) makes
+	// every Acquire a no-op.
+	adm *admission.Controller
 
 	// searchSeq numbers the superset searches this server roots; it
 	// drives the 1-in-spanStepSampleEvery sampling of per-vertex span
@@ -273,6 +287,8 @@ type serverMetrics struct {
 
 	shardLockWait *telemetry.Histogram // core_server_shard_lock_wait_ns
 	scanParUnits  *telemetry.Counter   // core_scan_parallel_units_total
+
+	searchAbandoned *telemetry.Counter // core_search_abandoned_total
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -301,6 +317,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		// ~256ns to ~17ms in powers of 4.
 		shardLockWait: reg.Histogram("core_server_shard_lock_wait_ns", telemetry.ExpBuckets(256, 4, 9)),
 		scanParUnits:  reg.Counter("core_scan_parallel_units_total"),
+
+		searchAbandoned: reg.Counter("core_search_abandoned_total"),
 	}
 }
 
@@ -384,6 +402,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cache:    newFIFOCache(cfg.CacheCapacity),
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
+	if cfg.Admission != nil {
+		s.adm = admission.New(*cfg.Admission, cfg.Telemetry)
+	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(store.Config{
 			Dir:           cfg.DataDir,
@@ -431,10 +452,54 @@ func (s *Server) owns(instance string, v hypercube.Vertex) bool {
 	return s.cfg.Owner(VertexKey(instance, v))
 }
 
+// gateInfo classifies client-facing bodies for admission control: the
+// messages a client (not another index server mid-traversal) sends.
+// The from address is useless for identity — inmem sends pass an empty
+// origin and tcpnet requests carry none — so the client ID rides in
+// the message itself.
+func gateInfo(body any) (clientID string, deadlineUnixNano int64, gated bool) {
+	switch m := body.(type) {
+	case msgTQuery:
+		return m.ClientID, m.DeadlineUnixNano, true
+	case msgPinQuery:
+		return m.ClientID, 0, true
+	case msgInsertEntry:
+		return m.ClientID, 0, true
+	case msgDeleteEntry:
+		return m.ClientID, 0, true
+	}
+	return "", 0, false
+}
+
 // Handler processes index-protocol messages. Unknown message types
 // yield ErrUnhandledMessage so the endpoint can be muxed with other
-// layers (e.g. Chord).
+// layers (e.g. Chord). Client-facing operations pass through the
+// admission controller (when configured) and pick up the deadline the
+// message carries; interior wave traffic is never gated.
 func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (any, error) {
+	clientID, deadlineNS, gated := gateInfo(body)
+	if gated {
+		// The wire deadline is applied before admission so queue waits
+		// are deadline-aware even over tcpnet, whose handler context
+		// carries none.
+		if deadlineNS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, deadlineNS))
+			defer cancel()
+		}
+		if s.adm != nil {
+			release, err := s.adm.Acquire(ctx, clientID)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
+	}
+	return s.handle(ctx, from, body)
+}
+
+// handle dispatches one admitted (or ungated) message.
+func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any, error) {
 	switch msg := body.(type) {
 	case msgInsertEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
@@ -473,7 +538,7 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 		// vertices, and the root falls back to per-vertex sends for
 		// exactly those.
 		s.met.opSubBatch.Inc()
-		return s.subQueryBatch(msg), nil
+		return s.subQueryBatch(ctx, msg), nil
 	case msgBulkInsert:
 		s.met.opBulk.Inc()
 		for _, e := range msg.Entries {
@@ -728,7 +793,15 @@ func (s *Server) subQuery(msg msgSubQuery) respSubQuery {
 // order, per-unit outcomes and the root's accounting byte-identical to
 // the sequential path. SBT child lists are pure geometry and are
 // computed outside any lock.
-func (s *Server) subQueryBatch(msg msgSubQueryBatch) respSubQueryBatch {
+func (s *Server) subQueryBatch(ctx context.Context, msg msgSubQueryBatch) respSubQueryBatch {
+	if msg.DeadlineUnixNano > 0 {
+		// tcpnet handler contexts carry no request deadline; re-derive
+		// it from the frame so an expired search stops burning scan
+		// workers here too.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, msg.DeadlineUnixNano))
+		defer cancel()
+	}
 	query := keyword.ParseKey(msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
 	results := make([]respSubUnit, len(msg.Units))
@@ -742,6 +815,13 @@ func (s *Server) subQueryBatch(msg msgSubQueryBatch) respSubQueryBatch {
 	}
 
 	scan := func(i int) {
+		// A cancelled search abandons its remaining units: the root is
+		// failing the whole search, so partially scanned frames cost
+		// nothing extra, and the scan pool frees up for live queries.
+		if ctx.Err() != nil {
+			results[i] = respSubUnit{ErrCode: errCodeCancelled}
+			return
+		}
 		u := msg.Units[i]
 		matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(u.Vertex), root, query, u.Skip, msg.Limit)
 		results[i] = respSubUnit{Matches: matches, Remaining: remaining}

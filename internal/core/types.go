@@ -124,6 +124,11 @@ type SearchOptions struct {
 	// Trace asks the root to record per-node visit outcomes in
 	// Result.Trace (costs bandwidth proportional to nodes contacted).
 	Trace bool
+	// ClientID identifies the initiating client to the root's admission
+	// controller for per-client fair queuing. It overrides the client's
+	// SetClientID identity for this search; empty means anonymous (no
+	// fair-queuing bucket).
+	ClientID string
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// WriteTSV serializes the query log as one line per query:
+//
+//	<template-rank>\t<keyword> <keyword> ...\n
+//
+// in arrival order. The format is deterministic — the same log always
+// produces byte-identical output — so exported logs can be diffed,
+// checksummed, and replayed by ksload across processes and machines.
+func (l *QueryLog) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range l.queries {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", q.Template, strings.Join(q.Keywords.Words(), " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadQueryLogTSV parses a WriteTSV export back into replayable
+// queries. Only the arrival sequence is recovered — template sets and
+// ground-truth result sizes stay with the generating corpus — which is
+// exactly what an open-loop replay needs.
+func ReadQueryLogTSV(r io.Reader) ([]Query, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var queries []Query
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rank, words, ok := strings.Cut(text, "\t")
+		if !ok {
+			return nil, fmt.Errorf("corpus: query log line %d: missing tab separator", line)
+		}
+		tmpl, err := strconv.Atoi(rank)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: query log line %d: bad template rank %q", line, rank)
+		}
+		set := keyword.NewSet(strings.Fields(words)...)
+		if set.IsEmpty() {
+			return nil, fmt.Errorf("corpus: query log line %d: empty keyword set", line)
+		}
+		queries = append(queries, Query{Keywords: set, Template: tmpl})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return queries, nil
+}

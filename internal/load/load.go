@@ -1,0 +1,252 @@
+// Package load is an open-loop load rig for keysearch deployments: it
+// replays a query log at a configured arrival rate — independent of
+// how fast the system answers, the way a population of a million
+// independent users would — and accounts latency against each
+// request's *intended* start time, so queueing delay the system causes
+// is charged to the system rather than silently absorbed by a stalled
+// closed-loop driver (the coordinated-omission trap).
+//
+// The rig is transport-agnostic: Run drives any func(ctx, Query) error
+// and classifies outcomes into goodput, shed (typed overload errors
+// from admission control), deadline timeouts, and other errors.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/admission"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+)
+
+// Arrival process names for Config.Arrival.
+const (
+	// ArrivalPoisson spaces requests by exponentially distributed
+	// gaps (a memoryless open-loop population, the default).
+	ArrivalPoisson = "poisson"
+	// ArrivalFixed spaces requests by exactly 1/Rate.
+	ArrivalFixed = "fixed"
+)
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Rate is the offered arrival rate in requests/second (required).
+	Rate float64
+	// Duration is the offered-load window; arrivals are scheduled over
+	// [0, Duration) (required).
+	Duration time.Duration
+	// Arrival selects the arrival process (default ArrivalPoisson).
+	Arrival string
+	// Seed drives the arrival process and query-log phase (Poisson gaps
+	// are deterministic given Seed).
+	Seed int64
+	// Timeout is the per-request deadline (0 = none). It bounds how
+	// long a request may wait in server queues before the rig counts it
+	// against the SLO.
+	Timeout time.Duration
+	// MaxOutstanding caps concurrently outstanding requests; arrivals
+	// beyond the cap are dropped by the rig itself and counted in
+	// Report.RigDropped rather than silently deferred (which would
+	// re-introduce coordinated omission). Default 16384.
+	MaxOutstanding int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 16384
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("load: rate %v must be positive", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("load: duration %v must be positive", c.Duration)
+	}
+	if c.Arrival != ArrivalPoisson && c.Arrival != ArrivalFixed {
+		return fmt.Errorf("load: unknown arrival process %q", c.Arrival)
+	}
+	return nil
+}
+
+// Schedule returns the deterministic arrival offsets of a run: the
+// intended start time of request i relative to the run start. It is
+// exported so replay comparability is testable — the same Config must
+// always produce the same schedule.
+func Schedule(cfg Config) ([]time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gapMean := float64(time.Second) / cfg.Rate
+	n := int(float64(cfg.Duration) / gapMean)
+	offsets := make([]time.Duration, 0, n+16)
+	switch cfg.Arrival {
+	case ArrivalFixed:
+		for off := time.Duration(0); off < cfg.Duration; off += time.Duration(gapMean) {
+			offsets = append(offsets, off)
+		}
+	case ArrivalPoisson:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		off := time.Duration(0)
+		for off < cfg.Duration {
+			offsets = append(offsets, off)
+			off += time.Duration(rng.ExpFloat64() * gapMean)
+		}
+	}
+	return offsets, nil
+}
+
+// Report is the outcome of one open-loop run. Offered always equals
+// OK + Shed + Timeouts + Errors + RigDropped.
+type Report struct {
+	Offered    uint64 `json:"offered"`
+	OK         uint64 `json:"ok"`
+	Shed       uint64 `json:"shed"`     // typed overload errors (admission control)
+	Timeouts   uint64 `json:"timeouts"` // per-request deadline exceeded
+	Errors     uint64 `json:"errors"`   // anything else
+	RigDropped uint64 `json:"rig_dropped"`
+
+	// Elapsed is wall time from the first intended arrival to the last
+	// completion.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// OfferedQPS and GoodputQPS are Offered/Elapsed and OK/Elapsed.
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	// ShedRate is Shed/Offered.
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency summarizes successful requests, measured from each
+	// request's intended start time (coordinated-omission safe).
+	Latency LatencySummary `json:"latency"`
+	// RetryAfterMeanNS is the mean server Retry-After hint across shed
+	// requests (0 when nothing was shed).
+	RetryAfterMeanNS int64 `json:"retry_after_mean_ns"`
+}
+
+// LatencySummary holds exact (sample-sorted, not bucketed) quantiles
+// in nanoseconds over the successful requests of a run.
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	P999  int64  `json:"p999"`
+	Max   int64  `json:"max"`
+	Mean  int64  `json:"mean"`
+}
+
+// Run replays queries open-loop through do. Request i issues the
+// (i mod len(queries))-th query at its scheduled offset; do's error
+// return classifies the outcome. ctx cancellation stops launching new
+// arrivals (already-launched requests finish) and is not an error.
+func Run(ctx context.Context, cfg Config, queries []corpus.Query, do func(context.Context, corpus.Query) error) (Report, error) {
+	cfg = cfg.withDefaults()
+	if len(queries) == 0 {
+		return Report{}, fmt.Errorf("load: empty query log")
+	}
+	offsets, err := Schedule(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	rec := newRecorder(len(offsets))
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+launch:
+	for i, off := range offsets {
+		intended := start.Add(off)
+		if wait := time.Until(intended); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break launch
+			}
+		} else if ctx.Err() != nil {
+			break launch
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			rec.rigDrop()
+			continue
+		}
+		q := queries[i%len(queries)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			reqCtx := ctx
+			if cfg.Timeout > 0 {
+				var cancel context.CancelFunc
+				reqCtx, cancel = context.WithDeadline(context.Background(), intended.Add(cfg.Timeout))
+				defer cancel()
+			}
+			err := do(reqCtx, q)
+			// Intended-start accounting: a request the fleet parked in a
+			// queue for 300ms is a 300ms+ request even if the RPC itself
+			// was fast once admitted.
+			rec.record(time.Since(intended), err)
+		}()
+	}
+	wg.Wait()
+	return rec.report(time.Since(start)), nil
+}
+
+// Classify maps one request error to its Report bucket. Exposed for
+// drivers that want consistent accounting outside Run.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case admission.IsOverload(err):
+		return "shed"
+	case isDeadline(err):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// isDeadline matches deadline expiry both in-process (errors.Is) and
+// after crossing a transport boundary, where typed errors flatten to
+// strings.
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		(err != nil && strings.Contains(err.Error(), context.DeadlineExceeded.Error()))
+}
+
+// quantileExact returns the q-quantile of sorted (ascending) samples
+// by the nearest-rank method.
+func quantileExact(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

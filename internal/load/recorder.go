@@ -1,0 +1,95 @@
+package load
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/admission"
+)
+
+// recorder accumulates per-request outcomes of one run. Counts are
+// kept per class; raw latency samples are kept only for successful
+// requests, which is what the SLO quantiles are defined over.
+type recorder struct {
+	mu         sync.Mutex
+	ok         []int64 // successful-request latencies, ns, intended-start based
+	shed       uint64
+	timeouts   uint64
+	errors     uint64
+	rigDropped uint64
+	retrySumNS int64
+	retryCount int64
+}
+
+func newRecorder(capHint int) *recorder {
+	return &recorder{ok: make([]int64, 0, capHint)}
+}
+
+func (r *recorder) record(latency time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch Classify(err) {
+	case "ok":
+		r.ok = append(r.ok, latency.Nanoseconds())
+	case "shed":
+		r.shed++
+		if o, ok := admission.FromError(err); ok {
+			r.retrySumNS += o.RetryAfter.Nanoseconds()
+			r.retryCount++
+		}
+	case "timeout":
+		r.timeouts++
+	default:
+		r.errors++
+	}
+}
+
+func (r *recorder) rigDrop() {
+	r.mu.Lock()
+	r.rigDropped++
+	r.mu.Unlock()
+}
+
+func (r *recorder) report(elapsed time.Duration) Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		OK:         uint64(len(r.ok)),
+		Shed:       r.shed,
+		Timeouts:   r.timeouts,
+		Errors:     r.errors,
+		RigDropped: r.rigDropped,
+		Elapsed:    elapsed,
+	}
+	rep.Offered = rep.OK + rep.Shed + rep.Timeouts + rep.Errors + rep.RigDropped
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.OfferedQPS = float64(rep.Offered) / sec
+		rep.GoodputQPS = float64(rep.OK) / sec
+	}
+	if rep.Offered > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Offered)
+	}
+	if r.retryCount > 0 {
+		rep.RetryAfterMeanNS = r.retrySumNS / r.retryCount
+	}
+	if n := len(r.ok); n > 0 {
+		sorted := make([]int64, n)
+		copy(sorted, r.ok)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum int64
+		for _, v := range sorted {
+			sum += v
+		}
+		rep.Latency = LatencySummary{
+			Count: uint64(n),
+			P50:   quantileExact(sorted, 0.50),
+			P90:   quantileExact(sorted, 0.90),
+			P99:   quantileExact(sorted, 0.99),
+			P999:  quantileExact(sorted, 0.999),
+			Max:   sorted[n-1],
+			Mean:  sum / int64(n),
+		}
+	}
+	return rep
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"github.com/p2pkeyword/keysearch/internal/admission"
 	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
@@ -116,6 +117,11 @@ type DeployConfig struct {
 	// SnapshotEvery is the per-peer WAL compaction threshold
 	// (0 = library default, negative disables).
 	SnapshotEvery int
+	// Admission, when non-nil, installs a server-side admission
+	// controller with this policy on every peer of the fleet: bounded
+	// inflight client-facing requests, deadline-aware queue shedding,
+	// and per-client fair queuing. Nil (default) admits everything.
+	Admission *admission.Policy
 }
 
 // NewCustomDeployment builds an in-memory deployment from cfg.
@@ -169,6 +175,7 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 			DataDir:         dataDir,
 			Fsync:           cfg.Fsync,
 			SnapshotEvery:   cfg.SnapshotEvery,
+			Admission:       cfg.Admission,
 			Telemetry:       cfg.Telemetry,
 		})
 		if err != nil {

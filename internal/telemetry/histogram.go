@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -92,11 +93,18 @@ type Bucket struct {
 	Count      uint64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram.
+// HistogramSnapshot is a point-in-time copy of a histogram. P50/P90/
+// P99/P999 are bucket-interpolated quantile estimates (see Quantile) so
+// offline consumers (ksload, BENCH files) and /metrics report the same
+// tail numbers from the same data; Count is the exact sample count.
 type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"` // cumulative, ending with +Inf
 	Count   uint64   `json:"total"`
 	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+	P999    int64    `json:"p999"`
 }
 
 // snapshot copies the histogram with cumulative bucket counts.
@@ -115,7 +123,50 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		snap.Buckets[i] = Bucket{UpperBound: bound, Count: cum}
 	}
+	snap.P50 = snap.Quantile(0.50)
+	snap.P90 = snap.Quantile(0.90)
+	snap.P99 = snap.Quantile(0.99)
+	snap.P999 = snap.Quantile(0.999)
 	return snap
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the snapshot's
+// cumulative buckets, interpolating linearly within the bucket holding
+// the target rank (the Prometheus histogram_quantile estimator on
+// int64 bounds). Observations landing in the +Inf overflow bucket are
+// reported as the largest finite bound — the estimate is then a lower
+// bound, exactly as in Prometheus. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var prevBound int64
+	var prevCum uint64
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			if b.UpperBound == infBound {
+				return prevBound
+			}
+			in := b.Count - prevCum
+			if in == 0 {
+				return b.UpperBound
+			}
+			frac := float64(rank-prevCum) / float64(in)
+			return prevBound + int64(frac*float64(b.UpperBound-prevBound))
+		}
+		prevBound, prevCum = b.UpperBound, b.Count
+	}
+	return prevBound
 }
 
 // infBound is the sentinel upper bound of the overflow bucket.

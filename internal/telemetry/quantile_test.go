@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestQuantileKnownDistribution pins the quantile estimator on a fully
+// known distribution: observations 1..1000 over bounds 100, 200, …,
+// 1000 put exactly 100 samples in each bucket, so linear interpolation
+// must reproduce the true quantiles exactly.
+func TestQuantileKnownDistribution(t *testing.T) {
+	h := newHistogram(LinearBuckets(100, 100, 10))
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", snap.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 500},
+		{0.90, 900},
+		{0.99, 990},
+		{0.999, 999},
+		{1.0, 1000},
+	} {
+		if got := snap.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// The snapshot's pre-computed fields agree with the method.
+	if snap.P50 != 500 || snap.P90 != 900 || snap.P99 != 990 || snap.P999 != 999 {
+		t.Errorf("snapshot quantile fields = %d/%d/%d/%d, want 500/900/990/999",
+			snap.P50, snap.P90, snap.P99, snap.P999)
+	}
+}
+
+// TestQuantileInterpolatesWithinBucket checks sub-bucket
+// interpolation: 4 samples in (0, 100] put p50 at rank 2 of 4 — half
+// way into the bucket.
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := newHistogram([]int64{100, 200})
+	for i := 0; i < 4; i++ {
+		h.Observe(50)
+	}
+	snap := h.snapshot()
+	if got := snap.Quantile(0.5); got != 50 {
+		t.Fatalf("Quantile(0.5) = %d, want 50 (rank 2/4 of bucket (0,100])", got)
+	}
+}
+
+// TestQuantileOverflowBucket pins the +Inf behaviour: samples beyond
+// the largest finite bound report that bound (a lower-bound estimate,
+// Prometheus semantics).
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := newHistogram([]int64{10})
+	h.Observe(5)
+	h.Observe(1_000_000) // overflow
+	snap := h.snapshot()
+	if got := snap.Quantile(0.999); got != 10 {
+		t.Fatalf("Quantile(0.999) = %d, want 10 (largest finite bound)", got)
+	}
+}
+
+// TestQuantileEmpty returns zero rather than panicking.
+func TestQuantileEmpty(t *testing.T) {
+	h := newHistogram([]int64{10})
+	if got := h.snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile on empty histogram = %d, want 0", got)
+	}
+}

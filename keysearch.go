@@ -26,6 +26,9 @@
 package keysearch
 
 import (
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/admission"
 	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/dht"
 	"github.com/p2pkeyword/keysearch/internal/dht/chord"
@@ -73,6 +76,15 @@ type (
 	// BatchMode selects wave batching for ParallelLevels searches (see
 	// Config.BatchWaves).
 	BatchMode = core.BatchMode
+	// AdmissionPolicy configures server-side admission control and load
+	// shedding when set on Config.Admission: bounded inflight
+	// client-facing requests, a bounded deadline-aware wait queue, and
+	// per-client fair queuing via token buckets.
+	AdmissionPolicy = admission.Policy
+	// OverloadError is the typed error a shedding server returns; it
+	// carries the shed reason and a Retry-After hint. Use IsOverload /
+	// OverloadRetryAfter to detect it across transports.
+	OverloadError = admission.Overload
 )
 
 // DefaultResilience returns the recommended production resilience
@@ -114,7 +126,27 @@ var (
 	ErrBadObject     = core.ErrBadObject
 	ErrNoSuchObject  = dht.ErrNoSuchObject
 	ErrUnreachable   = transport.ErrUnreachable
+	// ErrOverload matches (via errors.Is) any error caused by a server
+	// shedding load under admission control.
+	ErrOverload = admission.ErrOverload
 )
+
+// IsOverload reports whether err was caused by a server shedding the
+// request under admission control, including errors that crossed a
+// transport boundary (where typed errors flatten to strings).
+func IsOverload(err error) bool { return admission.IsOverload(err) }
+
+// OverloadRetryAfter extracts the server's Retry-After hint from an
+// overload error (ok=false when err is not an overload). Clients
+// honoring the hint converge to the server's sustainable rate instead
+// of retry-storming it.
+func OverloadRetryAfter(err error) (retryAfter time.Duration, ok bool) {
+	o, ok := admission.FromError(err)
+	if !ok {
+		return 0, false
+	}
+	return o.RetryAfter, true
+}
 
 // NewKeywordSet normalizes, deduplicates and sorts raw keywords into a
 // Set. Objects and queries must both use it (or equivalent

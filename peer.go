@@ -95,6 +95,14 @@ type Config struct {
 	// logged mutations (0 = library default, negative disables
 	// compaction). Only meaningful with DataDir set.
 	SnapshotEvery int
+	// Admission, when non-nil, installs server-side admission control on
+	// this peer: client-facing requests (searches, pin queries, inserts,
+	// deletes) beyond MaxInflight wait in a bounded deadline-aware queue
+	// and are shed with a typed overload error carrying a Retry-After
+	// hint once the queue fills, their deadline can't be met, or their
+	// client exceeds its fair-queuing rate. Interior wave traffic is
+	// never gated. Nil (default) admits everything.
+	Admission *AdmissionPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +194,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		DataDir:         cfg.DataDir,
 		Fsync:           fsync,
 		SnapshotEvery:   cfg.SnapshotEvery,
+		Admission:       cfg.Admission,
 		Owner:           node.Owns,
 		Telemetry:       cfg.Telemetry,
 	})
@@ -242,6 +251,20 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 
 // Addr returns the peer's bound transport address.
 func (p *Peer) Addr() Addr { return p.addr }
+
+// SetClientID attaches a client identity to every index request this
+// peer initiates (all replicas). Servers running with admission
+// control key their per-client fair queuing on it; the empty default
+// is anonymous and bypasses fair queuing. Call before issuing traffic.
+func (p *Peer) SetClientID(id string) {
+	for i := 0; ; i++ {
+		c := p.index.Replica(i)
+		if c == nil {
+			return
+		}
+		c.SetClientID(id)
+	}
+}
 
 // Create starts a new network with this peer as the first member.
 func (p *Peer) Create() {
