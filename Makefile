@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke figures fmt vet clean ci chaos
 
 all: build test
 
 # Full verification gate: static checks, build, the race-enabled test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
-# suite, the SIGKILL crash-recovery smoke, the open-loop load-rig
-# smoke, and a single-iteration benchmark smoke pass.
-ci: vet build race chaos crash-smoke load-smoke bench-smoke
+# suite, the SIGKILL crash-recovery smoke, the live-churn migration
+# smoke, the open-loop load-rig smoke, and a single-iteration
+# benchmark smoke pass.
+ci: vet build race chaos crash-smoke churn-smoke load-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
@@ -41,13 +42,25 @@ load-smoke:
 crash-smoke:
 	$(GO) test -count=1 -run 'CrashRecovery' .
 
+# Live-churn migration smoke: the SIGKILL crash-resume transfer (a
+# durable puller killed between chunks must resume from its WAL cursor
+# with no entry lost or duplicated), the frozen double-read window
+# equivalence check (answers byte-identical to a static fleet mid-
+# transfer), and the seeded churn fingerprint replay. Also records the
+# churn chaos study into results/churn.txt.
+churn-smoke:
+	$(GO) test -count=1 -run 'MigrateCrash|SearchDuringMigration|ChurnFingerprint' .
+	mkdir -p results
+	$(GO) run ./cmd/ksbench -fig churn -objects 5000 > results/churn.txt
+
 # Seeded chaos suite: deterministic fault-schedule replays, the
-# resilience policy tests, and the server concurrency hammer
-# (parallel inserts/deletes/batch scans on one sharded server), all
-# under the race detector.
+# resilience policy tests, the server concurrency hammer (parallel
+# inserts/deletes/batch scans on one sharded server), and the churn
+# hammer (searches and mutations racing join/leave cycles with live
+# migrations), all under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Breaker|Retry|Hedge|Latency|ListenerClose|Hammer' \
-		./internal/sim/ ./internal/resilience/ ./internal/transport/... ./internal/core/
+		. ./internal/sim/ ./internal/resilience/ ./internal/transport/... ./internal/core/
 
 build:
 	$(GO) build ./...
@@ -76,6 +89,7 @@ figures:
 	$(GO) run ./cmd/ksbench -fig 9 -fig9-max 60000 > results/fig9.txt
 	$(GO) run ./cmd/ksbench -fig ft > results/ft.txt
 	$(GO) run ./cmd/ksbench -fig batch > results/batch.txt
+	$(GO) run ./cmd/ksbench -fig churn > results/churn.txt
 
 fmt:
 	gofmt -w .

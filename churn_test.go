@@ -1,0 +1,405 @@
+package keysearch
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/sim"
+)
+
+// churnCorpus returns n objects sharing the broad keyword "churn" plus
+// a bucket keyword and a unique keyword, so superset searches have both
+// wide and narrow roots and pin searches have exact targets.
+func churnCorpus(n int) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			ID:       "obj-" + strconv.Itoa(i),
+			Keywords: NewKeywordSet("churn", "b"+strconv.Itoa(i%5), "u"+strconv.Itoa(i)),
+		}
+	}
+	return objs
+}
+
+func publishAll(t *testing.T, p *Peer, objs []Object) {
+	t.Helper()
+	ctx := context.Background()
+	for _, obj := range objs {
+		if err := p.Publish(ctx, obj, "/"+obj.ID); err != nil {
+			t.Fatalf("publish %s: %v", obj.ID, err)
+		}
+	}
+}
+
+// stabilizeRounds runs synchronous maintenance rounds over peers
+// WITHOUT draining migrations (unlike Cluster.Heal), so open
+// double-read windows survive the rounds — churn tests depend on
+// querying through a window, not after it.
+func stabilizeRounds(ctx context.Context, peers []*Peer, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, p := range peers {
+			_ = p.StabilizeOnce(ctx)
+		}
+	}
+}
+
+// TestSearchDuringMigrationEquivalence freezes a live migration in the
+// middle of its double-read window (one-entry chunks, an hour of
+// throttle between them) and checks that pin and superset answers
+// observed THROUGH the window are byte-identical to a static fleet
+// that never churned: same matches, same order, same completeness. The
+// joiner owns part of the corpus's range but holds only a prefix of
+// it; the double-read merge with the old owner must hide that.
+func TestSearchDuringMigrationEquivalence(t *testing.T) {
+	ctx := context.Background()
+	objs := churnCorpus(60)
+	cfg := Config{Dim: 8}
+
+	pinProbes := make([]Set, 0, 8)
+	for i := 0; i < len(objs); i += 8 {
+		pinProbes = append(pinProbes, objs[i].Keywords)
+	}
+	supProbes := []Set{NewKeywordSet("churn"), NewKeywordSet("b3")}
+
+	type answers struct {
+		pins    [][]string
+		matches [][]Match
+		exact   []bool
+	}
+	collect := func(t *testing.T, p *Peer) answers {
+		t.Helper()
+		var a answers
+		for _, k := range pinProbes {
+			ids, _, err := p.PinSearch(ctx, k)
+			if err != nil {
+				t.Fatalf("pin %v: %v", k, err)
+			}
+			a.pins = append(a.pins, ids)
+		}
+		for _, k := range supProbes {
+			res, err := p.Search(ctx, k, All, SearchOptions{NoCache: true})
+			if err != nil {
+				t.Fatalf("superset %v: %v", k, err)
+			}
+			a.matches = append(a.matches, res.Matches)
+			a.exact = append(a.exact, res.Completeness == 1 && res.FailedSubtrees == 0)
+		}
+		return a
+	}
+
+	base := newCluster(t, 5, cfg)
+	publishAll(t, base.Peers[0], objs)
+	want := collect(t, base.Peers[1])
+
+	// Rebuild the same fleet (same addresses, so the same ring and the
+	// same entry placement), then freeze a joiner mid-transfer. A
+	// candidate joiner whose range holds fewer than two entries commits
+	// instantly and opens no lasting window; try ring positions until
+	// one freezes. The loop is deterministic: fixed addresses hash to
+	// fixed ring positions.
+	frozenCfg := cfg
+	frozenCfg.MaintenanceInterval = -1
+	frozenCfg.MigrateChunkEntries = 1
+	frozenCfg.MigrateThrottle = time.Hour
+	var (
+		c      *Cluster
+		joiner *Peer
+	)
+	for cand := 0; cand < 8 && joiner == nil; cand++ {
+		c = newCluster(t, 5, cfg)
+		publishAll(t, c.Peers[0], objs)
+		p, err := NewPeer(c.Network(), Addr(fmt.Sprintf("mid-join-%d", cand)), frozenCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Join(ctx, c.Peers[0].Addr()); err != nil {
+			t.Fatalf("join candidate %d: %v", cand, err)
+		}
+		c.Peers = append(c.Peers, p) // cluster cleanup closes it
+		// An empty or single-entry range finishes well within this; a
+		// frozen worker is asleep in its one-hour throttle.
+		time.Sleep(100 * time.Millisecond)
+		if p.MigrationStats().Active == 1 {
+			joiner = p
+		}
+	}
+	if joiner == nil {
+		t.Fatal("no candidate joiner froze mid-transfer; corpus too small for the ring?")
+	}
+	// Converge the ring around the joiner so searches route to it while
+	// its window is still open.
+	stabilizeRounds(ctx, c.Peers, 12)
+	if st := joiner.MigrationStats(); st.Active != 1 {
+		t.Fatalf("window closed during stabilization: %+v", st)
+	}
+
+	got := collect(t, c.Peers[1])
+	for i, k := range pinProbes {
+		if !reflect.DeepEqual(got.pins[i], want.pins[i]) {
+			t.Errorf("pin %v mid-window = %v, static fleet %v", k, got.pins[i], want.pins[i])
+		}
+	}
+	for i, k := range supProbes {
+		if !reflect.DeepEqual(got.matches[i], want.matches[i]) {
+			t.Errorf("superset %v mid-window: %d matches, static fleet %d (or order/content differs)",
+				k, len(got.matches[i]), len(want.matches[i]))
+		}
+		if !got.exact[i] || !want.exact[i] {
+			t.Errorf("superset %v not exact: mid-window=%v static=%v", k, got.exact[i], want.exact[i])
+		}
+	}
+
+	st := joiner.MigrationStats()
+	if st.DoubleReads == 0 {
+		t.Error("queries mid-window never double-read the old owner")
+	}
+	if st.Active != 1 || st.Commits != 0 {
+		t.Errorf("transfer was supposed to stay frozen through the queries: %+v", st)
+	}
+}
+
+// TestChurnFingerprintEquivalence replays a seed-generated membership
+// schedule — joins of brand-new peers and graceful leaves — against a
+// query run, with migrations throttled so double-read windows stay
+// open across query boundaries, and demands the full outcome sequence
+// (IDs in order, completeness, failed subtrees) fingerprint-identical
+// to a static fleet that never churned. The final sweep additionally
+// proves zero entries were lost across every transfer.
+func TestChurnFingerprintEquivalence(t *testing.T) {
+	objs := churnCorpus(50)
+	queries := make([]Set, 0, 12)
+	for i := 0; i < 12; i++ {
+		if i%3 == 2 {
+			queries = append(queries, NewKeywordSet("b"+strconv.Itoa(i%5)))
+		} else {
+			queries = append(queries, NewKeywordSet("churn"))
+		}
+	}
+	const nBase = 6
+	baseAddrs := make([]Addr, nBase)
+	for i := range baseAddrs {
+		baseAddrs[i] = Addr("peer-" + strconv.Itoa(i))
+	}
+	sched, err := sim.GenerateChurn(11, sim.ChurnConfig{
+		Queries:  len(queries),
+		Joins:    3,
+		Leaves:   2,
+		Leavable: baseAddrs[1:4], // never the anchor peer-0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, churn bool) (fp string, doubleReads uint64) {
+		t.Helper()
+		ctx := context.Background()
+		cfg := Config{Dim: 8, MigrateChunkEntries: 1, MigrateThrottle: 40 * time.Millisecond}
+		c := newCluster(t, nBase, cfg)
+		publishAll(t, c.Peers[0], objs)
+		live := append([]*Peer(nil), c.Peers...)
+		anchor := live[0]
+
+		tally := func(p *Peer) { doubleReads += p.MigrationStats().DoubleReads }
+		quiesce := func() {
+			qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			for _, p := range live {
+				if err := p.WaitMigrationsIdle(qctx); err != nil {
+					t.Fatalf("quiesce: %v", err)
+				}
+			}
+		}
+		joinCfg := cfg
+		joinCfg.MaintenanceInterval = -1
+		apply := func(ev sim.FaultEvent) {
+			switch ev.Kind {
+			case sim.FaultJoin:
+				p, err := NewPeer(c.Network(), ev.Node, joinCfg)
+				if err != nil {
+					t.Fatalf("join %s: %v", ev.Node, err)
+				}
+				if err := p.Join(ctx, anchor.Addr()); err != nil {
+					t.Fatalf("join %s: %v", ev.Node, err)
+				}
+				live = append(live, p)
+				c.Peers = append(c.Peers, p) // cluster cleanup closes it
+				stabilizeRounds(ctx, live, 4)
+			case sim.FaultLeave:
+				// A leaver may be the source of an in-flight pull; quiesce
+				// first so no window's remainder is orphaned behind the
+				// departure (stabilization would heal it, but transiently —
+				// and this test demands exactness at every query).
+				quiesce()
+				for i, p := range live {
+					if p.Addr() != ev.Node {
+						continue
+					}
+					tally(p)
+					if _, err := p.Leave(ctx); err != nil {
+						t.Fatalf("leave %s: %v", ev.Node, err)
+					}
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+				// Departures leave stale fingers; repair is incremental,
+				// so converge fully — a half-repaired ring fails subtrees,
+				// which is chord routing, not migration.
+				stabilizeRounds(ctx, live, 3*len(live)+3)
+			}
+		}
+
+		outs := make([]sim.QueryOutcome, 0, len(queries)+1)
+		record := func(q Set) {
+			res, err := live[0].Search(ctx, q, All, SearchOptions{NoCache: true})
+			out := sim.QueryOutcome{QueryKey: q.Key(), Completeness: 1}
+			if err != nil {
+				out.Err = err.Error()
+				out.Completeness = 0
+			} else {
+				out.Completeness = res.Completeness
+				out.FailedSubtrees = res.FailedSubtrees
+				for _, m := range res.Matches {
+					out.ObjectIDs = append(out.ObjectIDs, m.ObjectID)
+				}
+			}
+			outs = append(outs, out)
+		}
+
+		ei := 0
+		for qi, q := range queries {
+			if churn {
+				for ei < len(sched.Events) && sched.Events[ei].AtQuery <= qi {
+					apply(sched.Events[ei])
+					ei++
+				}
+			}
+			record(q)
+		}
+		// Close the books: drain every window, fully re-converge, and
+		// sweep — the churned fleet must have lost nothing.
+		quiesce()
+		stabilizeRounds(ctx, live, 3*len(live)+3)
+		quiesce()
+		record(NewKeywordSet("churn"))
+		final := outs[len(outs)-1]
+		if final.Err != "" || len(final.ObjectIDs) != len(objs) {
+			t.Fatalf("churn=%v: final sweep found %d/%d entries (err=%q)",
+				churn, len(final.ObjectIDs), len(objs), final.Err)
+		}
+		for _, p := range live {
+			tally(p)
+		}
+		rep := sim.ChaosReport{Outcomes: outs}
+		return rep.Fingerprint(), doubleReads
+	}
+
+	staticFP, _ := run(t, false)
+	churnFP, dr := run(t, true)
+	if staticFP != churnFP {
+		t.Fatalf("outcome fingerprint diverged under churn:\n  static  %s\n  churned %s", staticFP, churnFP)
+	}
+	if dr == 0 {
+		t.Error("churned run never double-read an old owner: no query observed an open window")
+	}
+}
+
+// TestChurnHammer races searches, publishes/unpublishes, and
+// join/leave cycles with live migrations against one cluster — the
+// race-detector workout for the window state (tombstones, double-read
+// merges, WAL-free path). Mid-churn searches may transiently degrade;
+// the test only demands that nothing panics, no search errors, and the
+// healed fleet answers exactly.
+func TestChurnHammer(t *testing.T) {
+	ctx := context.Background()
+	objs := churnCorpus(24)
+	cfg := Config{Dim: 7, MigrateChunkEntries: 1, MigrateThrottle: 2 * time.Millisecond}
+	c := newCluster(t, 4, cfg)
+	publishAll(t, c.Peers[0], objs)
+
+	joinCfg := cfg
+	joinCfg.MaintenanceInterval = -1
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // searcher
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := NewKeywordSet("churn")
+			if i%3 == 1 {
+				k = NewKeywordSet("b" + strconv.Itoa(i%5))
+			}
+			if _, err := c.Peers[0].Search(ctx, k, All, SearchOptions{NoCache: true}); err != nil {
+				t.Errorf("search under churn: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // mutator: inserts and deletes racing open windows
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			obj := Object{ID: "tmp-" + strconv.Itoa(i%6), Keywords: NewKeywordSet("churn", "tmp"+strconv.Itoa(i%6))}
+			if err := c.Peers[1].Publish(ctx, obj, "/tmp"); err != nil {
+				t.Errorf("publish under churn: %v", err)
+				return
+			}
+			if err := c.Peers[1].Unpublish(ctx, obj, "/tmp"); err != nil {
+				t.Errorf("unpublish under churn: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Churner (foreground): three full join→stabilize→leave cycles with
+	// migrations in flight throughout.
+	for k := 0; k < 3; k++ {
+		p, err := NewPeer(c.Network(), Addr("hammer-"+strconv.Itoa(k)), joinCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Join(ctx, c.Peers[0].Addr()); err != nil {
+			t.Fatalf("hammer join %d: %v", k, err)
+		}
+		stabilizeRounds(ctx, append(append([]*Peer(nil), c.Peers...), p), 6)
+		if _, err := p.Leave(ctx); err != nil {
+			t.Fatalf("hammer leave %d: %v", k, err)
+		}
+		stabilizeRounds(ctx, c.Peers, 6)
+	}
+	close(stop)
+	wg.Wait()
+
+	hctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	c.Heal(hctx)
+	res, err := c.Peers[2].Search(ctx, NewKeywordSet("churn"), All, SearchOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]bool, len(res.Matches))
+	for _, m := range res.Matches {
+		if len(m.ObjectID) > 4 && m.ObjectID[:4] == "tmp-" {
+			continue // mutator leftovers are its own business
+		}
+		found[m.ObjectID] = true
+	}
+	if len(found) != len(objs) {
+		t.Fatalf("healed fleet finds %d/%d base objects", len(found), len(objs))
+	}
+}

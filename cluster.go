@@ -47,12 +47,18 @@ func NewLocalCluster(n int, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// converge drives synchronous stabilization until pointers settle.
+// converge drives synchronous stabilization until pointers settle,
+// then drains the index migrations the pointer changes triggered, so a
+// converged cluster has no open double-read windows and behaves
+// deterministically.
 func (c *Cluster) converge(ctx context.Context) {
 	for round := 0; round < 3*len(c.Peers)+3; round++ {
 		for _, p := range c.Peers {
 			_ = p.StabilizeOnce(ctx)
 		}
+	}
+	for _, p := range c.Peers {
+		_ = p.WaitMigrationsIdle(ctx)
 	}
 }
 

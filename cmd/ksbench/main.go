@@ -18,14 +18,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	keysearch "github.com/p2pkeyword/keysearch"
 	"github.com/p2pkeyword/keysearch/internal/analytic"
 	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
@@ -44,7 +48,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ksbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, batch, or all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, batch, churn, or all")
 		objects   = fs.Int("objects", corpus.DefaultObjects, "corpus size (paper: 131180)")
 		queries   = fs.Int("queries", 178000, "query-log length for fig 9 (paper: ~178000/day)")
 		templates = fs.Int("templates", 2000, "distinct query templates")
@@ -186,6 +190,11 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if want("churn") {
+		if err := runChurnStudy(out, c, *seed); err != nil {
+			return err
+		}
+	}
 	if want("hotspot") {
 		log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
 			Queries: *queries, Templates: *templates, Seed: *seed + 1,
@@ -228,6 +237,226 @@ func runFaultStudy(out *os.File, c *corpus.Corpus, seed int64) error {
 	}
 	sim.RenderFaultStudy(out, 10, points)
 	fmt.Fprintln(out)
+	return nil
+}
+
+// runChurnStudy measures live-churn correctness end to end at peer
+// level: a fleet under seed-generated joins and graceful leaves — with
+// chunked, throttled index migrations keeping double-read windows open
+// across query boundaries — must answer the query run byte-identically
+// (fingerprint-equal) to a static fleet that never churned, and the
+// final sweep after healing must find every published entry.
+func runChurnStudy(out *os.File, c *corpus.Corpus, seed int64) error {
+	const (
+		basePeers = 8
+		subset    = 150
+		nJoins    = 4
+		nLeaves   = 3
+	)
+	recs := c.Records()
+	if len(recs) > subset {
+		recs = recs[:subset]
+	}
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries: 2000, Templates: 300, Seed: seed + 3,
+	})
+	if err != nil {
+		return err
+	}
+	queries := sim.FaultStudyQueries(log, 5)
+	if len(queries) < 2 {
+		return fmt.Errorf("churn study: query log yielded %d queries", len(queries))
+	}
+	// The sweep keyword is the subset's most frequent one, so the final
+	// query proves zero entries were lost across every transfer.
+	freq := map[string]int{}
+	for _, r := range recs {
+		for _, w := range r.Keywords.Words() {
+			freq[w]++
+		}
+	}
+	sweep, sweepN := "", 0
+	for w, n := range freq {
+		if n > sweepN || (n == sweepN && w < sweep) {
+			sweep, sweepN = w, n
+		}
+	}
+
+	leavable := make([]keysearch.Addr, 0, basePeers-2)
+	for i := 1; i <= basePeers-2; i++ {
+		leavable = append(leavable, keysearch.Addr("peer-"+strconv.Itoa(i)))
+	}
+	sched, err := sim.GenerateChurn(seed, sim.ChurnConfig{
+		Queries: len(queries), Joins: nJoins, Leaves: nLeaves, Leavable: leavable,
+	})
+	if err != nil {
+		return err
+	}
+
+	run := func(churn bool) (fp string, outcomes []sim.QueryOutcome, totals core.MigrationStats, finalFound int, err error) {
+		ctx := context.Background()
+		cfg := keysearch.Config{Dim: 10, MigrateChunkEntries: 4, MigrateThrottle: 10 * time.Millisecond}
+		cl, err := keysearch.NewLocalCluster(basePeers, cfg)
+		if err != nil {
+			return "", nil, totals, 0, err
+		}
+		defer cl.Close()
+		for _, r := range recs {
+			obj := keysearch.Object{ID: r.ID, Keywords: r.Keywords}
+			if err := cl.Peers[0].Publish(ctx, obj, "corpus://"+r.ID); err != nil {
+				return "", nil, totals, 0, fmt.Errorf("churn study publish %s: %w", r.ID, err)
+			}
+		}
+		live := append([]*keysearch.Peer(nil), cl.Peers...)
+		tally := func(p *keysearch.Peer) {
+			st := p.MigrationStats()
+			totals.Chunks += st.Chunks
+			totals.Entries += st.Entries
+			totals.Bytes += st.Bytes
+			totals.Resumes += st.Resumes
+			totals.DoubleReads += st.DoubleReads
+			totals.Commits += st.Commits
+			totals.Failures += st.Failures
+		}
+		stabilize := func(rounds int) {
+			for r := 0; r < rounds; r++ {
+				for _, p := range live {
+					_ = p.StabilizeOnce(ctx)
+				}
+			}
+		}
+		quiesce := func() error {
+			qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			for _, p := range live {
+				if err := p.WaitMigrationsIdle(qctx); err != nil {
+					return fmt.Errorf("churn study quiesce: %w", err)
+				}
+			}
+			return nil
+		}
+		joinCfg := cfg
+		joinCfg.MaintenanceInterval = -1
+		apply := func(ev sim.FaultEvent) error {
+			switch ev.Kind {
+			case sim.FaultJoin:
+				p, err := keysearch.NewPeer(cl.Network(), ev.Node, joinCfg)
+				if err != nil {
+					return err
+				}
+				if err := p.Join(ctx, cl.Peers[0].Addr()); err != nil {
+					return err
+				}
+				live = append(live, p)
+				cl.Peers = append(cl.Peers, p)
+				stabilize(4)
+			case sim.FaultLeave:
+				if err := quiesce(); err != nil {
+					return err
+				}
+				for i, p := range live {
+					if p.Addr() != ev.Node {
+						continue
+					}
+					tally(p)
+					if _, err := p.Leave(ctx); err != nil {
+						return fmt.Errorf("leave %s: %w", ev.Node, err)
+					}
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+				// A departure leaves stale fingers behind; repair is
+				// incremental, so converge fully — searches across a
+				// half-repaired ring fail subtrees, which is a chord
+				// routing artifact, not a migration one.
+				stabilize(3*len(live) + 3)
+			}
+			return nil
+		}
+
+		outs := make([]sim.QueryOutcome, 0, len(queries)+1)
+		record := func(q keyword.Set) int {
+			res, err := live[0].Search(ctx, q, core.All, core.SearchOptions{NoCache: true})
+			out := sim.QueryOutcome{QueryKey: q.Key(), Completeness: 1}
+			if err != nil {
+				out.Err = err.Error()
+				out.Completeness = 0
+			} else {
+				out.Completeness = res.Completeness
+				out.FailedSubtrees = res.FailedSubtrees
+				for _, m := range res.Matches {
+					out.ObjectIDs = append(out.ObjectIDs, m.ObjectID)
+				}
+			}
+			outs = append(outs, out)
+			return len(out.ObjectIDs)
+		}
+		ei := 0
+		for qi, q := range queries {
+			if churn {
+				for ei < len(sched.Events) && sched.Events[ei].AtQuery <= qi {
+					if err := apply(sched.Events[ei]); err != nil {
+						return "", nil, totals, 0, err
+					}
+					ei++
+				}
+			}
+			record(q)
+		}
+		if err := quiesce(); err != nil {
+			return "", nil, totals, 0, err
+		}
+		stabilize(3*len(live) + 3)
+		if err := quiesce(); err != nil {
+			return "", nil, totals, 0, err
+		}
+		finalFound = record(keyword.NewSet(sweep))
+		for _, p := range live {
+			tally(p)
+		}
+		rep := sim.ChaosReport{Outcomes: outs}
+		return rep.Fingerprint(), outs, totals, finalFound, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "churn study: %d base peers, +%d joins, -%d leaves over %d queries...\n",
+		basePeers, nJoins, nLeaves, len(queries))
+	staticFP, staticOuts, _, staticFound, err := run(false)
+	if err != nil {
+		return err
+	}
+	churnFP, churnOuts, totals, churnFound, err := run(true)
+	if err != nil {
+		return err
+	}
+	if staticFP != churnFP {
+		for i := range staticOuts {
+			if i < len(churnOuts) && !reflect.DeepEqual(staticOuts[i], churnOuts[i]) {
+				fmt.Fprintf(os.Stderr, "diverged at query %d (%s):\n  static  %+v\n  churned %+v\n",
+					i, staticOuts[i].QueryKey, staticOuts[i], churnOuts[i])
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "live churn study (seed %d): %d base peers, +%d joins, -%d graceful leaves, %d queries, %d-object subset\n",
+		seed, basePeers, nJoins, nLeaves, len(queries), len(recs))
+	fmt.Fprintf(out, "  static  fleet fingerprint: %s\n", staticFP)
+	fmt.Fprintf(out, "  churned fleet fingerprint: %s\n", churnFP)
+	verdict := "MATCH — answers byte-identical under churn"
+	if staticFP != churnFP {
+		verdict = "MISMATCH"
+	}
+	fmt.Fprintf(out, "  verdict: %s\n", verdict)
+	fmt.Fprintf(out, "  migration under churn: %d commits, %d chunks, %d entries, %d bytes, %d double-reads, %d resumes, %d failures\n",
+		totals.Commits, totals.Chunks, totals.Entries, totals.Bytes,
+		totals.DoubleReads, totals.Resumes, totals.Failures)
+	fmt.Fprintf(out, "  final sweep %q: %d objects (static fleet: %d, subset frequency: %d)\n\n",
+		sweep, churnFound, staticFound, sweepN)
+	if staticFP != churnFP {
+		return fmt.Errorf("churn study: fingerprints diverged")
+	}
+	if churnFound != staticFound || churnFound != sweepN {
+		return fmt.Errorf("churn study: final sweep found %d objects, static %d, want %d", churnFound, staticFound, sweepN)
+	}
 	return nil
 }
 

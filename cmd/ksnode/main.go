@@ -62,6 +62,10 @@ func run(args []string) error {
 		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission: longest a request may wait for a slot")
 		clientRate   = fs.Float64("client-rate", 0, "admission: per-client sustained request rate, req/s (0 = no fair queuing)")
 		clientBurst  = fs.Float64("client-burst", 0, "admission: per-client token-bucket burst (0 = rate/4)")
+
+		migEntries  = fs.Int("migrate-chunk-entries", 0, "entries per inbound migration chunk (0 = default, 512)")
+		migBytes    = fs.Int("migrate-chunk-bytes", 0, "approximate payload bytes per migration chunk (0 = default, 256 KiB)")
+		migThrottle = fs.Duration("migrate-throttle", 0, "pause between migration chunks, bounding transfer bandwidth (0 = back to back)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +127,9 @@ func run(args []string) error {
 		FsyncPolicy:         *fsyncPolicy,
 		SnapshotEvery:       *snapEvery,
 		Admission:           adm,
+		MigrateChunkEntries: *migEntries,
+		MigrateChunkBytes:   *migBytes,
+		MigrateThrottle:     *migThrottle,
 	})
 	if err != nil {
 		return err
@@ -132,6 +139,10 @@ func run(args []string) error {
 		st := peer.IndexStats()
 		fmt.Fprintf(os.Stderr, "durable index in %s (fsync=%s); recovered %d entries\n",
 			*dataDir, *fsyncPolicy, st.Entries)
+		if ms := peer.MigrationStats(); ms.Recovered > 0 {
+			fmt.Fprintf(os.Stderr, "recovered %d in-flight migration cursor(s); resuming after create/join\n",
+				ms.Recovered)
+		}
 	}
 
 	ctx := context.Background()
@@ -244,6 +255,9 @@ func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error 
 		hits, misses := peer.CacheStats()
 		fmt.Printf("index: %d vertices, %d entries, %d objects; cache: %d hits / %d misses\n",
 			st.Vertices, st.Entries, st.Objects, hits, misses)
+		ms := peer.MigrationStats()
+		fmt.Printf("migration: %d active, %d chunks / %d entries applied, %d resumes, %d double-reads, %d commits, %d failures\n",
+			ms.Active, ms.Chunks, ms.Entries, ms.Resumes, ms.DoubleReads, ms.Commits, ms.Failures)
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}

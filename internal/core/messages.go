@@ -31,12 +31,16 @@ type (
 	respDeleteEntry struct{ Found bool }
 
 	// msgPinQuery asks the vertex responsible for K for the objects
-	// indexed under exactly K.
+	// indexed under exactly K. Relay marks a double-read forwarded by
+	// the new owner of an in-flight range to the old owner, whose table
+	// stays complete until commit: the receiver skips its ownership
+	// check and answers locally.
 	msgPinQuery struct {
 		Instance string
 		Vertex   uint64
 		SetKey   string
 		ClientID string
+		Relay    bool
 	}
 	respPinQuery struct{ ObjectIDs []string }
 
@@ -97,6 +101,9 @@ type (
 		Limit    int
 		Skip     int
 		GenDim   int
+		// Relay marks a double-read forwarded to the old owner of a
+		// migrating range (see msgPinQuery.Relay).
+		Relay bool
 	}
 	respSubQuery struct {
 		Matches   []Match
@@ -160,15 +167,54 @@ type (
 		Entries []BulkEntry
 	}
 
-	// msgHandoffRange asks a node to extract and return the index
-	// entries a newly joined node now owns: entries whose vertex key
-	// is NOT in (NewID, OwnerID] on the DHT ring.
-	msgHandoffRange struct {
-		NewID   uint64
-		OwnerID uint64
+	// msgMigrateChunk asks the old owner for one cursor-paged chunk of
+	// the index entries a newly joined node now owns: entries whose
+	// vertex key is NOT in (NewID, OwnerID] on the DHT ring. The read
+	// is non-destructive — the old owner keeps serving the range until
+	// msgMigrateCommit — and the cursor is client-driven, so the source
+	// holds no transfer state and a crashed puller resumes by replaying
+	// its last durable cursor. Migration traffic is interior: it is
+	// never gated by admission control, and it carries the manager's
+	// per-chunk deadline like search frames do.
+	msgMigrateChunk struct {
+		NewID      uint64
+		OwnerID    uint64
+		Cursor     wireCursor
+		MaxEntries int
+		MaxBytes   int
+		// DeadlineUnixNano carries the migration manager's per-chunk
+		// deadline (0 = none); TCP handler contexts don't know the
+		// caller's deadline, so the source re-derives it from here.
+		DeadlineUnixNano int64
 	}
-	respHandoffRange struct {
+	respMigrateChunk struct {
 		Entries []BulkEntry
+		Cursor  wireCursor // resume point: pass back on the next pull
+		Done    bool       // no entries remain past Cursor
+	}
+
+	// wireCursor is a resumable position in the source's deterministic
+	// entry order (instances, then vertices, then set keys, then object
+	// IDs, all sorted). Started=false means "from the beginning".
+	wireCursor struct {
+		Started  bool
+		Instance string
+		Vertex   uint64
+		SetKey   string
+		ObjectID string
+	}
+
+	// msgMigrateCommit ends the double-read window: the new owner has
+	// durably applied every chunk, so the old owner now extracts and
+	// drops the migrated range (logging OpHandoff) and stops serving
+	// it. Idempotent — recommitting an already-dropped range is a no-op.
+	msgMigrateCommit struct {
+		NewID            uint64
+		OwnerID          uint64
+		DeadlineUnixNano int64
+	}
+	respMigrateCommit struct {
+		Dropped int
 	}
 )
 
@@ -181,7 +227,7 @@ type (
 // middleware via SetReadOnly (combine layers with resilience.AnyOf).
 func ReadOnlyMessage(body any) bool {
 	switch m := body.(type) {
-	case msgPinQuery, msgSubQuery, msgSubQueryBatch:
+	case msgPinQuery, msgSubQuery, msgSubQueryBatch, msgMigrateChunk:
 		return true
 	case msgTQuery:
 		return !m.Cumulative && m.SessionID == 0
@@ -209,7 +255,8 @@ func RegisterTypes() {
 		msgSubQuery{}, respSubQuery{},
 		msgSubQueryBatch{}, respSubQueryBatch{},
 		msgBulkInsert{},
-		msgHandoffRange{}, respHandoffRange{},
+		msgMigrateChunk{}, respMigrateChunk{},
+		msgMigrateCommit{}, respMigrateCommit{},
 		Match{},
 	} {
 		transport.RegisterType(v)

@@ -281,7 +281,7 @@ type visitResult struct {
 func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hypercube.Vertex, limit int) visitResult {
 	instance, queryKey, query := sess.instance, sess.queryKey, sess.query
 	if u.vertex == rootV {
-		matches, remaining := s.scanVertex(instance, u.vertex, rootV, query, u.skip, limit)
+		matches, remaining := s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, query, queryKey, u.skip, limit)
 		var children []hypercube.ChildEdge
 		if u.genDim >= 0 {
 			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
@@ -591,7 +591,7 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 			results[i] = s.visit(ctx, sess, u, rootV, limit)
 			continue
 		}
-		matches, remaining := s.scanVertex(instance, u.vertex, rootV, sess.query, u.skip, limit)
+		matches, remaining := s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, sess.query, sess.queryKey, u.skip, limit)
 		var children []hypercube.ChildEdge
 		if u.genDim >= 0 {
 			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)

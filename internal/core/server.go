@@ -97,6 +97,11 @@ type ServerConfig struct {
 	// never gated — shedding mid-wave would waste work the root
 	// already paid for. Nil disables admission control entirely.
 	Admission *admission.Policy
+	// Migration tunes the background migration manager that pulls index
+	// ranges from old owners on membership change (chunk sizes,
+	// throttle, retries); the zero value selects the defaults. See
+	// migrate.go and DESIGN §11.
+	Migration MigrationConfig
 	// Owner, when set, validates that this node currently owns a DHT
 	// key before serving requests for it. Requests for keys the node
 	// no longer owns (its range was taken over by a joiner) are
@@ -168,6 +173,10 @@ type Server struct {
 	shards   []*tableShard // length is a power of two
 	cache    *fifoCache
 	sessions *sessionStore
+
+	// migrate manages inbound range migrations and the double-read
+	// window state; always non-nil on servers built by NewServer.
+	migrate *migrationManager
 
 	// store is the durability layer; nil when DataDir is unset, and
 	// then never consulted on the hot path.
@@ -263,14 +272,15 @@ func (sh *tableShard) entryCount() int64 {
 // nil registry every field is nil, and the nil-safe instrument methods
 // make each site a no-op.
 type serverMetrics struct {
-	opInsert   *telemetry.Counter // core_ops_total{op=…}
-	opDelete   *telemetry.Counter
-	opPin      *telemetry.Counter
-	opSub      *telemetry.Counter
-	opSubBatch *telemetry.Counter
-	opBulk     *telemetry.Counter
-	opHandoff  *telemetry.Counter
-	opSearch   *telemetry.Counter
+	opInsert    *telemetry.Counter // core_ops_total{op=…}
+	opDelete    *telemetry.Counter
+	opPin       *telemetry.Counter
+	opSub       *telemetry.Counter
+	opSubBatch  *telemetry.Counter
+	opBulk      *telemetry.Counter
+	opMigChunk  *telemetry.Counter
+	opMigCommit *telemetry.Counter
+	opSearch    *telemetry.Counter
 
 	searchNodes   *telemetry.Counter   // core_search_nodes_total
 	searchMsgs    *telemetry.Counter   // core_search_msgs_total
@@ -300,7 +310,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		opSub:         ops.With("sub-query"),
 		opSubBatch:    ops.With("sub-query-batch"),
 		opBulk:        ops.With("bulk-insert"),
-		opHandoff:     ops.With("handoff"),
+		opMigChunk:    ops.With("migrate-chunk"),
+		opMigCommit:   ops.With("migrate-commit"),
 		opSearch:      ops.With("superset-search"),
 		searchNodes:   reg.Counter("core_search_nodes_total"),
 		searchMsgs:    reg.Counter("core_search_msgs_total"),
@@ -405,6 +416,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Admission != nil {
 		s.adm = admission.New(*cfg.Admission, cfg.Telemetry)
 	}
+	// The manager must exist before recovery: replayed OpMigrate and
+	// OpDelete records rebuild the resumable-cursor and tombstone state.
+	s.migrate = newMigrationManager(s, cfg.Migration, cfg.Telemetry)
 	if cfg.DataDir != "" {
 		st, err := store.Open(store.Config{
 			Dir:           cfg.DataDir,
@@ -462,12 +476,17 @@ func gateInfo(body any) (clientID string, deadlineUnixNano int64, gated bool) {
 	case msgTQuery:
 		return m.ClientID, m.DeadlineUnixNano, true
 	case msgPinQuery:
-		return m.ClientID, 0, true
+		// Relayed pins are the interior half of a migration double-read
+		// window — gating them would let admission break the
+		// byte-identical-answers guarantee mid-churn.
+		return m.ClientID, 0, !m.Relay
 	case msgInsertEntry:
 		return m.ClientID, 0, true
 	case msgDeleteEntry:
 		return m.ClientID, 0, true
 	}
+	// Everything else — wave traffic, bulk transfers, migration chunks
+	// and commits, relayed sub-queries — is interior and never gated.
 	return "", 0, false
 }
 
@@ -521,17 +540,27 @@ func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any
 		}
 		return respDeleteEntry{Found: found}, nil
 	case msgPinQuery:
-		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
-			return nil, ErrNotOwner
-		}
 		s.met.opPin.Inc()
-		return s.pinQuery(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
-	case msgSubQuery:
+		if msg.Relay {
+			// Double-read from the new owner of a migrating range:
+			// answer from the local table without the ownership check —
+			// this node's copy stays authoritative until commit — and
+			// never re-relay.
+			return s.pinQuery(msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
+		}
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, ErrNotOwner
 		}
+		return s.pinQueryRead(ctx, msg.Instance, hypercube.Vertex(msg.Vertex), msg.SetKey), nil
+	case msgSubQuery:
 		s.met.opSub.Inc()
-		return s.subQuery(msg), nil
+		if msg.Relay {
+			return s.subQueryLocal(msg), nil
+		}
+		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+			return nil, ErrNotOwner
+		}
+		return s.subQuery(ctx, msg), nil
 	case msgSubQueryBatch:
 		// Ownership is validated per unit, not for the whole frame: a
 		// ring change may have re-homed a subset of the batch's
@@ -547,13 +576,35 @@ func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any
 			}
 		}
 		return respAck{}, nil
-	case msgHandoffRange:
-		s.met.opHandoff.Inc()
+	case msgMigrateChunk:
+		s.met.opMigChunk.Inc()
+		// Migration frames carry the manager's per-chunk deadline the
+		// way search frames do: tcpnet handler contexts know nothing of
+		// the caller's, so re-derive it before scanning.
+		if msg.DeadlineUnixNano > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, msg.DeadlineUnixNano))
+			defer cancel()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return s.migrateChunk(ctx, msg)
+	case msgMigrateCommit:
+		s.met.opMigCommit.Inc()
+		if msg.DeadlineUnixNano > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, msg.DeadlineUnixNano))
+			defer cancel()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		entries, err := s.extractRange(dht.ID(msg.NewID), dht.ID(msg.OwnerID))
 		if err != nil {
 			return nil, err
 		}
-		return respHandoffRange{Entries: entries}, nil
+		return respMigrateCommit{Dropped: len(entries)}, nil
 	case msgTQuery:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, ErrNotOwner
@@ -681,6 +732,10 @@ func (s *Server) applyInsertLocked(sh *tableShard, instance string, v hypercube.
 		e.objects[objectID] = struct{}{}
 		e.sortedIDs.Store(nil)
 	}
+	// Under the shard lock, so it serializes against noteDelete for the
+	// same entry: a re-inserted entry is live again (no-op outside an
+	// open migration window).
+	s.migrate.noteInsert(instance, v, setKey, objectID)
 	return e.set
 }
 
@@ -715,6 +770,11 @@ func (s *Server) applyDelete(instance string, v hypercube.Vertex, setKey, object
 // applyDeleteLocked is applyDelete under a caller-held write lock on
 // sh (the shard owning (instance, v)); see applyInsertLocked.
 func (s *Server) applyDeleteLocked(sh *tableShard, instance string, v hypercube.Vertex, setKey, objectID string) (bool, keyword.Set) {
+	// Tombstone before the presence checks: a delete of an entry whose
+	// migration chunk has not arrived yet finds nothing locally but
+	// must still prevent the chunk from resurrecting it. Shard lock
+	// held, so this serializes against insertMigrated's check.
+	s.migrate.noteDelete(instance, v, setKey, objectID)
 	vertices, ok := sh.tables[instance]
 	if !ok {
 		return false, keyword.Set{}
@@ -765,18 +825,35 @@ func (s *Server) pinQuery(instance string, v hypercube.Vertex, setKey string) re
 
 // subQuery scans the table of msg.Vertex for entries whose keyword set
 // contains the query, returning a deterministic window of matches and,
-// when msg.GenDim ≥ 0, the SBT child list of the vertex.
-func (s *Server) subQuery(msg msgSubQuery) respSubQuery {
+// when msg.GenDim ≥ 0, the SBT child list of the vertex. The scan is
+// migration-aware: a vertex inside an open inbound window double-reads
+// the old owner (scanVertexRead).
+func (s *Server) subQuery(ctx context.Context, msg msgSubQuery) respSubQuery {
+	query := keyword.ParseKey(msg.QueryKey)
+	root := hypercube.Vertex(msg.Root)
+	matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(msg.Vertex), root, query, msg.QueryKey, msg.Skip, msg.Limit)
+	resp := respSubQuery{Matches: matches, Remaining: remaining}
+	return s.subQueryChildren(msg, resp)
+}
+
+// subQueryLocal answers a relayed sub-query strictly from the local
+// tables (the old-owner half of a double-read; never re-relayed).
+func (s *Server) subQueryLocal(msg msgSubQuery) respSubQuery {
 	query := keyword.ParseKey(msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
 	matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(msg.Vertex), root, query, msg.Skip, msg.Limit)
 	resp := respSubQuery{Matches: matches, Remaining: remaining}
+	return s.subQueryChildren(msg, resp)
+}
+
+// subQueryChildren attaches the SBT child list when requested.
+func (s *Server) subQueryChildren(msg msgSubQuery, resp respSubQuery) respSubQuery {
 	if msg.GenDim >= 0 {
 		cube, err := s.cubeFor(msg.Dim)
 		if err != nil {
 			return resp // malformed dim: return matches without children
 		}
-		edges := cube.InducedChildEdges(root, hypercube.Vertex(msg.Vertex), msg.GenDim)
+		edges := cube.InducedChildEdges(hypercube.Vertex(msg.Root), hypercube.Vertex(msg.Vertex), msg.GenDim)
 		resp.Children = make([]wireEdge, len(edges))
 		for i, e := range edges {
 			resp.Children[i] = wireEdge{Vertex: uint64(e.To), Dim: e.Dim}
@@ -823,7 +900,7 @@ func (s *Server) subQueryBatch(ctx context.Context, msg msgSubQueryBatch) respSu
 			return
 		}
 		u := msg.Units[i]
-		matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(u.Vertex), root, query, u.Skip, msg.Limit)
+		matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(u.Vertex), root, query, msg.QueryKey, u.Skip, msg.Limit)
 		results[i] = respSubUnit{Matches: matches, Remaining: remaining}
 	}
 	workers := s.cfg.ScanParallelism
@@ -1042,26 +1119,6 @@ func (s *Server) applyExtractRange(newID, ownerID dht.ID) []BulkEntry {
 	return out
 }
 
-// PullHandoff asks the node at addr (the local node's ring successor)
-// for the index entries the local node now owns after joining, and
-// installs them locally. It returns the number of entries received.
-func (s *Server) PullHandoff(ctx context.Context, sender transport.Sender, addr transport.Addr, newID, ownerID uint64) (int, error) {
-	raw, err := sender.Send(ctx, addr, msgHandoffRange{NewID: newID, OwnerID: ownerID})
-	if err != nil {
-		return 0, fmt.Errorf("index handoff from %s: %w", addr, err)
-	}
-	resp, ok := raw.(respHandoffRange)
-	if !ok {
-		return 0, fmt.Errorf("index handoff from %s: unexpected response %T", addr, raw)
-	}
-	for _, e := range resp.Entries {
-		if err := s.insertEntry(e.Instance, hypercube.Vertex(e.Vertex), e.SetKey, e.ObjectID); err != nil {
-			return 0, err
-		}
-	}
-	return len(resp.Entries), nil
-}
-
 // Drain removes and returns every index entry this server hosts, for
 // transfer to another node on graceful departure. Durable servers log
 // one OpClear record so a later recovery of the data dir reflects the
@@ -1098,21 +1155,30 @@ func (s *Server) applyDrain() []BulkEntry {
 	return out
 }
 
-// DrainTo drains every entry and re-homes the batch at addr (the
-// departing node's DHT successor, which owns its key range after the
-// split). It returns the number of entries transferred.
+// DrainTo drains every entry and re-homes it at addr (the departing
+// node's DHT successor, which owns its key range after the split),
+// chunking the transfer by the migration chunk-size knobs so one huge
+// table never becomes one huge frame. It returns the number of
+// entries transferred; on a partial failure the count says how many
+// made it before the error.
 func (s *Server) DrainTo(ctx context.Context, sender transport.Sender, addr transport.Addr) (int, error) {
 	entries, err := s.Drain()
 	if err != nil {
 		return 0, err
 	}
-	if len(entries) == 0 {
-		return 0, nil
+	chunk := s.cfg.Migration.withDefaults().ChunkEntries
+	sent := 0
+	for sent < len(entries) {
+		end := sent + chunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		if _, err := sender.Send(ctx, addr, msgBulkInsert{Entries: entries[sent:end]}); err != nil {
+			return sent, fmt.Errorf("drain %d of %d entries to %s: %w", len(entries)-sent, len(entries), addr, err)
+		}
+		sent = end
 	}
-	if _, err := sender.Send(ctx, addr, msgBulkInsert{Entries: entries}); err != nil {
-		return 0, fmt.Errorf("drain %d entries to %s: %w", len(entries), addr, err)
-	}
-	return len(entries), nil
+	return sent, nil
 }
 
 // applyRecord replays one recovered WAL/snapshot record into the table
@@ -1129,6 +1195,8 @@ func (s *Server) applyRecord(rec store.Record) error {
 		s.applyExtractRange(dht.ID(rec.NewID), dht.ID(rec.OwnerID))
 	case store.OpClear:
 		s.applyDrain()
+	case store.OpMigrate:
+		s.migrate.applyRecoveredRecord(rec)
 	}
 	return nil
 }
@@ -1177,7 +1245,9 @@ func (s *Server) dumpAll(emit func(store.Record) error) error {
 		}
 		sh.mu.RUnlock()
 	}
-	return nil
+	// Open migration windows ride along: the snapshot replaces the WAL
+	// holding their cursors and tombstones.
+	return s.migrate.dumpState(emit)
 }
 
 // CrashReset wipes the in-memory table, cache and session state while
@@ -1193,6 +1263,7 @@ func (s *Server) CrashReset() {
 	s.stateMu.Unlock()
 	s.cache.reset()
 	s.sessions.reset()
+	s.migrate.crashReset()
 }
 
 // RecoverFromStore replays the data directory (snapshot + WAL tail)
@@ -1209,10 +1280,15 @@ func (s *Server) RecoverFromStore() (int, error) {
 	return s.store.Recover(s.applyRecord)
 }
 
-// Close flushes and closes the durability layer (nil-safe: a no-op
-// for non-durable servers). The server must not process further
-// mutations afterwards.
+// Close stops the migration manager (waiting out its workers so none
+// appends to a closed WAL; interrupted transfers keep their durable
+// cursor and resume on restart) and then flushes and closes the
+// durability layer. The server must not process further mutations
+// afterwards.
 func (s *Server) Close() error {
+	if s.migrate != nil {
+		s.migrate.close()
+	}
 	if s.store == nil {
 		return nil
 	}

@@ -80,6 +80,7 @@ func (n *Node) StabilizeOnce(ctx context.Context) error {
 func (n *Node) adoptSuccessorList(succ NodeInfo, tail []NodeInfo) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.succChangedLocked(n.headSuccessorLocked())
 	list := make([]NodeInfo, 0, n.cfg.SuccessorListLen)
 	seen := map[dht.ID]bool{}
 	add := func(ni NodeInfo) {

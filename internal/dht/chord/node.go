@@ -68,6 +68,7 @@ type Node struct {
 	fingers     [64]NodeInfo
 	nextFinger  int
 	refs        map[string]map[refKey]dht.Reference // objectID → holder set
+	succHook    func(NodeInfo)
 
 	maintStop chan struct{}
 	maintDone chan struct{}
@@ -127,6 +128,43 @@ func New(addr transport.Addr, net transport.Sender, cfg Config) *Node {
 		cfg.Telemetry.GaugeFunc("chord_refs", func() int64 { return int64(n.RefCount()) })
 	}
 	return n
+}
+
+// OnSuccessorChange registers fn to be invoked each time the node's
+// immediate successor changes to a different live node — at join, when
+// stabilization discovers a closer successor, or when a departing
+// neighbor is spliced out. The hook runs on its own goroutine outside
+// the node's lock, so it may call back into the node; duplicate
+// invocations for the same successor must be tolerated. One hook at a
+// time; nil unregisters.
+func (n *Node) OnSuccessorChange(fn func(succ NodeInfo)) {
+	n.mu.Lock()
+	n.succHook = fn
+	n.mu.Unlock()
+}
+
+// succChangedLocked fires the successor-change hook when the list head
+// moved away from old to a different node. Called with n.mu held; the
+// hook itself runs asynchronously so it can re-enter the node.
+func (n *Node) succChangedLocked(old NodeInfo) {
+	if n.succHook == nil || len(n.successors) == 0 {
+		return
+	}
+	head := n.successors[0]
+	if head.zero() || head.ID == old.ID || head.ID == n.self.ID {
+		return
+	}
+	hook := n.succHook
+	go hook(head)
+}
+
+// headSuccessorLocked returns the current immediate successor (zero
+// value when the list is empty). Called with n.mu held.
+func (n *Node) headSuccessorLocked() NodeInfo {
+	if len(n.successors) == 0 {
+		return NodeInfo{}
+	}
+	return n.successors[0]
 }
 
 // Info returns this node's identity.

@@ -274,6 +274,7 @@ func (n *Node) storeRefLocked(ref dht.Reference) bool {
 func (n *Node) handleDepart(msg rpcDepart) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.succChangedLocked(n.headSuccessorLocked())
 	for _, ref := range msg.Refs {
 		n.storeRefLocked(ref)
 	}

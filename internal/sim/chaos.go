@@ -33,6 +33,16 @@ const (
 	FaultPartition
 	// FaultHeal restores the send path severed by FaultPartition.
 	FaultHeal
+	// FaultJoin adds a brand-new peer (Node is its address) to the
+	// network mid-run, triggering a live index migration from its ring
+	// successor. Membership events only make sense for peer-level
+	// replayers (the root package's churn harness drives them over a
+	// keysearch.Cluster); the vertex-mapped Deployment has fixed
+	// membership, so its ReplayChaos ignores them.
+	FaultJoin
+	// FaultLeave departs the peer at Node gracefully: its index entries
+	// drain to its ring successor and the ring splices it out.
+	FaultLeave
 )
 
 func (k FaultKind) String() string {
@@ -47,6 +57,10 @@ func (k FaultKind) String() string {
 		return "partition"
 	case FaultHeal:
 		return "heal"
+	case FaultJoin:
+		return "join"
+	case FaultLeave:
+		return "leave"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+// ChurnConfig bounds a generated membership-churn schedule: joins of
+// brand-new peers and graceful leaves of existing ones, interleaved
+// with a query run. Like ChaosConfig it is pure data — one seed and
+// config always reproduce the identical schedule.
+type ChurnConfig struct {
+	// Queries is the length of the query run the schedule spans; every
+	// event lands at a boundary in [1, Queries) so at least one query
+	// observes the pre-churn fleet.
+	Queries int
+	// Joins is the number of FaultJoin events. Joined peers are named
+	// JoinerAddr(i) for i in [0, Joins); replayers create them on
+	// demand.
+	Joins int
+	// Leaves is the number of FaultLeave events, drawn without
+	// replacement from Leavable (typically the base fleet minus the
+	// seed/anchor peer).
+	Leaves int
+	// Leavable is the population graceful leaves are drawn from.
+	Leavable []transport.Addr
+}
+
+// JoinerAddr names the i-th joining peer of a churn schedule, so the
+// replayer and any baseline reconstruction agree on addresses (and
+// therefore ring IDs — address hashing decides vertex placement).
+func JoinerAddr(i int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("churn-join-%d", i))
+}
+
+// GenerateChurn derives a membership-churn schedule from a single
+// seed. Events are sorted by query boundary with same-boundary order
+// deterministic, exactly like GenerateChaos.
+func GenerateChurn(seed int64, cfg ChurnConfig) (ChaosSchedule, error) {
+	if cfg.Queries < 2 {
+		return ChaosSchedule{}, fmt.Errorf("sim: churn schedule needs a query span of at least 2")
+	}
+	if cfg.Leaves > len(cfg.Leavable) {
+		return ChaosSchedule{}, fmt.Errorf("sim: %d leaves exceed %d leavable peers", cfg.Leaves, len(cfg.Leavable))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []FaultEvent
+	for i := 0; i < cfg.Joins; i++ {
+		events = append(events, FaultEvent{
+			AtQuery: 1 + rng.Intn(cfg.Queries-1),
+			Kind:    FaultJoin,
+			Node:    JoinerAddr(i),
+		})
+	}
+	for _, vi := range pickDistinct(rng, len(cfg.Leavable), cfg.Leaves) {
+		events = append(events, FaultEvent{
+			AtQuery: 1 + rng.Intn(cfg.Queries-1),
+			Kind:    FaultLeave,
+			Node:    cfg.Leavable[vi],
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtQuery < events[j].AtQuery })
+	return ChaosSchedule{Seed: seed, Events: events}, nil
+}
+
+// Membership folds a churn schedule over a base fleet and returns the
+// final membership in event order: base peers that never leave,
+// followed by joiners that never leave. Baseline reconstructions use
+// it to build the static fleet the churned one must converge to.
+func (s ChaosSchedule) Membership(base []transport.Addr) []transport.Addr {
+	gone := make(map[transport.Addr]bool)
+	joined := make([]transport.Addr, 0)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case FaultJoin:
+			joined = append(joined, ev.Node)
+		case FaultLeave:
+			gone[ev.Node] = true
+		}
+	}
+	out := make([]transport.Addr, 0, len(base)+len(joined))
+	for _, a := range base {
+		if !gone[a] {
+			out = append(out, a)
+		}
+	}
+	for _, a := range joined {
+		if !gone[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/transport"
+)
+
+func TestGenerateChurnDeterministicAndBounded(t *testing.T) {
+	base := []transport.Addr{"n0", "n1", "n2", "n3"}
+	cfg := ChurnConfig{Queries: 10, Joins: 3, Leaves: 2, Leavable: base[1:]}
+	a, err := GenerateChurn(42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChurn(42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%+v\n%+v", a, b)
+	}
+	if c, _ := GenerateChurn(43, cfg); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	joins, leaves := 0, 0
+	left := map[transport.Addr]bool{}
+	for i, ev := range a.Events {
+		if ev.AtQuery < 1 || ev.AtQuery >= cfg.Queries {
+			t.Errorf("event %d at boundary %d, want [1, %d)", i, ev.AtQuery, cfg.Queries)
+		}
+		if i > 0 && a.Events[i-1].AtQuery > ev.AtQuery {
+			t.Errorf("events not sorted by boundary at %d", i)
+		}
+		switch ev.Kind {
+		case FaultJoin:
+			joins++
+		case FaultLeave:
+			leaves++
+			if left[ev.Node] {
+				t.Errorf("peer %s leaves twice", ev.Node)
+			}
+			left[ev.Node] = true
+			if ev.Node == base[0] {
+				t.Errorf("non-leavable peer %s scheduled to leave", ev.Node)
+			}
+		default:
+			t.Errorf("unexpected fault kind %v in churn schedule", ev.Kind)
+		}
+	}
+	if joins != cfg.Joins || leaves != cfg.Leaves {
+		t.Fatalf("schedule has %d joins / %d leaves, want %d / %d", joins, leaves, cfg.Joins, cfg.Leaves)
+	}
+
+	if _, err := GenerateChurn(1, ChurnConfig{Queries: 1}); err == nil {
+		t.Error("query span below 2 accepted")
+	}
+	if _, err := GenerateChurn(1, ChurnConfig{Queries: 5, Leaves: 3, Leavable: base[:2]}); err == nil {
+		t.Error("more leaves than leavable peers accepted")
+	}
+}
+
+func TestChurnMembershipFold(t *testing.T) {
+	base := []transport.Addr{"n0", "n1", "n2"}
+	s := ChaosSchedule{Events: []FaultEvent{
+		{AtQuery: 1, Kind: FaultJoin, Node: JoinerAddr(0)},
+		{AtQuery: 2, Kind: FaultLeave, Node: "n1"},
+		{AtQuery: 3, Kind: FaultJoin, Node: JoinerAddr(1)},
+		{AtQuery: 4, Kind: FaultLeave, Node: JoinerAddr(0)},
+	}}
+	got := s.Membership(base)
+	want := []transport.Addr{"n0", "n2", JoinerAddr(1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Membership = %v, want %v", got, want)
+	}
+	if JoinerAddr(3) != "churn-join-3" {
+		t.Fatalf("JoinerAddr(3) = %s", JoinerAddr(3))
+	}
+}

@@ -23,6 +23,13 @@ const (
 	OpHandoff
 	// OpClear wipes every entry (graceful departure drains the tables).
 	OpClear
+	// OpMigrate checkpoints an inbound range migration: the range bounds
+	// (NewID, OwnerID], the source address the chunks are pulled from,
+	// and the cursor of the last chunk durably applied. A record with
+	// Done set retires the migration; replay of an un-done record leaves
+	// a resumable cursor for the migration manager to pick up after a
+	// crash (see DESIGN §11).
+	OpMigrate
 )
 
 func (o Op) String() string {
@@ -35,6 +42,8 @@ func (o Op) String() string {
 		return "handoff"
 	case OpClear:
 		return "clear"
+	case OpMigrate:
+		return "migrate"
 	default:
 		return "unknown"
 	}
@@ -52,8 +61,16 @@ type Record struct {
 	Vertex   uint64
 	SetKey   string
 	ObjectID string
-	NewID    uint64 // OpHandoff only
-	OwnerID  uint64 // OpHandoff only
+	NewID    uint64 // OpHandoff, OpMigrate: range bound
+	OwnerID  uint64 // OpHandoff, OpMigrate: range bound
+
+	// OpMigrate only. Source is the peer address chunks are pulled
+	// from. HasCursor marks a checkpoint mid-range (the cursor is the
+	// Instance/Vertex/SetKey/ObjectID coordinates of the last entry
+	// applied); Done retires the migration.
+	Source    string
+	HasCursor bool
+	Done      bool
 }
 
 // Frame layout: u32 little-endian payload length, u32 IEEE CRC of the
@@ -64,6 +81,12 @@ const frameHeaderLen = 8
 // maxPayloadLen rejects absurd length prefixes so a corrupt header
 // cannot drive a multi-gigabyte allocation during recovery.
 const maxPayloadLen = 1 << 20
+
+// OpMigrate payload flag bits.
+const (
+	migFlagCursor = 1 << 0
+	migFlagDone   = 1 << 1
+)
 
 // errTruncatedFrame reports a frame that does not fully fit in the
 // remaining file: the torn tail a crash mid-append leaves behind.
@@ -88,6 +111,24 @@ func appendRecord(buf []byte, rec Record) []byte {
 		buf = binary.AppendUvarint(buf, rec.OwnerID)
 	case OpClear:
 		// no payload beyond the op byte
+	case OpMigrate:
+		var flags byte
+		if rec.HasCursor {
+			flags |= migFlagCursor
+		}
+		if rec.Done {
+			flags |= migFlagDone
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, rec.NewID)
+		buf = binary.AppendUvarint(buf, rec.OwnerID)
+		buf = appendString(buf, rec.Source)
+		if rec.HasCursor {
+			buf = binary.AppendUvarint(buf, rec.Vertex)
+			buf = appendString(buf, rec.Instance)
+			buf = appendString(buf, rec.SetKey)
+			buf = appendString(buf, rec.ObjectID)
+		}
 	}
 	payload := buf[start+frameHeaderLen:]
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -152,6 +193,37 @@ func decodePayload(p []byte) (Record, error) {
 			return rec, err
 		}
 	case OpClear:
+	case OpMigrate:
+		if len(p) < 1 {
+			return rec, errCorruptFrame
+		}
+		flags := p[0]
+		p = p[1:]
+		rec.HasCursor = flags&migFlagCursor != 0
+		rec.Done = flags&migFlagDone != 0
+		if rec.NewID, p, err = readUvarint(p); err != nil {
+			return rec, err
+		}
+		if rec.OwnerID, p, err = readUvarint(p); err != nil {
+			return rec, err
+		}
+		if rec.Source, p, err = readString(p); err != nil {
+			return rec, err
+		}
+		if rec.HasCursor {
+			if rec.Vertex, p, err = readUvarint(p); err != nil {
+				return rec, err
+			}
+			if rec.Instance, p, err = readString(p); err != nil {
+				return rec, err
+			}
+			if rec.SetKey, p, err = readString(p); err != nil {
+				return rec, err
+			}
+			if rec.ObjectID, _, err = readString(p); err != nil {
+				return rec, err
+			}
+		}
 	default:
 		return rec, fmt.Errorf("%w: op %d", errCorruptFrame, rec.Op)
 	}

@@ -66,6 +66,14 @@ func TestRecordRoundTrip(t *testing.T) {
 		{Op: OpHandoff, NewID: 7, OwnerID: 1<<63 + 5},
 		{Op: OpClear},
 		rec(OpInsert, 0, "", ""),
+		// Migration checkpoints: a fresh start (no cursor), a mid-range
+		// checkpoint (cursor = last entry applied), and a retirement.
+		{Op: OpMigrate, NewID: 9, OwnerID: 1 << 62, Source: "peer-7"},
+		{Op: OpMigrate, NewID: 9, OwnerID: 1 << 62, Source: "10.0.0.1:4000",
+			HasCursor: true, Instance: "main", Vertex: 77, SetKey: "a b c", ObjectID: "obj-9"},
+		{Op: OpMigrate, NewID: 9, OwnerID: 1 << 62, Source: "peer-7", Done: true},
+		{Op: OpMigrate, NewID: 0, OwnerID: 0, Source: "",
+			HasCursor: true, Done: true},
 	}
 	var buf []byte
 	for _, r := range recs {
@@ -78,6 +86,21 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, recs) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestMigrateRecordTruncated: an OpMigrate frame cut off mid-payload is
+// recognized as a torn tail, not silently decoded as a shorter record.
+func TestMigrateRecordTruncated(t *testing.T) {
+	full := appendRecord(nil, Record{
+		Op: OpMigrate, NewID: 12, OwnerID: 99, Source: "peer-3",
+		HasCursor: true, Instance: "main", Vertex: 5, SetKey: "k", ObjectID: "o",
+	})
+	for cut := 1; cut < len(full); cut++ {
+		n, validLen, err := readAll(full[:cut], func(Record) error { return nil })
+		if err != nil || n != 0 || validLen != 0 {
+			t.Fatalf("cut=%d: readAll = (%d, %d, %v), want torn tail (0, 0, nil)", cut, n, validLen, err)
+		}
 	}
 }
 

@@ -27,8 +27,12 @@ func TestPeerLeavePreservesSearchability(t *testing.T) {
 	// A non-publisher peer leaves gracefully.
 	leaver := c.Peers[3]
 	before := leaver.IndexStats().Objects
-	if err := leaver.Leave(ctx); err != nil {
+	transferred, err := leaver.Leave(ctx)
+	if err != nil {
 		t.Fatalf("Leave: %v", err)
+	}
+	if before > 0 && transferred == 0 {
+		t.Fatalf("Leave reported 0 entries transferred, leaver hosted %d objects", before)
 	}
 	c.Heal(ctx)
 
@@ -71,7 +75,7 @@ func TestPeerLeaveVersusCrash(t *testing.T) {
 		}
 		victim := c.Peers[3]
 		if graceful {
-			if err := victim.Leave(ctx); err != nil {
+			if _, err := victim.Leave(ctx); err != nil {
 				t.Fatalf("Leave: %v", err)
 			}
 		} else {

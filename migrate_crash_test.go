@@ -1,0 +1,210 @@
+package keysearch
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// migrateSmokeObjects is the corpus the migration crash smoke moves:
+// published into the source peer by the parent, pulled by the durable
+// child, and re-verified after the child is SIGKILLed mid-transfer.
+func migrateSmokeObjects() []Object {
+	objs := make([]Object, 16)
+	for i := range objs {
+		objs[i] = Object{
+			ID:       "mig-" + strconv.Itoa(i),
+			Keywords: NewKeywordSet("mig", "x"+strconv.Itoa(i)),
+		}
+	}
+	return objs
+}
+
+// TestMigrateCrashHelper is the subprocess half of the migration crash
+// smoke: a durable fsync=always peer that pulls the whole index of the
+// parent's source peer one entry per chunk with a slow throttle,
+// reports when a few chunks have been applied, and then waits to be
+// SIGKILLed between chunks. Inert unless re-executed with
+// KS_MIGRATE_CRASH_HELPER=1.
+func TestMigrateCrashHelper(t *testing.T) {
+	if os.Getenv("KS_MIGRATE_CRASH_HELPER") != "1" {
+		t.Skip("migrate crash helper: only runs re-executed by TestMigrateCrashResumeSmoke")
+	}
+	RegisterTypes()
+	net := NewTCPTransport()
+	peer, err := NewPeer(net, "127.0.0.1:0", Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+		DataDir:             os.Getenv("KS_MIGRATE_CRASH_DIR"),
+		FsyncPolicy:         "always",
+		MigrateChunkEntries: 1,
+		MigrateThrottle:     150 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Println("HELPER-ERROR:", err)
+		os.Exit(1)
+	}
+	peer.Create()
+	// Whole-ring bounds: keys NOT in (0, 1] — everything the source
+	// holds — migrate here. The migration key is (bounds, source), so
+	// the restarted parent-side peer resumes this exact transfer from
+	// the durable cursor without the helper's ring identity mattering.
+	peer.server.EnqueueMigration(Addr(os.Getenv("KS_MIGRATE_CRASH_SRC")), 0, 1)
+	fmt.Println("HELPER-READY")
+	for {
+		if st := peer.MigrationStats(); st.Chunks >= 3 {
+			fmt.Println("HELPER-CHUNKS")
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {} // hold the window open until the parent kills us
+}
+
+// TestMigrateCrashResumeSmoke is the end-to-end crash-safety check for
+// live migration: a child process pulls a 16-entry index one chunk at
+// a time, is SIGKILLed between chunks (no shutdown path runs), and a
+// peer restarted over the same data directory must recover the durable
+// cursor, resume the pull where it stopped, commit, and end up with
+// exactly the source's entries — none lost, none duplicated, source
+// drained.
+func TestMigrateCrashResumeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short")
+	}
+	dir := t.TempDir()
+	objs := migrateSmokeObjects()
+
+	RegisterTypes()
+	net := NewTCPTransport()
+	defer net.Close()
+	source, err := NewPeer(net, "127.0.0.1:0", Config{Dim: 6, MaintenanceInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer source.Close()
+	source.Create()
+	publishAll(t, source, objs)
+	if got := source.IndexStats().Objects; got != len(objs) {
+		t.Fatalf("source holds %d/%d entries before migration", got, len(objs))
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestMigrateCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"KS_MIGRATE_CRASH_HELPER=1",
+		"KS_MIGRATE_CRASH_DIR="+dir,
+		"KS_MIGRATE_CRASH_SRC="+string(source.Addr()),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	progress := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "HELPER-CHUNKS" {
+				progress <- nil
+				return
+			}
+			if strings.HasPrefix(line, "HELPER-ERROR") {
+				progress <- fmt.Errorf("%s", line)
+				return
+			}
+		}
+		progress <- fmt.Errorf("helper exited before applying chunks: %v", sc.Err())
+	}()
+	select {
+	case err := <-progress:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("helper never applied its chunks")
+	}
+
+	// SIGKILL between chunks: no commit ran, no cursor-done record, no
+	// graceful close — only fsynced chunk inserts and checkpoints.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Restart over the same data directory. Recovery must surface the
+	// in-flight transfer (a strict non-empty prefix of the entries plus
+	// its durable cursor) before any resume runs.
+	puller, err := NewPeer(net, "127.0.0.1:0", Config{
+		Dim:                 6,
+		MaintenanceInterval: -1,
+		DataDir:             dir,
+	})
+	if err != nil {
+		t.Fatalf("restart from %s: %v", dir, err)
+	}
+	defer puller.Close()
+	if st := puller.MigrationStats(); st.Recovered != 1 {
+		t.Fatalf("recovered %d durable migration cursors, want 1 (%+v)", st.Recovered, st)
+	}
+	prefix := puller.IndexStats().Objects
+	if prefix < 3 {
+		t.Fatalf("recovered only %d applied entries; helper confirmed 3 chunks of 1", prefix)
+	}
+
+	// Create resumes the recovered transfer against the still-live
+	// source and must finish it: commit included.
+	puller.Create()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := puller.MigrationStats()
+		if st.Active == 0 && st.Recovered == 0 && st.Commits >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed migration never committed: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := puller.MigrationStats()
+	if st.Resumes < 1 {
+		t.Errorf("restart did not count as a resume: %+v", st)
+	}
+	if st.Failures != 0 {
+		t.Errorf("resumed migration recorded failures: %+v", st)
+	}
+
+	// Exactness: every entry moved, none lost, none duplicated, and the
+	// committed source dropped the range.
+	if got := puller.IndexStats().Objects; got != len(objs) {
+		t.Fatalf("puller holds %d/%d entries after resume", got, len(objs))
+	}
+	if got := source.IndexStats().Objects; got != 0 {
+		t.Fatalf("source still holds %d entries after commit", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, obj := range objs {
+		ids, _, err := puller.PinSearch(ctx, obj.Keywords)
+		if err != nil {
+			t.Fatalf("pin %v after resume: %v", obj.Keywords, err)
+		}
+		if len(ids) != 1 || ids[0] != obj.ID {
+			t.Errorf("pin %v after resume = %v, want [%s]", obj.Keywords, ids, obj.ID)
+		}
+	}
+}

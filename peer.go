@@ -100,9 +100,19 @@ type Config struct {
 	// deletes) beyond MaxInflight wait in a bounded deadline-aware queue
 	// and are shed with a typed overload error carrying a Retry-After
 	// hint once the queue fills, their deadline can't be met, or their
-	// client exceeds its fair-queuing rate. Interior wave traffic is
-	// never gated. Nil (default) admits everything.
+	// client exceeds its fair-queuing rate. Interior wave traffic —
+	// including migration chunks — is never gated. Nil (default) admits
+	// everything.
 	Admission *AdmissionPolicy
+	// MigrateChunkEntries caps the entries per chunk an inbound index
+	// migration pulls from the old owner (0 = library default, 512).
+	MigrateChunkEntries int
+	// MigrateChunkBytes caps the approximate payload bytes per migration
+	// chunk (0 = library default, 256 KiB).
+	MigrateChunkBytes int
+	// MigrateThrottle pauses between migration chunks, bounding the
+	// transfer's bandwidth and lock footprint (0 = back to back).
+	MigrateThrottle time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -197,11 +207,23 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Admission:       cfg.Admission,
 		Owner:           node.Owns,
 		Telemetry:       cfg.Telemetry,
+		Migration: core.MigrationConfig{
+			ChunkEntries: cfg.MigrateChunkEntries,
+			ChunkBytes:   cfg.MigrateChunkBytes,
+			Throttle:     cfg.MigrateThrottle,
+		},
 	})
 	if err != nil {
 		endpoint.Close()
 		return nil, err
 	}
+	// Stabilization-driven ownership changes enqueue migrations: when
+	// this node discovers a (new) live immediate successor, it pulls
+	// whatever entries of its own range that successor still holds.
+	// Duplicate triggers for an in-flight range are no-ops.
+	node.OnSuccessorChange(func(succ chord.NodeInfo) {
+		server.EnqueueMigration(succ.Addr, uint64(node.ID()), uint64(succ.ID))
+	})
 
 	// One client per index replica: replica i has its own keyword hash
 	// (seeded off the deployment seed) and its own vertex→node salt,
@@ -269,28 +291,43 @@ func (p *Peer) SetClientID(id string) {
 // Create starts a new network with this peer as the first member.
 func (p *Peer) Create() {
 	p.chord.Create()
+	p.server.ResumeMigrations()
 	if p.cfg.MaintenanceInterval > 0 {
 		p.chord.StartMaintenance(p.cfg.MaintenanceInterval)
 	}
 }
 
 // Join connects this peer to the network containing the peer at seed
-// and pulls the index entries it now owns from its ring successor
-// (mirroring Chord's reference handoff).
+// and schedules a background migration of the index entries it now
+// owns from its ring successor: a chunked, cursor-paged, crash-safe
+// pull during which the successor keeps serving the range and this
+// peer double-reads it, so the entries never go invisible (DESIGN
+// §11). Migrations whose durable cursor was recovered from DataDir
+// resume where they left off.
 func (p *Peer) Join(ctx context.Context, seed Addr) error {
 	if err := p.chord.Join(ctx, seed); err != nil {
 		return err
 	}
 	if succ := p.chord.Successor(); succ.Addr != "" && succ.Addr != p.addr {
-		// Best effort: stabilization and stale-binding retries cover a
-		// missed handoff, at the cost of temporarily invisible entries.
-		_, _ = p.server.PullHandoff(ctx, p.sender, succ.Addr,
-			uint64(p.chord.ID()), uint64(succ.ID))
+		p.server.EnqueueMigration(succ.Addr, uint64(p.chord.ID()), uint64(succ.ID))
 	}
+	p.server.ResumeMigrations()
 	if p.cfg.MaintenanceInterval > 0 {
 		p.chord.StartMaintenance(p.cfg.MaintenanceInterval)
 	}
 	return nil
+}
+
+// MigrationStats reports the peer's inbound index-migration counters:
+// in-flight transfers, chunks/entries/bytes applied, crash resumes,
+// and double-reads served during open windows.
+func (p *Peer) MigrationStats() core.MigrationStats { return p.server.MigrationStats() }
+
+// WaitMigrationsIdle blocks until every in-flight inbound migration
+// has finished (committed or aborted) or ctx expires. Tests and
+// simulations use it to quiesce churn before asserting on state.
+func (p *Peer) WaitMigrationsIdle(ctx context.Context) error {
+	return p.server.WaitMigrationsIdle(ctx)
 }
 
 // StabilizeOnce runs one round of DHT maintenance synchronously;
@@ -320,13 +357,16 @@ func (p *Peer) Close() error {
 // Leave departs the network gracefully: the peer's DHT references and
 // index entries transfer to its ring successor (which owns the peer's
 // key range after departure), both neighbors splice it out, and the
-// endpoint closes. Best effort — on errors the network still heals via
-// stabilization, but transferred state may be partial.
-func (p *Peer) Leave(ctx context.Context) error {
+// endpoint closes. It returns the number of index entries actually
+// transferred — on errors that count may cover only a prefix of the
+// table, and the network still heals via stabilization.
+func (p *Peer) Leave(ctx context.Context) (transferred int, err error) {
 	succ := p.chord.Successor()
 	leaveErr := p.chord.Leave(ctx)
 	if succ.Addr != "" && succ.Addr != p.addr {
-		if _, err := p.server.DrainTo(ctx, p.sender, succ.Addr); err != nil && leaveErr == nil {
+		sent, err := p.server.DrainTo(ctx, p.sender, succ.Addr)
+		transferred = sent
+		if err != nil && leaveErr == nil {
 			leaveErr = err
 		}
 	}
@@ -340,7 +380,7 @@ func (p *Peer) Leave(ctx context.Context) error {
 	if err := p.server.Close(); err != nil && leaveErr == nil {
 		leaveErr = err
 	}
-	return leaveErr
+	return transferred, leaveErr
 }
 
 // Publish shares a copy of an object held by this peer: it inserts the
