@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke fuzz-smoke figures fmt vet clean ci chaos
 
 all: build test
 
 # Full verification gate: static checks, build, the race-enabled test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
 # suite, the SIGKILL crash-recovery smoke, the live-churn migration
-# smoke, the open-loop load-rig smoke, and a single-iteration
-# benchmark smoke pass.
-ci: vet build race chaos crash-smoke churn-smoke load-smoke bench-smoke
+# smoke, the open-loop load-rig smoke, the wire-decoder fuzz smoke,
+# and a single-iteration benchmark smoke pass.
+ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
@@ -19,6 +19,10 @@ ci: vet build race chaos crash-smoke churn-smoke load-smoke bench-smoke
 # gates the WAL's end-to-end indexing overhead at 10% with
 # fsync=interval (both gates engage on machines with 4+ cores). The
 # durability benchmarks are also recorded into results/wal.txt.
+# BenchmarkWireCodec and BenchmarkWireRPC gate the v2 wire protocol —
+# <= 0.5x bytes per RPC unconditionally (byte sizes are deterministic)
+# and >= 2x RPCs/sec under concurrency on 4+ cores — and are recorded
+# into results/wire.txt.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	mkdir -p results
@@ -26,6 +30,10 @@ bench-smoke:
 		| tee results/wal.txt
 	$(GO) test -run '^$$' -bench BenchmarkDurableIndexingOverhead -benchtime=1x ./internal/sim/ \
 		| tee -a results/wal.txt
+	$(GO) test -run '^$$' -bench BenchmarkWireCodec -benchtime=1x -benchmem ./internal/core/ \
+		| tee results/wire.txt
+	$(GO) test -run '^$$' -bench BenchmarkWireRPC -benchtime=1x ./internal/transport/tcpnet/ \
+		| tee -a results/wire.txt
 
 # Open-loop load-rig smoke: a short seeded ksload-style run against an
 # inmem fleet with admission control on, asserting the accounting
@@ -52,6 +60,13 @@ churn-smoke:
 	$(GO) test -count=1 -run 'MigrateCrash|SearchDuringMigration|ChurnFingerprint' .
 	mkdir -p results
 	$(GO) run ./cmd/ksbench -fig churn -objects 5000 > results/churn.txt
+
+# Wire-decoder fuzz smoke: ten seconds of coverage-guided fuzzing over
+# the v2 frame decoder — arbitrary bytes must produce a clean error,
+# never a panic, an over-allocation, or a frame that fails to round
+# trip. The full corpus lives under the standard go fuzz cache.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s ./internal/transport/tcpnet/
 
 # Seeded chaos suite: deterministic fault-schedule replays, the
 # resilience policy tests, the server concurrency hammer (parallel

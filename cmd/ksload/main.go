@@ -40,9 +40,11 @@ func main() {
 }
 
 type options struct {
-	transport string
-	r         int
-	peers     int
+	transport     string
+	wire          string
+	listenWorkers int
+	r             int
+	peers         int
 
 	objects    int
 	corpusSeed int64
@@ -69,12 +71,18 @@ type options struct {
 	study bool
 	tag   string
 	out   string
+
+	// wireResolved is the wire mode of the fleet being built now: with
+	// -wire both it alternates per phase, otherwise it equals wire.
+	wireResolved string
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ksload", flag.ContinueOnError)
 	var o options
 	fs.StringVar(&o.transport, "transport", "inmem", "fleet transport: inmem or tcp")
+	fs.StringVar(&o.wire, "wire", "binary", "tcp wire protocol: binary | gob | both (both runs one phase per protocol into the same BENCH file)")
+	fs.IntVar(&o.listenWorkers, "listen-workers", 0, "tcp: decode/handler workers shared by all v2 connections per peer (0 = 2x GOMAXPROCS, min 4)")
 	fs.IntVar(&o.r, "r", 8, "hypercube dimensionality")
 	fs.IntVar(&o.peers, "peers", 16, "physical fleet size")
 	fs.IntVar(&o.objects, "objects", 2000, "corpus size")
@@ -104,6 +112,18 @@ func run(args []string) error {
 	}
 	if o.transport != "inmem" && o.transport != "tcp" {
 		return fmt.Errorf("unknown transport %q", o.transport)
+	}
+	switch o.wire {
+	case "binary", "gob":
+	case "both":
+		if o.transport != "tcp" {
+			return fmt.Errorf("-wire both requires -transport tcp")
+		}
+		if o.study {
+			return fmt.Errorf("-wire both and -study are mutually exclusive")
+		}
+	default:
+		return fmt.Errorf("unknown wire mode %q", o.wire)
 	}
 
 	c, err := corpus.Generate(corpus.Config{Objects: o.objects, Seed: o.corpusSeed})
@@ -148,20 +168,34 @@ func run(args []string) error {
 			return err
 		}
 	} else {
-		f, err := buildFleet(&o, c, o.admissionOn)
-		if err != nil {
-			return err
+		// -wire both replays the identical workload once per wire
+		// protocol, so one BENCH file carries the apples-to-apples
+		// comparison.
+		modes := []string{o.wire}
+		if o.wire == "both" {
+			modes = []string{"gob", "binary"}
 		}
-		rep, err := runPhase(&o, f, queries, o.rate)
-		f.close()
-		if err != nil {
-			return err
+		for _, mode := range modes {
+			o.wireResolved = mode
+			name := "single"
+			if o.wire == "both" {
+				name = "wire-" + mode
+			}
+			f, err := buildFleet(&o, c, o.admissionOn)
+			if err != nil {
+				return err
+			}
+			rep, err := runPhase(&o, f, queries, o.rate)
+			f.close()
+			if err != nil {
+				return err
+			}
+			printReport(name+" ("+o.tag+")", o.rate, rep)
+			bench.Runs = append(bench.Runs, load.RunResult{
+				Name: name, Admission: o.admissionOn, RateQPS: o.rate,
+				Arrival: o.arrival, TimeoutNS: o.timeout.Nanoseconds(), Report: rep,
+			})
 		}
-		printReport(o.tag, o.rate, rep)
-		bench.Runs = append(bench.Runs, load.RunResult{
-			Name: "single", Admission: o.admissionOn, RateQPS: o.rate,
-			Arrival: o.arrival, TimeoutNS: o.timeout.Nanoseconds(), Report: rep,
-		})
 	}
 
 	if err := os.MkdirAll(o.out, 0o755); err != nil {

@@ -13,8 +13,8 @@ import (
 )
 
 // tcpFleet runs o.peers full keysearch peers over real loopback
-// sockets in this process: Chord ring, index handoff, gob encoding —
-// the whole production stack minus process isolation.
+// sockets in this process: Chord ring, index handoff, the configured
+// wire protocol — the whole production stack minus process isolation.
 type tcpFleet struct {
 	net    *tcpnet.Network
 	peers  []*keysearch.Peer
@@ -23,7 +23,17 @@ type tcpFleet struct {
 
 func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet, error) {
 	keysearch.RegisterTypes()
-	net := keysearch.NewTCPTransport()
+	mode := o.wireResolved
+	if mode == "" {
+		mode = o.wire
+	}
+	net, err := keysearch.NewTCPTransportConfig(keysearch.TCPConfig{
+		Wire:          mode,
+		ListenWorkers: o.listenWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
 	cfg := keysearch.Config{Dim: o.r, MaintenanceInterval: -1, Admission: pol}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()

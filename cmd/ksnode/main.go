@@ -63,6 +63,9 @@ func run(args []string) error {
 		clientRate   = fs.Float64("client-rate", 0, "admission: per-client sustained request rate, req/s (0 = no fair queuing)")
 		clientBurst  = fs.Float64("client-burst", 0, "admission: per-client token-bucket burst (0 = rate/4)")
 
+		wireMode      = fs.String("wire", keysearch.WireBinary, "outbound wire protocol: binary (multiplexed v2 framing) | gob (legacy serial); the listener always serves both")
+		listenWorkers = fs.Int("listen-workers", 0, "decode/handler workers shared by all v2 connections (0 = 2x GOMAXPROCS, min 4)")
+
 		migEntries  = fs.Int("migrate-chunk-entries", 0, "entries per inbound migration chunk (0 = default, 512)")
 		migBytes    = fs.Int("migrate-chunk-bytes", 0, "approximate payload bytes per migration chunk (0 = default, 256 KiB)")
 		migThrottle = fs.Duration("migrate-throttle", 0, "pause between migration chunks, bounding transfer bandwidth (0 = back to back)")
@@ -90,7 +93,13 @@ func run(args []string) error {
 	}
 
 	keysearch.RegisterTypes()
-	transport := keysearch.NewTCPTransport()
+	transport, err := keysearch.NewTCPTransportConfig(keysearch.TCPConfig{
+		Wire:          *wireMode,
+		ListenWorkers: *listenWorkers,
+	})
+	if err != nil {
+		return err
+	}
 	defer transport.Close()
 	transport.SetTelemetry(reg)
 

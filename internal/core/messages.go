@@ -261,4 +261,5 @@ func RegisterTypes() {
 	} {
 		transport.RegisterType(v)
 	}
+	registerWireCodecs()
 }

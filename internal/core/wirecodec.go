@@ -1,0 +1,482 @@
+package core
+
+import (
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
+)
+
+// Wire type IDs of the index protocol. IDs 1–31 belong to package
+// core; chord owns 32–63 and invindex 64–95. Never reuse or renumber a
+// live ID — the registry panics on conflicts, and mixed-version fleets
+// would misparse each other.
+const (
+	wireMsgInsertEntry    = 1
+	wireRespAck           = 2
+	wireMsgDeleteEntry    = 3
+	wireRespDeleteEntry   = 4
+	wireMsgPinQuery       = 5
+	wireRespPinQuery      = 6
+	wireMsgTQuery         = 7
+	wireRespTQuery        = 8
+	wireMsgSubQuery       = 9
+	wireRespSubQuery      = 10
+	wireMsgSubQueryBatch  = 11
+	wireRespSubQueryBatch = 12
+	wireMsgBulkInsert     = 13
+	wireMsgMigrateChunk   = 14
+	wireRespMigrateChunk  = 15
+	wireMsgMigrateCommit  = 16
+	wireRespMigrateCommit = 17
+)
+
+// registerWireCodecs binds every index-protocol message to its wire
+// type ID; called from RegisterTypes alongside the gob registration.
+func registerWireCodecs() {
+	wire.Register[msgInsertEntry](wireMsgInsertEntry)
+	wire.Register[respAck](wireRespAck)
+	wire.Register[msgDeleteEntry](wireMsgDeleteEntry)
+	wire.Register[respDeleteEntry](wireRespDeleteEntry)
+	wire.Register[msgPinQuery](wireMsgPinQuery)
+	wire.Register[respPinQuery](wireRespPinQuery)
+	wire.Register[msgTQuery](wireMsgTQuery)
+	wire.Register[respTQuery](wireRespTQuery)
+	wire.Register[msgSubQuery](wireMsgSubQuery)
+	wire.Register[respSubQuery](wireRespSubQuery)
+	wire.Register[msgSubQueryBatch](wireMsgSubQueryBatch)
+	wire.Register[respSubQueryBatch](wireRespSubQueryBatch)
+	wire.Register[msgBulkInsert](wireMsgBulkInsert)
+	wire.Register[msgMigrateChunk](wireMsgMigrateChunk)
+	wire.Register[respMigrateChunk](wireRespMigrateChunk)
+	wire.Register[msgMigrateCommit](wireMsgMigrateCommit)
+	wire.Register[respMigrateCommit](wireRespMigrateCommit)
+}
+
+// Shared field helpers. Matches carry two strings each, so the
+// per-frame string arena in wire.Reader makes a batch of thousands of
+// matches cost one string allocation total.
+
+func marshalMatch(w *wire.Writer, m *Match) {
+	w.String(m.ObjectID)
+	w.String(m.SetKey)
+	w.Uvarint(m.Vertex)
+	w.Int(m.Depth)
+}
+
+func unmarshalMatch(r *wire.Reader, m *Match) {
+	m.ObjectID = r.String()
+	m.SetKey = r.String()
+	m.Vertex = r.Uvarint()
+	m.Depth = r.Int()
+}
+
+// minMatchBytes is the smallest encoding of one Match (two empty
+// strings + vertex + depth); Count uses it to bound allocations.
+const minMatchBytes = 4
+
+func marshalMatches(w *wire.Writer, ms []Match) {
+	w.Uvarint(uint64(len(ms)))
+	for i := range ms {
+		marshalMatch(w, &ms[i])
+	}
+}
+
+func unmarshalMatches(r *wire.Reader) []Match {
+	n := r.Count(minMatchBytes)
+	if n == 0 {
+		return nil
+	}
+	ms := make([]Match, n)
+	for i := range ms {
+		unmarshalMatch(r, &ms[i])
+	}
+	return ms
+}
+
+func marshalEdges(w *wire.Writer, es []wireEdge) {
+	w.Uvarint(uint64(len(es)))
+	for _, e := range es {
+		w.Uvarint(e.Vertex)
+		w.Int(e.Dim)
+	}
+}
+
+func unmarshalEdges(r *wire.Reader) []wireEdge {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	es := make([]wireEdge, n)
+	for i := range es {
+		es[i].Vertex = r.Uvarint()
+		es[i].Dim = r.Int()
+	}
+	return es
+}
+
+func marshalBulkEntries(w *wire.Writer, es []BulkEntry) {
+	w.Uvarint(uint64(len(es)))
+	for i := range es {
+		w.String(es[i].Instance)
+		w.Uvarint(es[i].Vertex)
+		w.String(es[i].SetKey)
+		w.String(es[i].ObjectID)
+	}
+}
+
+func unmarshalBulkEntries(r *wire.Reader) []BulkEntry {
+	n := r.Count(4)
+	if n == 0 {
+		return nil
+	}
+	es := make([]BulkEntry, n)
+	for i := range es {
+		es[i].Instance = r.String()
+		es[i].Vertex = r.Uvarint()
+		es[i].SetKey = r.String()
+		es[i].ObjectID = r.String()
+	}
+	return es
+}
+
+func marshalCursor(w *wire.Writer, c *wireCursor) {
+	w.Bool(c.Started)
+	w.String(c.Instance)
+	w.Uvarint(c.Vertex)
+	w.String(c.SetKey)
+	w.String(c.ObjectID)
+}
+
+func unmarshalCursor(r *wire.Reader, c *wireCursor) {
+	c.Started = r.Bool()
+	c.Instance = r.String()
+	c.Vertex = r.Uvarint()
+	c.SetKey = r.String()
+	c.ObjectID = r.String()
+}
+
+func (m *msgInsertEntry) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.String(m.SetKey)
+	w.String(m.ObjectID)
+	w.String(m.ClientID)
+}
+
+func (m *msgInsertEntry) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.SetKey = r.String()
+	m.ObjectID = r.String()
+	m.ClientID = r.String()
+	return r.Err()
+}
+
+func (m *respAck) MarshalWire(w *wire.Writer)         {}
+func (m *respAck) UnmarshalWire(r *wire.Reader) error { return r.Err() }
+
+func (m *msgDeleteEntry) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.String(m.SetKey)
+	w.String(m.ObjectID)
+	w.String(m.ClientID)
+}
+
+func (m *msgDeleteEntry) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.SetKey = r.String()
+	m.ObjectID = r.String()
+	m.ClientID = r.String()
+	return r.Err()
+}
+
+func (m *respDeleteEntry) MarshalWire(w *wire.Writer)         { w.Bool(m.Found) }
+func (m *respDeleteEntry) UnmarshalWire(r *wire.Reader) error { m.Found = r.Bool(); return r.Err() }
+
+func (m *msgPinQuery) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.String(m.SetKey)
+	w.String(m.ClientID)
+	w.Bool(m.Relay)
+}
+
+func (m *msgPinQuery) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.SetKey = r.String()
+	m.ClientID = r.String()
+	m.Relay = r.Bool()
+	return r.Err()
+}
+
+func (m *respPinQuery) MarshalWire(w *wire.Writer) {
+	w.Uvarint(uint64(len(m.ObjectIDs)))
+	for _, id := range m.ObjectIDs {
+		w.String(id)
+	}
+}
+
+func (m *respPinQuery) UnmarshalWire(r *wire.Reader) error {
+	n := r.Count(1)
+	if n > 0 {
+		m.ObjectIDs = make([]string, n)
+		for i := range m.ObjectIDs {
+			m.ObjectIDs[i] = r.String()
+		}
+	}
+	return r.Err()
+}
+
+func (m *msgTQuery) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Int(m.Dim)
+	w.Uvarint(m.Vertex)
+	w.String(m.QueryKey)
+	w.Int(m.Threshold)
+	w.Int(int(m.Order))
+	w.Bool(m.Cumulative)
+	w.U64(m.SessionID)
+	w.Bool(m.NoCache)
+	w.Bool(m.WantTrace)
+	w.String(m.ClientID)
+	w.Varint(m.DeadlineUnixNano)
+}
+
+func (m *msgTQuery) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Dim = r.Int()
+	m.Vertex = r.Uvarint()
+	m.QueryKey = r.String()
+	m.Threshold = r.Int()
+	m.Order = TraversalOrder(r.Int())
+	m.Cumulative = r.Bool()
+	m.SessionID = r.U64()
+	m.NoCache = r.Bool()
+	m.WantTrace = r.Bool()
+	m.ClientID = r.String()
+	m.DeadlineUnixNano = r.Varint()
+	return r.Err()
+}
+
+func (m *respTQuery) MarshalWire(w *wire.Writer) {
+	marshalMatches(w, m.Matches)
+	w.Bool(m.Exhausted)
+	w.U64(m.SessionID)
+	w.Int(m.SubNodes)
+	w.Int(m.SubMsgs)
+	w.Int(m.Rounds)
+	w.Int(m.FailedNodes)
+	w.Int(m.PhysFrames)
+	w.Bool(m.CacheHit)
+	w.Int(m.ErrCode)
+	w.Uvarint(uint64(len(m.Trace)))
+	for _, ts := range m.Trace {
+		w.Uvarint(ts.Vertex)
+		w.Int(ts.Matches)
+		w.Bool(ts.Failed)
+	}
+}
+
+func (m *respTQuery) UnmarshalWire(r *wire.Reader) error {
+	m.Matches = unmarshalMatches(r)
+	m.Exhausted = r.Bool()
+	m.SessionID = r.U64()
+	m.SubNodes = r.Int()
+	m.SubMsgs = r.Int()
+	m.Rounds = r.Int()
+	m.FailedNodes = r.Int()
+	m.PhysFrames = r.Int()
+	m.CacheHit = r.Bool()
+	m.ErrCode = r.Int()
+	if n := r.Count(3); n > 0 {
+		m.Trace = make([]TraceStep, n)
+		for i := range m.Trace {
+			m.Trace[i].Vertex = r.Uvarint()
+			m.Trace[i].Matches = r.Int()
+			m.Trace[i].Failed = r.Bool()
+		}
+	}
+	return r.Err()
+}
+
+func (m *msgSubQuery) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Int(m.Dim)
+	w.Uvarint(m.Vertex)
+	w.Uvarint(m.Root)
+	w.String(m.QueryKey)
+	w.Int(m.Limit)
+	w.Int(m.Skip)
+	w.Int(m.GenDim)
+	w.Bool(m.Relay)
+}
+
+func (m *msgSubQuery) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Dim = r.Int()
+	m.Vertex = r.Uvarint()
+	m.Root = r.Uvarint()
+	m.QueryKey = r.String()
+	m.Limit = r.Int()
+	m.Skip = r.Int()
+	m.GenDim = r.Int()
+	m.Relay = r.Bool()
+	return r.Err()
+}
+
+func (m *respSubQuery) MarshalWire(w *wire.Writer) {
+	marshalMatches(w, m.Matches)
+	w.Int(m.Remaining)
+	marshalEdges(w, m.Children)
+}
+
+func (m *respSubQuery) UnmarshalWire(r *wire.Reader) error {
+	m.Matches = unmarshalMatches(r)
+	m.Remaining = r.Int()
+	m.Children = unmarshalEdges(r)
+	return r.Err()
+}
+
+func (m *msgSubQueryBatch) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Int(m.Dim)
+	w.Uvarint(m.Root)
+	w.String(m.QueryKey)
+	w.Int(m.Limit)
+	w.Varint(m.DeadlineUnixNano)
+	w.Uvarint(uint64(len(m.Units)))
+	for _, u := range m.Units {
+		w.Uvarint(u.Vertex)
+		w.Int(u.Skip)
+		w.Int(u.GenDim)
+	}
+}
+
+func (m *msgSubQueryBatch) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Dim = r.Int()
+	m.Root = r.Uvarint()
+	m.QueryKey = r.String()
+	m.Limit = r.Int()
+	m.DeadlineUnixNano = r.Varint()
+	if n := r.Count(3); n > 0 {
+		m.Units = make([]wireUnit, n)
+		for i := range m.Units {
+			m.Units[i].Vertex = r.Uvarint()
+			m.Units[i].Skip = r.Int()
+			m.Units[i].GenDim = r.Int()
+		}
+	}
+	return r.Err()
+}
+
+// respSubQueryBatch is the near-zero-copy path: the encoder streams
+// every unit's match slice — the shard-published immutable slices —
+// straight into the frame buffer with a frame-level total up front,
+// and the decoder materializes all matches of the frame into ONE arena
+// []Match (plus the Reader's one string arena), sub-sliced per unit.
+func (m *respSubQueryBatch) MarshalWire(w *wire.Writer) {
+	total := 0
+	for i := range m.Results {
+		total += len(m.Results[i].Matches)
+	}
+	w.Uvarint(uint64(total))
+	w.Uvarint(uint64(len(m.Results)))
+	for i := range m.Results {
+		u := &m.Results[i]
+		marshalMatches(w, u.Matches)
+		w.Int(u.Remaining)
+		marshalEdges(w, u.Children)
+		w.Int(u.ErrCode)
+	}
+}
+
+func (m *respSubQueryBatch) UnmarshalWire(r *wire.Reader) error {
+	total := r.Count(minMatchBytes)
+	nunits := r.Count(1)
+	if nunits == 0 {
+		return r.Err()
+	}
+	arena := make([]Match, 0, total)
+	m.Results = make([]respSubUnit, nunits)
+	for i := range m.Results {
+		u := &m.Results[i]
+		n := r.Count(minMatchBytes)
+		if n > 0 {
+			start := len(arena)
+			if start+n > cap(arena) {
+				// Inconsistent frame-level total; grow rather than trust it.
+				grown := make([]Match, start, start+n)
+				copy(grown, arena)
+				arena = grown
+			}
+			arena = arena[:start+n]
+			for j := start; j < start+n; j++ {
+				unmarshalMatch(r, &arena[j])
+			}
+			// Three-index slice: a later append by any holder cannot
+			// scribble over the next unit's window.
+			u.Matches = arena[start : start+n : start+n]
+		}
+		u.Remaining = r.Int()
+		u.Children = unmarshalEdges(r)
+		u.ErrCode = r.Int()
+	}
+	return r.Err()
+}
+
+func (m *msgBulkInsert) MarshalWire(w *wire.Writer) { marshalBulkEntries(w, m.Entries) }
+
+func (m *msgBulkInsert) UnmarshalWire(r *wire.Reader) error {
+	m.Entries = unmarshalBulkEntries(r)
+	return r.Err()
+}
+
+func (m *msgMigrateChunk) MarshalWire(w *wire.Writer) {
+	w.U64(m.NewID)
+	w.U64(m.OwnerID)
+	marshalCursor(w, &m.Cursor)
+	w.Int(m.MaxEntries)
+	w.Int(m.MaxBytes)
+	w.Varint(m.DeadlineUnixNano)
+}
+
+func (m *msgMigrateChunk) UnmarshalWire(r *wire.Reader) error {
+	m.NewID = r.U64()
+	m.OwnerID = r.U64()
+	unmarshalCursor(r, &m.Cursor)
+	m.MaxEntries = r.Int()
+	m.MaxBytes = r.Int()
+	m.DeadlineUnixNano = r.Varint()
+	return r.Err()
+}
+
+func (m *respMigrateChunk) MarshalWire(w *wire.Writer) {
+	marshalBulkEntries(w, m.Entries)
+	marshalCursor(w, &m.Cursor)
+	w.Bool(m.Done)
+}
+
+func (m *respMigrateChunk) UnmarshalWire(r *wire.Reader) error {
+	m.Entries = unmarshalBulkEntries(r)
+	unmarshalCursor(r, &m.Cursor)
+	m.Done = r.Bool()
+	return r.Err()
+}
+
+func (m *msgMigrateCommit) MarshalWire(w *wire.Writer) {
+	w.U64(m.NewID)
+	w.U64(m.OwnerID)
+	w.Varint(m.DeadlineUnixNano)
+}
+
+func (m *msgMigrateCommit) UnmarshalWire(r *wire.Reader) error {
+	m.NewID = r.U64()
+	m.OwnerID = r.U64()
+	m.DeadlineUnixNano = r.Varint()
+	return r.Err()
+}
+
+func (m *respMigrateCommit) MarshalWire(w *wire.Writer)         { w.Int(m.Dropped) }
+func (m *respMigrateCommit) UnmarshalWire(r *wire.Reader) error { m.Dropped = r.Int(); return r.Err() }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
+)
+
+// roundTrip encodes msg through its registered codec and decodes it
+// back, failing the test on any mismatch. The decoded value must be
+// deeply equal to the original — this is the answer-level equivalence
+// the -wire knob relies on.
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	c, ok := wire.Lookup(msg)
+	if !ok {
+		t.Fatalf("no wire codec registered for %T", msg)
+	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	c.Encode(w, msg)
+	r := wire.NewReader(w.Buf)
+	got, err := c.Decode(r)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("decode %T left trailing bytes: %v", msg, err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("%T round trip mismatch:\n got %+v\nwant %+v", msg, got, msg)
+	}
+	return got
+}
+
+func TestCoreWireRoundTrip(t *testing.T) {
+	RegisterTypes()
+	matches := []Match{
+		{ObjectID: "obj-1", SetKey: "a b c", Vertex: 7, Depth: 0},
+		{ObjectID: "obj-2", SetKey: "", Vertex: 1 << 40, Depth: -3},
+	}
+	edges := []wireEdge{{Vertex: 3, Dim: 0}, {Vertex: 9, Dim: 5}}
+	entries := []BulkEntry{
+		{Instance: "default", Vertex: 12, SetKey: "k", ObjectID: "o"},
+		{Instance: "", Vertex: 0, SetKey: "", ObjectID: ""},
+	}
+	cursor := wireCursor{Started: true, Instance: "i", Vertex: 99, SetKey: "sk", ObjectID: "oid"}
+
+	for _, msg := range []any{
+		msgInsertEntry{Instance: "default", Vertex: 42, SetKey: "a b", ObjectID: "doc-1", ClientID: "c1"},
+		msgInsertEntry{},
+		respAck{},
+		msgDeleteEntry{Instance: "x", Vertex: 1, SetKey: "s", ObjectID: "o", ClientID: ""},
+		respDeleteEntry{Found: true},
+		respDeleteEntry{},
+		msgPinQuery{Instance: "default", Vertex: 5, SetKey: "k1 k2", ClientID: "cli", Relay: true},
+		respPinQuery{ObjectIDs: []string{"a", "b", "c"}},
+		respPinQuery{},
+		msgTQuery{Instance: "default", Dim: 10, Vertex: 1023, QueryKey: "q", Threshold: 50,
+			Order: 1, Cumulative: true, SessionID: 0xfeedface12345678, NoCache: true,
+			WantTrace: true, ClientID: "c", DeadlineUnixNano: -1},
+		msgTQuery{},
+		respTQuery{Matches: matches, Exhausted: true, SessionID: 7, SubNodes: 3, SubMsgs: 9,
+			Rounds: 2, FailedNodes: 1, PhysFrames: 4, CacheHit: true, ErrCode: -2,
+			Trace: []TraceStep{{Vertex: 1, Matches: 2, Failed: false}, {Vertex: 2, Matches: 0, Failed: true}}},
+		respTQuery{},
+		msgSubQuery{Instance: "i", Dim: 8, Vertex: 200, Root: 100, QueryKey: "qk",
+			Limit: 10, Skip: 5, GenDim: -1, Relay: true},
+		respSubQuery{Matches: matches, Remaining: 17, Children: edges},
+		respSubQuery{},
+		msgSubQueryBatch{Instance: "i", Dim: 6, Root: 63, QueryKey: "q", Limit: 100,
+			Units:            []wireUnit{{Vertex: 1, Skip: 0, GenDim: 3}, {Vertex: 2, Skip: 10, GenDim: -1}},
+			DeadlineUnixNano: 1754500000000000000},
+		msgSubQueryBatch{},
+		respSubQueryBatch{Results: []respSubUnit{
+			{Matches: matches, Remaining: 2, Children: edges, ErrCode: 0},
+			{Matches: nil, Remaining: 0, Children: nil, ErrCode: 3},
+			{Matches: matches[:1], Remaining: 0, Children: nil, ErrCode: 0},
+		}},
+		respSubQueryBatch{},
+		msgBulkInsert{Entries: entries},
+		msgBulkInsert{},
+		msgMigrateChunk{NewID: 1 << 63, OwnerID: 77, Cursor: cursor, MaxEntries: 500,
+			MaxBytes: 1 << 20, DeadlineUnixNano: 12345},
+		respMigrateChunk{Entries: entries, Cursor: cursor, Done: true},
+		respMigrateChunk{},
+		msgMigrateCommit{NewID: 5, OwnerID: 6, DeadlineUnixNano: 7},
+		respMigrateCommit{Dropped: 321},
+	} {
+		roundTrip(t, msg)
+	}
+}
+
+// TestBatchArenaDecode verifies the near-zero-copy batch path: all
+// match structs of a decoded respSubQueryBatch share one backing
+// array, and the per-unit windows are capped so appends cannot
+// clobber a neighboring unit.
+func TestBatchArenaDecode(t *testing.T) {
+	RegisterTypes()
+	in := respSubQueryBatch{Results: []respSubUnit{
+		{Matches: []Match{{ObjectID: "a", SetKey: "x", Vertex: 1}, {ObjectID: "b", SetKey: "y", Vertex: 2}}},
+		{Matches: []Match{{ObjectID: "c", SetKey: "z", Vertex: 3}}},
+	}}
+	out := roundTrip(t, in).(respSubQueryBatch)
+	m0, m1 := out.Results[0].Matches, out.Results[1].Matches
+	if cap(m0) != len(m0) || cap(m1) != len(m1) {
+		t.Fatalf("unit match windows not capacity-capped: cap=%d,%d len=%d,%d",
+			cap(m0), cap(m1), len(m0), len(m1))
+	}
+	// Contiguity: unit 1's first element must sit right after unit 0's
+	// last in the same arena.
+	end0 := uintptr(unsafe.Pointer(&m0[len(m0)-1])) + unsafe.Sizeof(Match{})
+	if end0 != uintptr(unsafe.Pointer(&m1[0])) {
+		t.Fatal("batch units decoded into separate allocations, want one arena")
+	}
+}
+
+// TestBatchDecodeAllocs pins the allocation count of the batch decode
+// path: one []Match arena, one Results slice, one string arena, the
+// Reader, and the boxed return value — independent of match count.
+func TestBatchDecodeAllocs(t *testing.T) {
+	RegisterTypes()
+	units := make([]respSubUnit, 16)
+	for i := range units {
+		ms := make([]Match, 64)
+		for j := range ms {
+			ms[j] = Match{ObjectID: "object-id-123456", SetKey: "alpha beta gamma", Vertex: uint64(i*64 + j)}
+		}
+		units[i].Matches = ms
+	}
+	msg := respSubQueryBatch{Results: units}
+	c, _ := wire.Lookup(msg)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	c.Encode(w, msg)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.Decode(wire.NewReader(w.Buf)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 1024 matches with two strings each would cost >2048 allocations
+	// decoded naively; the arena path needs a small constant.
+	if allocs > 8 {
+		t.Errorf("batch decode allocates %.0f times for 1024 matches, want <= 8", allocs)
+	}
+}
+
+// TestCorruptBatchTotalsDoNotOverAllocate: a frame whose declared
+// frame-level total disagrees with the per-unit counts must still
+// decode correctly (growing past the bogus total) or error — never
+// trust the redundant field.
+func TestCorruptBatchTotalsDoNotOverAllocate(t *testing.T) {
+	RegisterTypes()
+	msg := respSubQueryBatch{Results: []respSubUnit{
+		{Matches: []Match{{ObjectID: "a", SetKey: "b", Vertex: 1}}},
+	}}
+	c, _ := wire.Lookup(msg)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	c.Encode(w, msg)
+	// Zero out the frame-level total (first varint byte): per-unit count
+	// still says 1 match, so the decoder must grow its arena.
+	buf := append([]byte(nil), w.Buf...)
+	if buf[0] != 1 {
+		t.Fatalf("test assumes 1-byte total varint, got %#x", buf[0])
+	}
+	buf[0] = 0
+	got, err := c.Decode(wire.NewReader(buf))
+	if err != nil {
+		t.Fatalf("decode with understated total: %v", err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("decode with understated total mismatch: %+v", got)
+	}
+}

@@ -92,6 +92,7 @@ func RegisterTypes() {
 	} {
 		transport.RegisterType(v)
 	}
+	registerWireCodecs()
 }
 
 // ReadOnlyRPC classifies Chord RPCs that are safe to hedge and to

@@ -1,0 +1,63 @@
+package chord
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/dht"
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
+)
+
+func TestChordWireRoundTrip(t *testing.T) {
+	RegisterTypes()
+	ni := NodeInfo{ID: 0xdeadbeefcafef00d, Addr: "127.0.0.1:9001"}
+	refs := []dht.Reference{
+		{ObjectID: "obj", Holder: "10.0.0.1:80", Location: "/a/b"},
+		{ObjectID: "", Holder: "", Location: ""},
+	}
+	for _, msg := range []any{
+		rpcFindClosest{ID: 1 << 63},
+		respFindClosest{Done: true, Node: ni},
+		respFindClosest{},
+		rpcGetPredecessor{},
+		respGetPredecessor{Known: true, Node: ni},
+		rpcNotify{Candidate: ni},
+		respOK{},
+		rpcGetSuccessorList{},
+		respGetSuccessorList{Successors: []NodeInfo{ni, {ID: 2, Addr: "b"}}},
+		respGetSuccessorList{},
+		rpcPing{},
+		rpcInsertRef{Ref: refs[0]},
+		respInsertRef{First: true},
+		rpcDeleteRef{Ref: refs[0]},
+		respDeleteRef{Found: true, Remaining: 4},
+		rpcReadRefs{ObjectID: "x"},
+		respReadRefs{Found: true, Refs: refs},
+		respReadRefs{},
+		rpcHandoff{NewNode: ni},
+		respHandoff{Refs: refs},
+		respHandoff{},
+		rpcDepart{Leaver: ni, Predecessor: NodeInfo{ID: 1, Addr: "p"},
+			Successor: NodeInfo{ID: 2, Addr: "s"}, Refs: refs},
+		rpcDepart{},
+	} {
+		c, ok := wire.Lookup(msg)
+		if !ok {
+			t.Fatalf("no wire codec registered for %T", msg)
+		}
+		w := wire.GetWriter()
+		c.Encode(w, msg)
+		r := wire.NewReader(w.Buf)
+		got, err := c.Decode(r)
+		wire.PutWriter(w)
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatalf("decode %T trailing bytes: %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("%T round trip mismatch:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}

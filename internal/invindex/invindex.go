@@ -59,6 +59,7 @@ func RegisterTypes() {
 	} {
 		transport.RegisterType(v)
 	}
+	registerWireCodecs()
 }
 
 // Server stores posting lists for the logical nodes assigned to one

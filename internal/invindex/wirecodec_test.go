@@ -1,0 +1,41 @@
+package invindex
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
+)
+
+func TestInvindexWireRoundTrip(t *testing.T) {
+	RegisterTypes()
+	for _, msg := range []any{
+		msgInsertPosting{Vertex: 42, Word: "alpha", ObjectID: "doc-1"},
+		msgInsertPosting{},
+		respAck{},
+		msgDeletePosting{Vertex: 7, Word: "beta", ObjectID: "doc-2"},
+		respDeletePosting{Found: true},
+		msgFetchPostings{Vertex: 1 << 30, Word: "gamma"},
+		respFetchPostings{ObjectIDs: []string{"a", "b"}},
+		respFetchPostings{},
+	} {
+		c, ok := wire.Lookup(msg)
+		if !ok {
+			t.Fatalf("no wire codec registered for %T", msg)
+		}
+		w := wire.GetWriter()
+		c.Encode(w, msg)
+		r := wire.NewReader(w.Buf)
+		got, err := c.Decode(r)
+		wire.PutWriter(w)
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatalf("decode %T trailing bytes: %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("%T round trip mismatch:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package tcpnet
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
+	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
+)
+
+// benchQry/benchAns mimic the small-message hot path (a per-node
+// superset step and its few-match answer) without dragging the core
+// package into the transport benchmark.
+type benchQry struct {
+	Instance string
+	Vertex   uint64
+	Key      string
+	Limit    int
+}
+
+type benchAns struct {
+	IDs       []string
+	Remaining int
+}
+
+func (m *benchQry) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.String(m.Key)
+	w.Int(m.Limit)
+}
+
+func (m *benchQry) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.Key = r.String()
+	m.Limit = r.Int()
+	return r.Err()
+}
+
+func (m *benchAns) MarshalWire(w *wire.Writer) {
+	w.Uvarint(uint64(len(m.IDs)))
+	for _, id := range m.IDs {
+		w.String(id)
+	}
+	w.Int(m.Remaining)
+}
+
+func (m *benchAns) UnmarshalWire(r *wire.Reader) error {
+	n := r.Count(1)
+	if n > 0 {
+		m.IDs = make([]string, n)
+		for i := range m.IDs {
+			m.IDs[i] = r.String()
+		}
+	}
+	m.Remaining = r.Int()
+	return r.Err()
+}
+
+func registerBenchTypes() {
+	transport.RegisterType(benchQry{})
+	transport.RegisterType(benchAns{})
+	wire.Register[benchQry](59003)
+	wire.Register[benchAns](59004)
+}
+
+// benchRPCPair starts a server plus one client network in the given
+// wire mode, with per-type byte accounting on the client's registry.
+func benchRPCPair(b *testing.B, mode string) (cli *Network, addr transport.Addr, reg *telemetry.Registry, closeAll func()) {
+	b.Helper()
+	srv := New()
+	node, err := srv.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
+		q := body.(benchQry)
+		return benchAns{IDs: []string{"obj-00017", "obj-00329"}, Remaining: int(q.Vertex % 7)}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err = NewWithConfig(Config{Wire: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg = telemetry.New(0)
+	cli.SetTelemetry(reg)
+	return cli, node.Addr(), reg, func() { cli.Close(); srv.Close() }
+}
+
+func benchRPCBody(i int) benchQry {
+	return benchQry{
+		Instance: "default",
+		Vertex:   uint64(i),
+		Key:      "8f3a41d2c9b07e55",
+		Limit:    128,
+	}
+}
+
+// clientWireBytes sums the client-side per-type byte counters over the
+// exchange's message types.
+func clientWireBytes(reg *telemetry.Registry) uint64 {
+	var total uint64
+	for _, name := range []string{"transport_tcp_bytes_sent_total", "transport_tcp_bytes_recv_total"} {
+		vec := reg.CounterVec(name, "type")
+		for _, typ := range []string{"tcpnet.benchQry", "tcpnet.benchAns", "error"} {
+			total += vec.With(typ).Value()
+		}
+	}
+	return total
+}
+
+// BenchmarkWireRPC gates the tentpole end to end, with every protocol
+// cost included — framing, envelopes, handshakes, connection churn —
+// as measured by the transport's own per-type byte accounting:
+//
+//   - Bytes per RPC, measured serially on a warm connection
+//     (deterministic, so gated unconditionally): the binary wire must
+//     move at most half the bytes of the gob wire for the same
+//     small-message exchange.
+//   - RPCs/sec under concurrency (gob's per-request exclusive
+//     connections dial beyond its idle pool; the mux multiplexes one):
+//     binary must deliver at least 2x, gated on machines with 4+ cores
+//     like the repo's other throughput gates.
+func BenchmarkWireRPC(b *testing.B) {
+	registerBenchTypes()
+	const (
+		serialN = 400
+		workers = 16
+		perW    = 250
+		reps    = 2
+	)
+	ctx := context.Background()
+
+	type modeStats struct {
+		bytesPerOp float64
+		rps        float64
+	}
+	stats := map[string]modeStats{}
+	for _, mode := range []string{WireBinary, WireGob} {
+		cli, addr, reg, closeAll := benchRPCPair(b, mode)
+
+		// Serial pass on a warm connection: exact steady-state bytes.
+		if _, err := cli.Send(ctx, addr, benchRPCBody(0)); err != nil {
+			b.Fatal(err)
+		}
+		warm := clientWireBytes(reg)
+		for i := 0; i < serialN; i++ {
+			if _, err := cli.Send(ctx, addr, benchRPCBody(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bytesPerOp := float64(clientWireBytes(reg)-warm) / serialN
+
+		// Concurrent throughput, fixed-rep best-of-k (the gate needs a
+		// ratio and must run even at -benchtime=1x).
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < reps; rep++ {
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						if _, err := cli.Send(ctx, addr, benchRPCBody(w*perW+i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		closeAll()
+		stats[mode] = modeStats{
+			bytesPerOp: bytesPerOp,
+			rps:        float64(workers*perW) / best.Seconds(),
+		}
+	}
+
+	bin, gb := stats[WireBinary], stats[WireGob]
+	byteRatio := bin.bytesPerOp / gb.bytesPerOp
+	speedup := bin.rps / gb.rps
+	b.Logf("bytes/RPC: binary %.0f vs gob %.0f (%.2fx); RPCs/sec: binary %.0f vs gob %.0f (%.2fx)",
+		bin.bytesPerOp, gb.bytesPerOp, byteRatio, bin.rps, gb.rps, speedup)
+	if byteRatio > 0.5 {
+		b.Fatalf("binary wire moves %.0f B/RPC vs gob %.0f B/RPC (%.2fx) — want <= 0.5x",
+			bin.bytesPerOp, gb.bytesPerOp, byteRatio)
+	}
+	if cores := runtime.GOMAXPROCS(0); cores >= 4 && runtime.NumCPU() >= 4 && speedup < 2 {
+		b.Fatalf("binary wire %.0f RPCs/sec vs gob %.0f (%.2fx) on %d cores — want >= 2x",
+			bin.rps, gb.rps, speedup, cores)
+	}
+
+	// Standard per-op figure for the binary path.
+	cli, addr, _, closeAll := benchRPCPair(b, WireBinary)
+	defer closeAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Send(ctx, addr, benchRPCBody(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Report after ResetTimer: it deletes user-reported metrics.
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(byteRatio, "byte-ratio")
+	b.ReportMetric(bin.bytesPerOp, "wire-B/op")
+}

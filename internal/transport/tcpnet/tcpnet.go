@@ -1,7 +1,21 @@
-// Package tcpnet implements transport.Network over real TCP
-// connections with gob-encoded request/response frames. It lets the
+// Package tcpnet implements transport.Network over real TCP so the
 // same DHT and keyword-index wiring that runs in the in-memory
-// simulator run as separate OS processes (see cmd/ksnode).
+// simulator can run as separate OS processes (see cmd/ksnode).
+//
+// Two wire protocols share every listening port:
+//
+//   - binary (protocol v2, default): hand-rolled length-prefixed
+//     frames (package wire) over one persistent connection per peer,
+//     multiplexed by request ID, handled by a listener-side worker
+//     pool. See frame.go for the layout.
+//   - gob (legacy): self-describing gob envelopes, one exclusively
+//     owned pooled connection per in-flight RPC, serial handling per
+//     connection. Kept behind Config.Wire for staged rollouts and for
+//     answer-level equivalence tests against the binary stack.
+//
+// The server distinguishes the generations by the v2 magic preamble,
+// so mixed fleets interoperate; Config.Wire only selects what this
+// process sends.
 package tcpnet
 
 import (
@@ -9,16 +23,55 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/telemetry"
 	"github.com/p2pkeyword/keysearch/internal/transport"
 )
 
-// envelope types exchanged on the wire. Body values must be registered
-// via transport.RegisterType.
+// Wire mode names accepted by Config.Wire (and the CLIs' -wire flag).
+const (
+	WireBinary = "binary"
+	WireGob    = "gob"
+)
+
+// Config tunes a Network. The zero value selects the binary wire
+// protocol and a CPU-proportional listener worker pool.
+type Config struct {
+	// Wire selects the client protocol: WireBinary (default) or
+	// WireGob. Servers always accept both.
+	Wire string
+	// ListenWorkers sizes each listener's decode/handler pool
+	// (default: 2×GOMAXPROCS, minimum 4). The pool bounds steady-state
+	// handler concurrency; overflow beyond it spills to fresh
+	// goroutines so nested RPCs issued by handlers cannot deadlock a
+	// saturated pool.
+	ListenWorkers int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	switch c.Wire {
+	case "":
+		c.Wire = WireBinary
+	case WireBinary, WireGob:
+	default:
+		return c, fmt.Errorf("tcpnet: unknown wire mode %q (want %q or %q)", c.Wire, WireBinary, WireGob)
+	}
+	if c.ListenWorkers <= 0 {
+		c.ListenWorkers = 2 * runtime.GOMAXPROCS(0)
+		if c.ListenWorkers < 4 {
+			c.ListenWorkers = 4
+		}
+	}
+	return c, nil
+}
+
+// envelope types of the legacy gob protocol.
 type request struct {
 	From string
 	Body any
@@ -29,64 +82,90 @@ type response struct {
 	Err  string
 }
 
-// maxIdlePerDest bounds the idle client connections kept per
-// destination.
+// maxIdlePerDest bounds the idle gob client connections kept per
+// destination (the binary protocol keeps one mux per destination
+// instead).
 const maxIdlePerDest = 4
 
-// Network is a TCP-backed transport.Network. Each in-flight request
-// owns a connection exclusively (taken from a per-destination idle
-// pool, or freshly dialed), so a handler that itself issues requests —
-// even back to the same destination — can never deadlock on a shared
-// connection.
+// instruments is an immutable snapshot of the network's telemetry.
+// Listeners and send paths load it once through an atomic pointer —
+// never via n.mu, which used to be taken once per accepted connection
+// just to read these fields. All fields are nil-safe; the zero
+// snapshot (telemetry disabled) simply discards updates.
+type instruments struct {
+	requests  *telemetry.CounterVec // transport_tcp_requests_total{type}
+	handled   *telemetry.CounterVec // transport_tcp_handled_total{type}
+	failures  *telemetry.Counter    // transport_tcp_failures_total
+	latency   *telemetry.Histogram  // transport_tcp_rpc_duration_ns
+	sentBytes *telemetry.CounterVec // transport_tcp_bytes_sent_total{type}
+	recvBytes *telemetry.CounterVec // transport_tcp_bytes_recv_total{type}
+}
+
+var noInstruments = &instruments{}
+
+// Network is a TCP-backed transport.Network.
 type Network struct {
+	cfg       Config
+	ins       atomic.Pointer[instruments]
+	localAddr atomic.Pointer[transport.Addr] // first bound listener; Send's default from
+
 	mu        sync.Mutex
 	closed    bool
-	idle      map[transport.Addr][]*clientConn
+	idle      map[transport.Addr][]*clientConn // gob: pooled exclusive connections
+	muxes     map[transport.Addr]*muxEntry     // binary: one shared mux per peer
 	listeners []*listener
-
-	// Telemetry instruments (nil without SetTelemetry).
-	metRequests *telemetry.CounterVec // transport_tcp_requests_total{type}
-	metHandled  *telemetry.CounterVec // transport_tcp_handled_total{type}
-	metFailures *telemetry.Counter    // transport_tcp_failures_total
-	metLatency  *telemetry.Histogram  // transport_tcp_rpc_duration_ns
-	metSent     *telemetry.Counter    // transport_tcp_bytes_sent_total
-	metRecv     *telemetry.Counter    // transport_tcp_bytes_recv_total
 }
 
 var _ transport.Network = (*Network)(nil)
 
-// New returns an empty TCP network.
+// New returns a TCP network with default configuration (binary wire).
 func New() *Network {
-	return &Network{idle: make(map[transport.Addr][]*clientConn)}
+	n, _ := NewWithConfig(Config{})
+	return n
+}
+
+// NewWithConfig returns a TCP network tuned by cfg.
+func NewWithConfig(cfg Config) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:   cfg,
+		idle:  make(map[transport.Addr][]*clientConn),
+		muxes: make(map[transport.Addr]*muxEntry),
+	}
+	n.ins.Store(noInstruments)
+	return n, nil
 }
 
 // SetTelemetry wires the network's traffic accounting into reg:
 // requests sent and handled per body type, failed exchanges, RPC
-// round-trip latency, and wire bytes in each direction. Call before
-// Bind/Send so every connection is counted; a nil registry disables
-// the instrumentation for connections opened afterwards.
+// round-trip latency, and wire bytes in each direction per message
+// type. Call before Bind/Send so every connection is counted; a nil
+// registry disables the instrumentation for activity afterwards.
 func (n *Network) SetTelemetry(reg *telemetry.Registry) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if reg == nil {
-		n.metRequests, n.metHandled, n.metFailures = nil, nil, nil
-		n.metLatency, n.metSent, n.metRecv = nil, nil, nil
+		n.ins.Store(noInstruments)
 		return
 	}
-	n.metRequests = reg.CounterVec("transport_tcp_requests_total", "type")
-	n.metHandled = reg.CounterVec("transport_tcp_handled_total", "type")
-	n.metFailures = reg.Counter("transport_tcp_failures_total")
-	n.metLatency = reg.Histogram("transport_tcp_rpc_duration_ns", telemetry.DefaultLatencyBuckets)
-	n.metSent = reg.Counter("transport_tcp_bytes_sent_total")
-	n.metRecv = reg.Counter("transport_tcp_bytes_recv_total")
+	n.ins.Store(&instruments{
+		requests:  reg.CounterVec("transport_tcp_requests_total", "type"),
+		handled:   reg.CounterVec("transport_tcp_handled_total", "type"),
+		failures:  reg.Counter("transport_tcp_failures_total"),
+		latency:   reg.Histogram("transport_tcp_rpc_duration_ns", telemetry.DefaultLatencyBuckets),
+		sentBytes: reg.CounterVec("transport_tcp_bytes_sent_total", "type"),
+		recvBytes: reg.CounterVec("transport_tcp_bytes_recv_total", "type"),
+	})
 }
 
-// countingConn charges wire bytes to the network's byte counters. The
-// nil-safe counters make an uninstrumented wrap free apart from the
-// two method hops.
+// countingConn tallies wire bytes into per-connection cells. The gob
+// codec offers no per-message byte hook, so the per-type accounting
+// reads the cells before and after an exchange — exact because gob
+// connections are exclusively owned (client) or serial (server).
 type countingConn struct {
 	net.Conn
-	sent, recv *telemetry.Counter
+	sent, recv atomic.Uint64
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
@@ -101,178 +180,85 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return nw, err
 }
 
+// countingRd charges reads that must go through an existing
+// bufio.Reader (the server's protocol sniff) to a byte cell.
+type countingRd struct {
+	r    io.Reader
+	cell *atomic.Uint64
+}
+
+func (c *countingRd) Read(p []byte) (int, error) {
+	nr, err := c.r.Read(p)
+	c.cell.Add(uint64(nr))
+	return nr, err
+}
+
 type clientConn struct {
-	conn net.Conn
+	conn *countingConn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
 
-type listener struct {
-	net     *Network
-	ln      net.Listener
-	handler transport.Handler
-	addr    transport.Addr
-	wg      sync.WaitGroup
-	closed  chan struct{}
-	ctx     context.Context // cancelled by Close; parent of every handler call
-	cancel  context.CancelFunc
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-}
-
-// Bind starts a TCP listener at addr (host:port; use ":0" for an
-// ephemeral port and read the bound address from Node.Addr).
-func (n *Network) Bind(addr transport.Addr, handler transport.Handler) (transport.Node, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, transport.ErrClosed
-	}
-	n.mu.Unlock()
-
-	ln, err := net.Listen("tcp", string(addr))
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: bind %q: %w", addr, err)
-	}
-	l := &listener{
-		net:     n,
-		ln:      ln,
-		handler: handler,
-		addr:    transport.Addr(ln.Addr().String()),
-		closed:  make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-	}
-	l.ctx, l.cancel = context.WithCancel(context.Background())
-	n.mu.Lock()
-	n.listeners = append(n.listeners, l)
-	n.mu.Unlock()
-
-	l.wg.Add(1)
-	go l.acceptLoop()
-	return l, nil
-}
-
-func (l *listener) Addr() transport.Addr { return l.addr }
-
-func (l *listener) Close() error {
-	select {
-	case <-l.closed:
-		return nil
-	default:
-	}
-	close(l.closed)
-	// Stop in-flight handlers: they run under l.ctx, so cancelling here
-	// lets blocked handlers return and the wg.Wait below complete
-	// instead of leaking goroutines (or deadlocking) during shutdown.
-	l.cancel()
-	err := l.ln.Close()
-	// Unblock serveConn goroutines parked in Read.
-	l.mu.Lock()
-	for conn := range l.conns {
-		conn.Close()
-	}
-	l.mu.Unlock()
-	l.wg.Wait()
-	return err
-}
-
-func (l *listener) acceptLoop() {
-	defer l.wg.Done()
-	for {
-		conn, err := l.ln.Accept()
-		if err != nil {
-			select {
-			case <-l.closed:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			continue
-		}
-		l.net.mu.Lock()
-		wrapped := &countingConn{Conn: conn, sent: l.net.metSent, recv: l.net.metRecv}
-		l.net.mu.Unlock()
-		l.wg.Add(1)
-		go l.serveConn(wrapped)
-	}
-}
-
-func (l *listener) serveConn(conn net.Conn) {
-	defer l.wg.Done()
-	defer conn.Close()
-	l.mu.Lock()
-	l.conns[conn] = struct{}{}
-	l.mu.Unlock()
-	defer func() {
-		l.mu.Lock()
-		delete(l.conns, conn)
-		l.mu.Unlock()
-	}()
-	l.net.mu.Lock()
-	handled := l.net.metHandled
-	l.net.mu.Unlock()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			return // connection closed or corrupt stream
-		}
-		if handled != nil {
-			handled.Inc(fmt.Sprintf("%T", req.Body))
-		}
-		var resp response
-		body, err := l.handler(l.ctx, transport.Addr(req.From), req.Body)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Body = body
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		select {
-		case <-l.closed:
-			return
-		default:
-		}
-	}
-}
-
 // Send delivers body to the node listening at 'to' and returns its
-// response. An idle pooled connection may have been closed by the peer
-// between requests, so one retry on a freshly dialed connection covers
-// that race.
+// response. The handler on the far side observes this network's first
+// bound listener address as the sender (empty when nothing is bound) —
+// use SendFrom to report a different identity.
 func (n *Network) Send(ctx context.Context, to transport.Addr, body any) (any, error) {
-	n.mu.Lock()
-	metRequests, metFailures, metLatency := n.metRequests, n.metFailures, n.metLatency
-	n.mu.Unlock()
-	if metRequests != nil {
-		metRequests.Inc(fmt.Sprintf("%T", body))
+	var from transport.Addr
+	if p := n.localAddr.Load(); p != nil {
+		from = *p
 	}
+	return n.SendFrom(ctx, from, to, body)
+}
+
+// SendFrom delivers body to 'to', reporting 'from' to the remote
+// handler (inmem.Network parity).
+func (n *Network) SendFrom(ctx context.Context, from, to transport.Addr, body any) (any, error) {
+	ins := n.ins.Load()
+	ins.requests.Inc(fmt.Sprintf("%T", body))
 	var started time.Time
-	if metLatency != nil {
+	if ins.latency != nil {
 		started = time.Now()
 	}
-	resp, err, retriable := n.sendOnce(ctx, to, body, false)
-	if err != nil && retriable {
-		resp, err, _ = n.sendOnce(ctx, to, body, true)
+	var resp any
+	var err error
+	if n.cfg.Wire == WireGob {
+		resp, err = n.sendGob(ctx, from, to, body)
+	} else {
+		resp, err = n.sendBinary(ctx, from, to, body)
 	}
 	if err != nil {
-		metFailures.Inc()
-	} else if metLatency != nil {
-		metLatency.ObserveSince(started)
+		ins.failures.Inc()
+	} else if ins.latency != nil {
+		ins.latency.ObserveSince(started)
 	}
 	return resp, err
 }
 
-// sendOnce performs one request/response exchange on an exclusively
-// owned connection. retriable reports that the failure happened on a
-// reused idle connection before any fresh dial was attempted.
-func (n *Network) sendOnce(ctx context.Context, to transport.Addr, body any, fresh bool) (resp any, err error, retriable bool) {
+// retriableSendErr reports whether a failed exchange is worth one
+// retry on a fresh connection: only transport-level failures qualify
+// (the reused-connection race), never remote application errors or
+// the caller's own cancellation.
+func retriableSendErr(ctx context.Context, err error) bool {
+	return ctx.Err() == nil && errors.Is(err, transport.ErrUnreachable)
+}
+
+// sendGob is the legacy client path: one exchange on an exclusively
+// owned connection, with one retry when a reused idle connection turns
+// out to have been closed by the peer between requests.
+func (n *Network) sendGob(ctx context.Context, from, to transport.Addr, body any) (any, error) {
+	resp, err, retriable := n.sendOnceGob(ctx, from, to, body, false)
+	if err != nil && retriable && retriableSendErr(ctx, err) {
+		resp, err, _ = n.sendOnceGob(ctx, from, to, body, true)
+	}
+	return resp, err
+}
+
+// sendOnceGob performs one request/response exchange. retriable
+// reports that the failure happened on a reused idle connection before
+// any fresh dial was attempted.
+func (n *Network) sendOnceGob(ctx context.Context, from, to transport.Addr, body any, fresh bool) (resp any, err error, retriable bool) {
+	ins := n.ins.Load()
 	cc, reused, err := n.acquire(ctx, to, fresh)
 	if err != nil {
 		return nil, err, false
@@ -282,7 +268,8 @@ func (n *Network) sendOnce(ctx context.Context, to transport.Addr, body any, fre
 	} else {
 		_ = cc.conn.SetDeadline(time.Time{})
 	}
-	if err := cc.enc.Encode(&request{Body: body}); err != nil {
+	sent0, recv0 := cc.conn.sent.Load(), cc.conn.recv.Load()
+	if err := cc.enc.Encode(&request{From: string(from), Body: body}); err != nil {
 		cc.conn.Close()
 		return nil, fmt.Errorf("send to %q: %w", to, transport.ErrUnreachable), reused
 	}
@@ -291,6 +278,9 @@ func (n *Network) sendOnce(ctx context.Context, to transport.Addr, body any, fre
 		cc.conn.Close()
 		return nil, fmt.Errorf("recv from %q: %w", to, transport.ErrUnreachable), reused
 	}
+	name := fmt.Sprintf("%T", body)
+	ins.sentBytes.Add(name, cc.conn.sent.Load()-sent0)
+	ins.recvBytes.Add(name, cc.conn.recv.Load()-recv0)
 	n.release(to, cc)
 	if r.Err != "" {
 		return nil, fmt.Errorf("%w: %s", transport.ErrRemote, r.Err), false
@@ -298,7 +288,7 @@ func (n *Network) sendOnce(ctx context.Context, to transport.Addr, body any, fre
 	return r.Body, nil, false
 }
 
-// acquire returns an exclusively owned connection to 'to': an idle
+// acquire returns an exclusively owned gob connection to 'to': an idle
 // pooled one (unless fresh is set) or a new dial.
 func (n *Network) acquire(ctx context.Context, to transport.Addr, fresh bool) (*clientConn, bool, error) {
 	n.mu.Lock()
@@ -321,14 +311,12 @@ func (n *Network) acquire(ctx context.Context, to transport.Addr, fresh bool) (*
 	if err != nil {
 		return nil, false, fmt.Errorf("dial %q: %w", to, transport.ErrUnreachable)
 	}
-	n.mu.Lock()
-	conn := &countingConn{Conn: raw, sent: n.metSent, recv: n.metRecv}
-	n.mu.Unlock()
+	conn := &countingConn{Conn: raw}
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
 }
 
-// release returns a healthy connection to the idle pool (or closes it
-// when the pool is full or the network closed).
+// release returns a healthy gob connection to the idle pool (or closes
+// it when the pool is full or the network closed).
 func (n *Network) release(to transport.Addr, cc *clientConn) {
 	n.mu.Lock()
 	if !n.closed && len(n.idle[to]) < maxIdlePerDest {
@@ -340,7 +328,7 @@ func (n *Network) release(to transport.Addr, cc *clientConn) {
 	cc.conn.Close()
 }
 
-// Close shuts down all listeners and pooled connections.
+// Close shuts down all listeners, pooled connections and muxes.
 func (n *Network) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -350,7 +338,9 @@ func (n *Network) Close() error {
 	n.closed = true
 	listeners := n.listeners
 	idle := n.idle
+	muxes := n.muxes
 	n.idle = make(map[transport.Addr][]*clientConn)
+	n.muxes = make(map[transport.Addr]*muxEntry)
 	n.mu.Unlock()
 
 	var firstErr error
@@ -362,6 +352,11 @@ func (n *Network) Close() error {
 	for _, pool := range idle {
 		for _, cc := range pool {
 			cc.conn.Close()
+		}
+	}
+	for _, e := range muxes {
+		if e.mc != nil {
+			e.mc.fail(transport.ErrClosed)
 		}
 	}
 	return firstErr

@@ -9,14 +9,32 @@ import (
 	"time"
 
 	"github.com/p2pkeyword/keysearch/internal/transport"
+	"github.com/p2pkeyword/keysearch/internal/transport/wire"
 )
 
 type ping struct{ N int }
 type pong struct{ N int }
 
+func (m *ping) MarshalWire(w *wire.Writer)         { w.Int(m.N) }
+func (m *ping) UnmarshalWire(r *wire.Reader) error { m.N = r.Int(); return r.Err() }
+func (m *pong) MarshalWire(w *wire.Writer)         { w.Int(m.N) }
+func (m *pong) UnmarshalWire(r *wire.Reader) error { m.N = r.Int(); return r.Err() }
+
 func registerTestTypes() {
 	transport.RegisterType(ping{})
 	transport.RegisterType(pong{})
+	wire.Register[ping](59001)
+	wire.Register[pong](59002)
+}
+
+// newGob returns a network pinned to the legacy gob client protocol.
+func newGob(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewWithConfig(Config{Wire: WireGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -71,7 +89,7 @@ func TestUnreachable(t *testing.T) {
 
 func TestPooledConnectionReuse(t *testing.T) {
 	registerTestTypes()
-	n := New()
+	n := newGob(t)
 	defer n.Close()
 	node, err := n.Bind("127.0.0.1:0", func(ctx context.Context, from transport.Addr, body any) (any, error) {
 		return body, nil

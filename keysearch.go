@@ -181,5 +181,22 @@ func RegisterTypes() {
 func NewInMemoryTransport(seed int64) *inmem.Network { return inmem.New(seed) }
 
 // NewTCPTransport returns a TCP-backed transport for multi-process
-// deployments. Call RegisterTypes before using it.
+// deployments with the default configuration (binary wire protocol).
+// Call RegisterTypes before using it.
 func NewTCPTransport() *tcpnet.Network { return tcpnet.New() }
+
+// TCPConfig tunes a TCP transport: the wire protocol generation
+// (WireBinary or WireGob) and the listener-side handler pool size.
+type TCPConfig = tcpnet.Config
+
+// Wire protocol names for TCPConfig.Wire.
+const (
+	WireBinary = tcpnet.WireBinary
+	WireGob    = tcpnet.WireGob
+)
+
+// NewTCPTransportConfig returns a TCP-backed transport tuned by cfg.
+// Call RegisterTypes before using it.
+func NewTCPTransportConfig(cfg TCPConfig) (*tcpnet.Network, error) {
+	return tcpnet.NewWithConfig(cfg)
+}

@@ -2,8 +2,16 @@ package keysearch
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
+
+	"github.com/p2pkeyword/keysearch/internal/telemetry"
 )
 
 // TestTCPClusterEndToEnd runs three peers over real TCP sockets:
@@ -87,5 +95,142 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	page, _, err := cur.Next(ctx, 10)
 	if err != nil || len(page) != 1 {
 		t.Fatalf("cursor page = %v, %v", page, err)
+	}
+}
+
+// runTCPWireCluster stands up a 3-peer TCP cluster under the given
+// wire mode, publishes a corpus on the first peer BEFORE the others
+// join (so the joins pull real migration chunks over the wire), runs a
+// fixed query suite — pin, superset top-down, superset parallel-batch,
+// cursor paging — and returns a canonical fingerprint of every answer
+// plus the telemetry registry for wire-level assertions.
+func runTCPWireCluster(t *testing.T, mode string) (string, *telemetry.Registry) {
+	t.Helper()
+	RegisterTypes()
+	reg := telemetry.New(0)
+	net, err := NewTCPTransportConfig(TCPConfig{Wire: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetTelemetry(reg)
+	defer net.Close()
+
+	cfg := Config{Dim: 6, MaintenanceInterval: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	objs := churnCorpus(24)
+	p0, err := NewPeer(net, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	p0.Create()
+	publishAll(t, p0, objs)
+
+	peers := []*Peer{p0}
+	for i := 1; i < 3; i++ {
+		p, err := NewPeer(net, "127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		defer p.Close()
+		if err := p.Join(ctx, p0.Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		peers = append(peers, p)
+		for round := 0; round < 12; round++ {
+			for _, q := range peers {
+				_ = q.StabilizeOnce(ctx)
+			}
+		}
+	}
+
+	// The joins must have moved index entries via the migration
+	// protocol over this wire mode (double-read keeps answers exact
+	// while transfers are still in flight, so no settling poll needed).
+	migrated := reg.CounterVec("transport_tcp_handled_total", "type").With("core.msgMigrateChunk")
+	deadline := time.Now().Add(20 * time.Second)
+	for migrated.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if migrated.Value() == 0 {
+		t.Fatalf("%s: no msgMigrateChunk handled over TCP after joins", mode)
+	}
+
+	var lines []string
+	record := func(op, q string, ids []string) {
+		sort.Strings(ids)
+		lines = append(lines, op+"|"+q+"|"+strings.Join(ids, ","))
+	}
+	for _, obj := range objs {
+		ids, _, err := peers[2].PinSearch(ctx, obj.Keywords)
+		if err != nil {
+			t.Fatalf("%s: pin %s: %v", mode, obj.ID, err)
+		}
+		record("pin", obj.Keywords.String(), ids)
+	}
+	for qi, q := range []Set{NewKeywordSet("churn"), NewKeywordSet("b0"), NewKeywordSet("b3")} {
+		for _, order := range []TraversalOrder{TopDown, ParallelLevels} {
+			res, err := peers[1].Search(ctx, q, All, SearchOptions{Order: order, NoCache: true})
+			if err != nil {
+				t.Fatalf("%s: superset %d order %v: %v", mode, qi, order, err)
+			}
+			ids := make([]string, 0, len(res.Matches))
+			for _, m := range res.Matches {
+				ids = append(ids, m.ObjectID)
+			}
+			record(fmt.Sprintf("superset-%v", order), q.String(), ids)
+		}
+	}
+	cur, err := peers[2].SearchCursor(NewKeywordSet("churn"), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; !cur.Exhausted(); pg++ {
+		page, _, err := cur.Next(ctx, 7)
+		if err != nil {
+			t.Fatalf("%s: cursor page %d: %v", mode, pg, err)
+		}
+		ids := make([]string, 0, len(page))
+		for _, m := range page {
+			ids = append(ids, m.ObjectID)
+		}
+		record("cursor-page-"+strconv.Itoa(pg), "churn", ids)
+	}
+
+	h := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(h[:]), reg
+}
+
+// TestTCPWireModeMatrix proves the -wire knob is answer-preserving:
+// the same cluster build, publish, migration and query suite run under
+// both wire protocols must produce byte-identical answer fingerprints,
+// and each mode must have actually exercised pin, superset, batch and
+// migrate messages on the wire (not fallen back to some other path).
+func TestTCPWireModeMatrix(t *testing.T) {
+	fps := map[string]string{}
+	for _, mode := range []string{WireBinary, WireGob} {
+		fp, reg := runTCPWireCluster(t, mode)
+		fps[mode] = fp
+		handled := reg.CounterVec("transport_tcp_handled_total", "type")
+		for _, typ := range []string{
+			"core.msgPinQuery", "core.msgTQuery", "core.msgSubQueryBatch",
+			"core.msgMigrateChunk", "core.msgMigrateCommit",
+		} {
+			if handled.With(typ).Value() == 0 {
+				t.Errorf("%s: no %s handled over TCP", mode, typ)
+			}
+		}
+		// The per-type byte accounting must have charged traffic in
+		// both directions for the batch path.
+		for _, name := range []string{"transport_tcp_bytes_sent_total", "transport_tcp_bytes_recv_total"} {
+			if reg.CounterVec(name, "type").With("core.msgSubQueryBatch").Value() == 0 {
+				t.Errorf("%s: %s{core.msgSubQueryBatch} is zero", mode, name)
+			}
+		}
+	}
+	if fps[WireBinary] != fps[WireGob] {
+		t.Fatalf("wire modes disagree: binary fingerprint %s != gob %s", fps[WireBinary], fps[WireGob])
 	}
 }
