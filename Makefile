@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke fuzz-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke fuzz-smoke zipf-smoke figures fmt vet clean ci chaos
 
 all: build test
 
@@ -8,8 +8,9 @@ all: build test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
 # suite, the SIGKILL crash-recovery smoke, the live-churn migration
 # smoke, the open-loop load-rig smoke, the wire-decoder fuzz smoke,
-# and a single-iteration benchmark smoke pass.
-ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke bench-smoke
+# the Zipf hotspot-storm smoke, and a single-iteration benchmark
+# smoke pass.
+ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke zipf-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
@@ -22,7 +23,10 @@ ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke bench-smo
 # BenchmarkWireCodec and BenchmarkWireRPC gate the v2 wire protocol —
 # <= 0.5x bytes per RPC unconditionally (byte sizes are deterministic)
 # and >= 2x RPCs/sec under concurrency on 4+ cores — and are recorded
-# into results/wire.txt.
+# into results/wire.txt. BenchmarkHotQueryCache gates the popularity
+# cache at >= 2x better p99 than FIFO on the Zipf mix at equal
+# capacity (miss-count comparison asserted unconditionally, timing
+# gate on 4+ cores) and is recorded into results/cache.txt.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	mkdir -p results
@@ -34,6 +38,8 @@ bench-smoke:
 		| tee results/wire.txt
 	$(GO) test -run '^$$' -bench BenchmarkWireRPC -benchtime=1x ./internal/transport/tcpnet/ \
 		| tee -a results/wire.txt
+	$(GO) test -run '^$$' -bench BenchmarkHotQueryCache -benchtime=1x ./internal/sim/ \
+		| tee results/cache.txt
 
 # Open-loop load-rig smoke: a short seeded ksload-style run against an
 # inmem fleet with admission control on, asserting the accounting
@@ -60,6 +66,14 @@ churn-smoke:
 	$(GO) test -count=1 -run 'MigrateCrash|SearchDuringMigration|ChurnFingerprint' .
 	mkdir -p results
 	$(GO) run ./cmd/ksbench -fig churn -objects 5000 > results/churn.txt
+
+# Zipf hotspot-storm smoke: a short Zipf-popular query-log replay with
+# the full hot-vertex layer on (popularity cache, refinement reuse,
+# soft replication, client spreading), asserting byte-identical
+# answers versus a cache-off fleet and the cache-hit accounting
+# identities the BENCH fields rely on.
+zipf-smoke:
+	$(GO) test -count=1 -run 'TestZipfSmoke' ./internal/sim/
 
 # Wire-decoder fuzz smoke: ten seconds of coverage-guided fuzzing over
 # the v2 frame decoder — arbitrary bytes must produce a clean error,

@@ -68,9 +68,17 @@ type options struct {
 	clientRate   float64
 	clientBurst  float64
 
-	study bool
-	tag   string
-	out   string
+	cacheUnits  int
+	cachePolicy string
+	cacheTarget float64
+	hotReplicas int
+	hotThresh   int
+	hotSpread   bool
+
+	study     bool
+	zipfStudy bool
+	tag       string
+	out       string
 
 	// wireResolved is the wire mode of the fleet being built now: with
 	// -wire both it alternates per phase, otherwise it equals wire.
@@ -104,7 +112,14 @@ func run(args []string) error {
 	fs.DurationVar(&o.queueTimeout, "queue-timeout", 50*time.Millisecond, "admission: max queue wait")
 	fs.Float64Var(&o.clientRate, "client-rate", 0, "admission: per-client token rate, req/s (0 = no fair queuing)")
 	fs.Float64Var(&o.clientBurst, "client-burst", 0, "admission: per-client burst (0 = rate/4)")
+	fs.IntVar(&o.cacheUnits, "cache", 0, "per-peer result-cache capacity in object-ID units (0 = cache off, replay with NoCache)")
+	fs.StringVar(&o.cachePolicy, "cache-policy", "hot", "result-cache policy when -cache > 0: hot (popularity) or fifo")
+	fs.Float64Var(&o.cacheTarget, "cache-target-hit", 0, "hot cache: auto-tune capacity toward this hit ratio (0 = fixed capacity)")
+	fs.IntVar(&o.hotReplicas, "hot-replicas", 0, "soft replicas per promoted hot root (0 = soft replication off)")
+	fs.IntVar(&o.hotThresh, "hot-threshold", 0, "fresh-query count before a root is promoted (0 = default)")
+	fs.BoolVar(&o.hotSpread, "hot-spread", false, "clients rotate repeated queries across a hot root's soft replicas")
 	fs.BoolVar(&o.study, "study", false, "run the overload study (capacity probe + 0.5x/2x phases) instead of one run")
+	fs.BoolVar(&o.zipfStudy, "zipf-study", false, "run the Zipf hotspot-storm study: cache-off vs hot-vertex layer at equal offered load (rate derived from a capacity probe; -rate is ignored)")
 	fs.StringVar(&o.tag, "tag", "run", "BENCH file tag: results/BENCH_<tag>.json")
 	fs.StringVar(&o.out, "out", "results", "output directory for BENCH files")
 	if err := fs.Parse(args); err != nil {
@@ -163,8 +178,15 @@ func run(args []string) error {
 		Threshold:     o.thresh,
 	})
 
+	if o.study && o.zipfStudy {
+		return fmt.Errorf("-study and -zipf-study are mutually exclusive")
+	}
 	if o.study {
 		if err := runStudy(&o, c, queries, bench); err != nil {
+			return err
+		}
+	} else if o.zipfStudy {
+		if err := runZipfStudy(&o, c, queries, bench); err != nil {
 			return err
 		}
 	} else {
@@ -241,12 +263,24 @@ func buildFleet(o *options, c *corpus.Corpus, admissionOn bool) (fleet, error) {
 
 type inmemFleet struct {
 	d      *sim.Deployment
+	reg    *telemetry.Registry
 	thresh int
+	// cacheOn replays with the result cache consulted; off (the
+	// default, and the PR 6 baseline behavior) sets NoCache on every
+	// query.
+	cacheOn bool
 }
 
 func newInmemFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*inmemFleet, error) {
+	reg := telemetry.New(0)
 	d, err := sim.NewCustomDeployment(sim.DeployConfig{
-		R: o.r, Peers: o.peers, Telemetry: telemetry.New(0), Admission: pol,
+		R: o.r, Peers: o.peers, Telemetry: reg, Admission: pol,
+		CacheCapacity:       o.cacheUnits,
+		CachePolicy:         o.cachePolicy,
+		CacheTargetHit:      o.cacheTarget,
+		HotReplicas:         o.hotReplicas,
+		HotPromoteThreshold: o.hotThresh,
+		HotSpread:           o.hotSpread,
 	})
 	if err != nil {
 		return nil, err
@@ -255,12 +289,12 @@ func newInmemFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*inmemF
 		d.Close()
 		return nil, err
 	}
-	return &inmemFleet{d: d, thresh: o.thresh}, nil
+	return &inmemFleet{d: d, reg: reg, thresh: o.thresh, cacheOn: o.cacheUnits > 0}, nil
 }
 
 func (f *inmemFleet) do(ctx context.Context, q corpus.Query, clientID string) error {
 	_, err := f.d.Client.SupersetSearch(ctx, q.Keywords, f.thresh,
-		core.SearchOptions{Order: core.ParallelLevels, NoCache: true, ClientID: clientID})
+		core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID})
 	return err
 }
 

@@ -16,9 +16,10 @@ import (
 // sockets in this process: Chord ring, index handoff, the configured
 // wire protocol — the whole production stack minus process isolation.
 type tcpFleet struct {
-	net    *tcpnet.Network
-	peers  []*keysearch.Peer
-	thresh int
+	net     *tcpnet.Network
+	peers   []*keysearch.Peer
+	thresh  int
+	cacheOn bool
 }
 
 func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet, error) {
@@ -34,11 +35,19 @@ func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet
 	if err != nil {
 		return nil, err
 	}
-	cfg := keysearch.Config{Dim: o.r, MaintenanceInterval: -1, Admission: pol}
+	cfg := keysearch.Config{
+		Dim: o.r, MaintenanceInterval: -1, Admission: pol,
+		CacheCapacity:       o.cacheUnits,
+		CachePolicy:         o.cachePolicy,
+		CacheTargetHit:      o.cacheTarget,
+		HotReplicas:         o.hotReplicas,
+		HotPromoteThreshold: o.hotThresh,
+		HotSpread:           o.hotSpread,
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	f := &tcpFleet{net: net, thresh: o.thresh}
+	f := &tcpFleet{net: net, thresh: o.thresh, cacheOn: o.cacheUnits > 0}
 	for i := 0; i < o.peers; i++ {
 		p, err := keysearch.NewPeer(net, "127.0.0.1:0", cfg)
 		if err != nil {
@@ -74,7 +83,7 @@ func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet
 
 func (f *tcpFleet) do(ctx context.Context, q corpus.Query, clientID string) error {
 	_, err := f.peers[0].Search(ctx, q.Keywords, f.thresh,
-		core.SearchOptions{Order: core.ParallelLevels, NoCache: true, ClientID: clientID})
+		core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID})
 	return err
 }
 

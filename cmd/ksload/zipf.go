@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"github.com/p2pkeyword/keysearch/internal/core"
+	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/load"
+	"github.com/p2pkeyword/keysearch/internal/sim"
+)
+
+// runZipfStudy is the hot-vertex layer's recorded experiment: the same
+// Zipf-popular query log is offered open-loop at the same rate to a
+// cache-off fleet (the PR 6 baseline behavior: every query replayed
+// with NoCache) and to a fleet running the full hot-vertex layer
+// (popularity cache, soft replication of promoted roots, client-side
+// request spreading). The study records p99 latency and per-peer
+// serving-load concentration (top-node share, Gini over ops-served
+// deltas) for both phases, then serially verifies that every distinct
+// query template gets byte-identical answers from the two fleets.
+func runZipfStudy(o *options, c *corpus.Corpus, queries []corpus.Query, bench *load.BenchFile) error {
+	if o.transport != "inmem" {
+		return fmt.Errorf("-zipf-study requires -transport inmem")
+	}
+
+	// Phase shapes. Flags override the layer's knobs where set; the
+	// baseline always runs bare. The study defaults promote earlier
+	// and replicate wider than the server defaults: with the cache
+	// absorbing repeats, each query costs ~one op at its template's
+	// root, so flattening the per-peer load needs the whole Zipf head
+	// spread, not just its first few templates.
+	hotOpts := *o
+	if hotOpts.cacheUnits <= 0 {
+		hotOpts.cacheUnits = 4096
+	}
+	hotOpts.cachePolicy = core.CachePolicyHot
+	if hotOpts.hotReplicas <= 0 {
+		hotOpts.hotReplicas = 3
+	}
+	if hotOpts.hotThresh <= 0 {
+		hotOpts.hotThresh = 16
+	}
+	hotOpts.hotSpread = true
+	offOpts := *o
+	offOpts.cacheUnits = 0
+	offOpts.hotReplicas = 0
+	offOpts.hotSpread = false
+
+	// A capacity probe on the baseline shape anchors the equal offered
+	// rate of both phases: loaded enough to expose the hot spot,
+	// healthy enough that the baseline's p99 is queueing, not collapse.
+	probe, err := newInmemFleet(&offOpts, c, o.policy())
+	if err != nil {
+		return err
+	}
+	capacity := probeCapacity(o, probe, queries)
+	probe.close()
+	if capacity <= 0 {
+		return fmt.Errorf("capacity probe measured no throughput")
+	}
+	bench.CapacityQPS = capacity
+	rate := 0.6 * capacity
+	fmt.Printf("capacity ≈ %.0f q/s (closed-loop probe, cache off); offering %.0f q/s to both phases\n",
+		capacity, rate)
+
+	off, err := newInmemFleet(&offOpts, c, o.policy())
+	if err != nil {
+		return err
+	}
+	defer off.close()
+	hot, err := newInmemFleet(&hotOpts, c, o.policy())
+	if err != nil {
+		return err
+	}
+	defer hot.close()
+
+	storm := func(name string, f *inmemFleet, shape *options) (load.RunResult, error) {
+		opsBefore := opsSnapshot(f.d)
+		teleBefore := f.reg.Snapshot().Counters
+		rep, err := runPhase(o, f, queries, rate)
+		if err != nil {
+			return load.RunResult{}, err
+		}
+		curve := opsCurve(o.r, opsBefore, opsSnapshot(f.d))
+		tele := f.reg.Snapshot().Counters
+		rr := load.RunResult{
+			Name: name, Admission: true, RateQPS: rate,
+			Arrival: o.arrival, TimeoutNS: o.timeout.Nanoseconds(), Report: rep,
+			CacheUnits: shape.cacheUnits, HotReplicas: shape.hotReplicas,
+			HotThreshold: shape.hotThresh,
+		}
+		if curve.Total > 0 {
+			rr.TopNodeShare = float64(curve.Loads[0]) / float64(curve.Total)
+			rr.LoadGini = curve.Gini()
+		}
+		hits := tele["core_cache_hits_total"] - teleBefore["core_cache_hits_total"]
+		misses := tele["core_cache_misses_total"] - teleBefore["core_cache_misses_total"]
+		if hits+misses > 0 {
+			rr.CacheHitRatio = float64(hits) / float64(hits+misses)
+		}
+		rr.SoftServes = tele["core_soft_serves_total"] - teleBefore["core_soft_serves_total"]
+		rr.RefineHits = tele["core_refine_hits_total"] - teleBefore["core_refine_hits_total"]
+		printReport(name, rate, rep)
+		fmt.Printf("%-18s top-node %.1f%% gini %.3f hit-ratio %.3f soft-serves %d refine-hits %d\n",
+			"", 100*rr.TopNodeShare, rr.LoadGini, rr.CacheHitRatio, rr.SoftServes, rr.RefineHits)
+		return rr, nil
+	}
+
+	offRR, err := storm("zipf-cache-off", off, &offOpts)
+	if err != nil {
+		return err
+	}
+	hotRR, err := storm("zipf-hot-layer", hot, &hotOpts)
+	if err != nil {
+		return err
+	}
+	bench.Runs = append(bench.Runs, offRR, hotRR)
+
+	// Byte-identity verify pass: every distinct template, serially,
+	// hot-layer answer (cache, soft replicas, spreading all live)
+	// against the baseline's NoCache traversal.
+	ctx := context.Background()
+	seen := make(map[string]bool, o.templates)
+	verified, mismatches := 0, 0
+	for _, q := range queries {
+		key := q.Keywords.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		want, err := off.d.Client.SupersetSearch(ctx, q.Keywords, o.thresh,
+			core.SearchOptions{Order: core.ParallelLevels, NoCache: true})
+		if err != nil {
+			return fmt.Errorf("verify baseline %v: %w", q.Keywords, err)
+		}
+		got, err := hot.d.Client.SupersetSearch(ctx, q.Keywords, o.thresh,
+			core.SearchOptions{Order: core.ParallelLevels})
+		if err != nil {
+			return fmt.Errorf("verify hot %v: %w", q.Keywords, err)
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) || got.Exhausted != want.Exhausted {
+			mismatches++
+		}
+		verified++
+	}
+
+	// The study's acceptance assertions.
+	pass := true
+	check := func(ok bool, format string, args ...any) {
+		verdict := "PASS"
+		if !ok {
+			verdict, pass = "FAIL", false
+		}
+		fmt.Printf("%s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+	check(offRR.Report.Latency.P99 > 0 && hotRR.Report.Latency.P99 < offRR.Report.Latency.P99,
+		"hot-layer p99 (%dns) below cache-off p99 (%dns) at equal offered load",
+		hotRR.Report.Latency.P99, offRR.Report.Latency.P99)
+	check(hotRR.TopNodeShare < offRR.TopNodeShare,
+		"hot-layer top-node share (%.1f%%) below cache-off (%.1f%%)",
+		100*hotRR.TopNodeShare, 100*offRR.TopNodeShare)
+	check(hotRR.LoadGini <= offRR.LoadGini,
+		"hot-layer load Gini (%.3f) no worse than cache-off (%.3f)",
+		hotRR.LoadGini, offRR.LoadGini)
+	check(hotRR.CacheHitRatio > 0.5,
+		"hot-layer cache hit ratio %.3f above 0.5 on the Zipf mix", hotRR.CacheHitRatio)
+	check(hotRR.SoftServes > 0,
+		"soft replicas served load (%d queries)", hotRR.SoftServes)
+	check(verified > 0 && mismatches == 0,
+		"answers byte-identical across %d distinct templates (%d mismatches)", verified, mismatches)
+	if !pass {
+		return fmt.Errorf("zipf hotspot-storm study failed its acceptance assertions")
+	}
+	return nil
+}
+
+// opsSnapshot captures each server's cumulative served-operation count.
+func opsSnapshot(d *sim.Deployment) []uint64 {
+	out := make([]uint64, len(d.Servers))
+	for i, s := range d.Servers {
+		out[i] = s.OpsServed()
+	}
+	return out
+}
+
+// opsCurve folds two ops snapshots into a per-peer load curve over the
+// window (heaviest first), reusing the Figure 6 machinery for shares
+// and Gini.
+func opsCurve(r int, before, after []uint64) sim.LoadCurve {
+	loads := make([]int, len(after))
+	total := 0
+	for i := range after {
+		loads[i] = int(after[i] - before[i])
+		total += loads[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	return sim.LoadCurve{Scheme: sim.SchemeHypercube, R: r, Loads: loads, Total: total}
+}

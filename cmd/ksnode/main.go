@@ -11,6 +11,10 @@
 //	unpublish <id> <kw1> [kw2 ...] withdraw it
 //	pin <kw1> [kw2 ...]            exact keyword-set search
 //	search <n> <kw1> [kw2 ...]     up to n superset matches
+//	refine <n> <base1,base2> <kw1> [kw2 ...]
+//	                               narrow a previous search for the
+//	                               comma-joined base keywords to this
+//	                               superset query without re-traversing
 //	fetch <id>                     resolve replica references
 //	stats                          local index/cache statistics
 //	quit
@@ -46,6 +50,11 @@ func run(args []string) error {
 		join        = fs.String("join", "", "address of an existing node (empty = start a new network)")
 		dim         = fs.Int("dim", 10, "hypercube dimensionality (must match the network)")
 		cache       = fs.Int("cache", 128, "per-node result cache capacity (object IDs)")
+		cachePolicy = fs.String("cache-policy", "hot", "result cache policy: hot (popularity-tracked, frequency admission) | fifo (legacy)")
+		cacheTarget = fs.Float64("cache-target-hit", 0, "hot policy: auto-tune cache capacity toward this hit ratio, 0..1 (0 = fixed capacity)")
+		hotReplicas = fs.Int("hot-replicas", 0, "soft-replicate promoted hot roots onto this many extra peers (0 = disabled)")
+		hotThresh   = fs.Int("hot-threshold", 0, "fresh queries before a root is promoted to soft replicas (0 = default; requires -hot-replicas)")
+		hotSpread   = fs.Bool("hot-spread", false, "round-robin one-shot searches for promoted roots across owner and soft replicas")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty = disabled)")
 		resilient   = fs.Bool("resilience", true, "retry/backoff and circuit breakers on outbound RPCs")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "duplicate still-unanswered read-only RPCs after this delay (0 = no hedging; requires -resilience)")
@@ -75,6 +84,7 @@ func run(args []string) error {
 	}
 
 	var reg *telemetry.Registry
+	var snapPeer *keysearch.Peer // set once the peer exists; read by the final snapshot
 	if *metricsAddr != "" {
 		reg = telemetry.New(256)
 		bound, shutdown, err := serveMetrics(*metricsAddr, reg)
@@ -89,6 +99,9 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "final telemetry snapshot:")
 			_ = reg.WriteJSON(os.Stderr)
 			fmt.Fprintln(os.Stderr)
+			if snapPeer != nil {
+				writeCacheSnapshot(os.Stderr, snapPeer.CacheSnapshot())
+			}
 		}()
 	}
 
@@ -126,6 +139,11 @@ func run(args []string) error {
 	peer, err := keysearch.NewPeer(transport, keysearch.Addr(*listen), keysearch.Config{
 		Dim:                 *dim,
 		CacheCapacity:       *cache,
+		CachePolicy:         *cachePolicy,
+		CacheTargetHit:      *cacheTarget,
+		HotReplicas:         *hotReplicas,
+		HotPromoteThreshold: *hotThresh,
+		HotSpread:           *hotSpread,
 		MaintenanceInterval: 500 * time.Millisecond,
 		Telemetry:           reg,
 		Resilience:          pol,
@@ -144,6 +162,7 @@ func run(args []string) error {
 		return err
 	}
 	defer peer.Close()
+	snapPeer = peer
 	if *dataDir != "" {
 		st := peer.IndexStats()
 		fmt.Fprintf(os.Stderr, "durable index in %s (fsync=%s); recovered %d entries\n",
@@ -185,6 +204,17 @@ func run(args []string) error {
 		fmt.Print("> ")
 	}
 	return scanner.Err()
+}
+
+// writeCacheSnapshot prints the result cache's policy, occupancy and
+// per-instance hit ratios in the stats/final-snapshot format.
+func writeCacheSnapshot(w *os.File, snap keysearch.CacheSnapshot) {
+	fmt.Fprintf(w, "result cache: policy=%s %d/%d units, %d entries, hit ratio %.3f\n",
+		snap.Policy, snap.Units, snap.CapacityUnits, snap.Entries, snap.HitRatio())
+	for _, inst := range snap.PerInstance {
+		fmt.Fprintf(w, "  instance %s: %d hits / %d misses (ratio %.3f), %d entries / %d units\n",
+			inst.Instance, inst.Hits, inst.Misses, inst.HitRatio(), inst.Entries, inst.Units)
+	}
 }
 
 // serveMetrics starts the observability HTTP endpoint (Prometheus
@@ -248,6 +278,29 @@ func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error 
 		}
 		fmt.Printf("%d matches, %d nodes contacted, exhausted=%v\n",
 			len(res.Matches), res.Stats.NodesContacted, res.Exhausted)
+	case "refine":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: refine <n> <base1,base2,...> <kw...>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad threshold %q", fields[1])
+		}
+		base := keysearch.NewKeywordSet(strings.Split(fields[2], ",")...)
+		refined := keysearch.NewKeywordSet(fields[3:]...)
+		res, err := peer.Refine(opCtx, base, refined, n, keysearch.SearchOptions{})
+		if err != nil {
+			return err
+		}
+		for _, m := range res.Matches {
+			fmt.Printf("  %s %v (+%d keywords)\n", m.ObjectID, m.Keywords(), m.Depth)
+		}
+		path := "traversal fallback"
+		if res.Stats.RefineHit {
+			path = "derived from cached ancestor"
+		}
+		fmt.Printf("%d matches (%s), %d nodes contacted, exhausted=%v\n",
+			len(res.Matches), path, res.Stats.NodesContacted, res.Exhausted)
 	case "fetch":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: fetch <id>")
@@ -264,6 +317,7 @@ func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error 
 		hits, misses := peer.CacheStats()
 		fmt.Printf("index: %d vertices, %d entries, %d objects; cache: %d hits / %d misses\n",
 			st.Vertices, st.Entries, st.Objects, hits, misses)
+		writeCacheSnapshot(os.Stdout, peer.CacheSnapshot())
 		ms := peer.MigrationStats()
 		fmt.Printf("migration: %d active, %d chunks / %d entries applied, %d resumes, %d double-reads, %d commits, %d failures\n",
 			ms.Active, ms.Chunks, ms.Entries, ms.Resumes, ms.DoubleReads, ms.Commits, ms.Failures)

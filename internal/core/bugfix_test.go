@@ -96,16 +96,15 @@ func TestSpanStopUntruncatedStillMarked(t *testing.T) {
 func TestCacheGetReturnsPrivateCopy(t *testing.T) {
 	c := newFIFOCache(100)
 	set := keyword.NewSet("a", "b")
-	key := cacheKey(DefaultInstance, set.Key())
 	c.put(DefaultInstance, set.Key(), set, []Match{{ObjectID: "o1"}, {ObjectID: "o2"}}, true)
 
-	got, _, ok := c.get(key, All)
+	got, _, ok := c.get(DefaultInstance, set.Key(), All)
 	if !ok || len(got) != 2 {
 		t.Fatalf("get = (%v, %v), want 2 matches", got, ok)
 	}
 	got[0].ObjectID = "mutated"
 
-	again, _, ok := c.get(key, All)
+	again, _, ok := c.get(DefaultInstance, set.Key(), All)
 	if !ok || again[0].ObjectID != "o1" {
 		t.Fatalf("cached copy corrupted by caller mutation: %+v", again)
 	}
@@ -128,13 +127,12 @@ func TestCacheConcurrencyHammer(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				a, b := vocab[(w+i)%len(vocab)], vocab[(w+2*i+1)%len(vocab)]
 				set := keyword.NewSet(a, b)
-				key := cacheKey(DefaultInstance, set.Key())
 				switch i % 3 {
 				case 0:
 					matches := []Match{{ObjectID: "o" + strconv.Itoa(i)}, {ObjectID: "p" + strconv.Itoa(w)}}
 					c.put(DefaultInstance, set.Key(), set, matches, i%2 == 0)
 				case 1:
-					if got, _, ok := c.get(key, 1); ok {
+					if got, _, ok := c.get(DefaultInstance, set.Key(), 1); ok {
 						for _, m := range got {
 							if m.ObjectID == "" {
 								t.Error("torn match read from cache")

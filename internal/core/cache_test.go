@@ -162,13 +162,13 @@ func TestFIFOCacheEviction(t *testing.T) {
 	c.put("main", "q1", keyword.NewSet("a"), mk(4, "a"), true)
 	c.put("main", "q2", keyword.NewSet("b"), mk(4, "b"), true)
 	c.put("main", "q3", keyword.NewSet("c"), mk(4, "c"), true) // evicts q1
-	if _, _, ok := c.get(cacheKey("main", "q1"), 1); ok {
+	if _, _, ok := c.get("main", "q1", 1); ok {
 		t.Error("q1 should have been evicted (FIFO)")
 	}
-	if _, _, ok := c.get(cacheKey("main", "q2"), 1); !ok {
+	if _, _, ok := c.get("main", "q2", 1); !ok {
 		t.Error("q2 should survive")
 	}
-	if _, _, ok := c.get(cacheKey("main", "q3"), 1); !ok {
+	if _, _, ok := c.get("main", "q3", 1); !ok {
 		t.Error("q3 should survive")
 	}
 }
@@ -177,7 +177,7 @@ func TestFIFOCacheOversizedResultNotStored(t *testing.T) {
 	c := newFIFOCache(3)
 	ms := make([]Match, 5)
 	c.put("main", "big", keyword.NewSet("a"), ms, true)
-	if _, _, ok := c.get(cacheKey("main", "big"), 1); ok {
+	if _, _, ok := c.get("main", "big", 1); ok {
 		t.Error("oversized result stored")
 	}
 }
@@ -185,7 +185,7 @@ func TestFIFOCacheOversizedResultNotStored(t *testing.T) {
 func TestFIFOCacheDisabled(t *testing.T) {
 	c := newFIFOCache(0)
 	c.put("main", "q", keyword.NewSet("a"), []Match{{ObjectID: "x"}}, true)
-	if _, _, ok := c.get(cacheKey("main", "q"), 1); ok {
+	if _, _, ok := c.get("main", "q", 1); ok {
 		t.Error("disabled cache returned a hit")
 	}
 }
@@ -198,17 +198,44 @@ func TestFIFOCacheInvalidateSubsets(t *testing.T) {
 	// An index change under {a, b, x} affects queries {a} and {a,b}
 	// but not {c}.
 	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b", "x"))
-	if _, _, ok := c.get(cacheKey("main", "qa"), 1); ok {
+	if _, _, ok := c.get("main", "qa", 1); ok {
 		t.Error("query {a} should be invalidated")
 	}
-	if _, _, ok := c.get(cacheKey("main", "qab"), 1); ok {
+	if _, _, ok := c.get("main", "qab", 1); ok {
 		t.Error("query {a,b} should be invalidated")
 	}
-	if _, _, ok := c.get(cacheKey("main", "qc"), 1); !ok {
+	if _, _, ok := c.get("main", "qc", 1); !ok {
 		t.Error("query {c} should survive")
 	}
 	if c.len() != 1 {
 		t.Errorf("cache len = %d, want 1", c.len())
+	}
+}
+
+// Regression for the per-instance secondary index: an invalidation
+// event in one index instance must only scan — and only drop — that
+// instance's entries; another instance caching the same query key is
+// untouched.
+func TestFIFOCacheInvalidateInstanceScoped(t *testing.T) {
+	c := newFIFOCache(100)
+	c.put("main", "qa", keyword.NewSet("a"), []Match{{ObjectID: "m"}}, true)
+	c.put("main-replica-1", "qa", keyword.NewSet("a"), []Match{{ObjectID: "r"}}, true)
+	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b"))
+	if _, _, ok := c.get("main", "qa", 1); ok {
+		t.Error("main-instance entry should be invalidated")
+	}
+	got, _, ok := c.get("main-replica-1", "qa", 1)
+	if !ok {
+		t.Fatal("replica-instance entry wrongly invalidated")
+	}
+	if len(got) != 1 || got[0].ObjectID != "r" {
+		t.Errorf("replica-instance entry corrupted: %v", got)
+	}
+	// And the reverse event leaves main's (already gone) state alone
+	// while dropping the replica's.
+	c.invalidateSubsetsOf("main-replica-1", keyword.NewSet("a"))
+	if c.len() != 0 {
+		t.Errorf("cache len = %d after both invalidations, want 0", c.len())
 	}
 }
 
@@ -219,7 +246,7 @@ func TestFIFOCacheReplaceKeepsUnits(t *testing.T) {
 	if c.units != 2 {
 		t.Errorf("units = %d after replace, want 2", c.units)
 	}
-	got, exhausted, ok := c.get(cacheKey("main", "q"), 2)
+	got, exhausted, ok := c.get("main", "q", 2)
 	if !ok || !exhausted || len(got) != 2 {
 		t.Errorf("get after replace = %d matches, exhausted=%v, ok=%v", len(got), exhausted, ok)
 	}

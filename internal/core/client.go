@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
@@ -18,6 +19,21 @@ type Client struct {
 	resolver Resolver
 	sender   transport.Sender
 	clientID string
+
+	// spread, when enabled, round-robins one-shot searches for
+	// promoted hot roots across owner + advertised soft replicas.
+	// Hints are trusted only from owner-path responses, and an entry
+	// dies on the first send error (fall back to the owner) or when
+	// the owner stops advertising (demotion).
+	spreadOn bool
+	spreadMu sync.Mutex
+	spread   map[hypercube.Vertex]*spreadState
+}
+
+// spreadState is the known soft-replica set of one promoted root.
+type spreadState struct {
+	addrs []transport.Addr
+	next  int
 }
 
 // DefaultInstance is the index-instance name used when none is given.
@@ -56,6 +72,11 @@ func (c *Client) SetClientID(id string) { c.clientID = id }
 // Hasher returns the deployment hasher (shared with servers).
 func (c *Client) Hasher() keyword.Hasher { return c.hasher }
 
+// SetSpread toggles request spreading across the soft replicas of
+// promoted hot roots (advertised via respTQuery.SoftAddrs). Off by
+// default. Like SetClientID, set it right after construction.
+func (c *Client) SetSpread(on bool) { c.spreadOn = on }
+
 // route resolves the physical address hosting vertex v in this
 // client's instance.
 func (c *Client) route(ctx context.Context, v hypercube.Vertex) (transport.Addr, error) {
@@ -88,6 +109,80 @@ func (c *Client) send(ctx context.Context, v hypercube.Vertex, body any) (any, e
 		}
 		return nil, err
 	}
+}
+
+// sendSearch delivers one msgTQuery, spreading eligible one-shot
+// queries across a promoted root's soft replicas. A spread attempt
+// that fails — transport error, or the replica dropped its copy —
+// forgets the replica set and falls back to the owner path, so a
+// stale hint costs at most one extra round trip.
+func (c *Client) sendSearch(ctx context.Context, v hypercube.Vertex, msg msgTQuery, spreadable bool) (raw any, viaSoft bool, err error) {
+	if c.spreadOn && spreadable {
+		if addr, ok := c.pickSoft(v); ok {
+			soft := msg
+			soft.SoftOnly = true
+			raw, err := c.sender.Send(ctx, addr, soft)
+			if err == nil {
+				if resp, ok := raw.(respTQuery); !ok || resp.ErrCode != errCodeNoSoftCopy {
+					return raw, true, nil
+				}
+			}
+			c.dropSoft(v)
+		}
+	}
+	raw, err = c.send(ctx, v, msg)
+	return raw, false, err
+}
+
+// pickSoft round-robins over owner + replicas of a known-promoted
+// root; the owner keeps its fair share of the load (slot 0), which
+// also refreshes the advertisement periodically.
+func (c *Client) pickSoft(v hypercube.Vertex) (transport.Addr, bool) {
+	c.spreadMu.Lock()
+	defer c.spreadMu.Unlock()
+	st := c.spread[v]
+	if st == nil || len(st.addrs) == 0 {
+		return "", false
+	}
+	slot := st.next % (len(st.addrs) + 1)
+	st.next++
+	if slot == 0 {
+		return "", false // the owner's turn
+	}
+	return st.addrs[slot-1], true
+}
+
+// noteSoftAddrs records (or clears) the replica set an owner-path
+// response advertised for root v.
+func (c *Client) noteSoftAddrs(v hypercube.Vertex, addrs []string) {
+	if !c.spreadOn {
+		return
+	}
+	c.spreadMu.Lock()
+	defer c.spreadMu.Unlock()
+	if len(addrs) == 0 {
+		delete(c.spread, v)
+		return
+	}
+	list := make([]transport.Addr, len(addrs))
+	for i, a := range addrs {
+		list[i] = transport.Addr(a)
+	}
+	if c.spread == nil {
+		c.spread = make(map[hypercube.Vertex]*spreadState)
+	}
+	if st := c.spread[v]; st != nil {
+		st.addrs = list // keep the rotation position
+		return
+	}
+	c.spread[v] = &spreadState{addrs: list}
+}
+
+// dropSoft forgets the replica set of root v.
+func (c *Client) dropSoft(v hypercube.Vertex) {
+	c.spreadMu.Lock()
+	delete(c.spread, v)
+	c.spreadMu.Unlock()
 }
 
 // Insert places the index entry ⟨K_σ, σ⟩ at the node responsible for
@@ -163,6 +258,76 @@ func (c *Client) SupersetSearch(ctx context.Context, k keyword.Set, threshold in
 // All is a threshold meaning "every matching object".
 const All = int(^uint(0) >> 1)
 
+// RefineSearch narrows a previously searched base query to a refined
+// superset query refined ⊇ base (Lemma 3.3: the refined subcube is
+// contained in the base's). The request goes to the BASE root's owner
+// — the node whose result cache plausibly holds the base query's
+// complete (exhausted) answer — which derives the refined answer from
+// that cached state without any traversal. When the receiver has no
+// usable state (nothing cached, base never exhausted, entry evicted
+// or invalidated) the client transparently falls back to a plain
+// SupersetSearch for the refined query, so RefineSearch is always
+// safe to call; Stats.RefineHit reports which path answered.
+func (c *Client) RefineSearch(ctx context.Context, base, refined keyword.Set, threshold int, opts SearchOptions) (Result, error) {
+	if base.IsEmpty() || refined.IsEmpty() {
+		return Result{}, ErrEmptyQuery
+	}
+	if !base.SubsetOf(refined) {
+		return Result{}, fmt.Errorf("core: refine base %v is not a subset of %v", base, refined)
+	}
+	if threshold <= 0 {
+		return Result{}, fmt.Errorf("core: threshold %d must be positive", threshold)
+	}
+	if opts.NoCache || base.Equal(refined) {
+		// NoCache forbids serving from cached state by definition, and
+		// refining to the identical query is just a plain search.
+		return c.search(ctx, refined, threshold, opts, false, 0)
+	}
+	opts = opts.withDefaults()
+	clientID := opts.ClientID
+	if clientID == "" {
+		clientID = c.clientID
+	}
+	baseV := c.hasher.Vertex(base)
+	msg := msgTQuery{
+		Instance:         c.instance,
+		Dim:              c.hasher.Dim(),
+		Vertex:           uint64(c.hasher.Vertex(refined)),
+		QueryKey:         refined.Key(),
+		Threshold:        threshold,
+		Order:            opts.Order,
+		WantTrace:        false,
+		ClientID:         clientID,
+		RefineFromKey:    base.Key(),
+		RefineFromVertex: uint64(baseV),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		msg.DeadlineUnixNano = dl.UnixNano()
+	}
+	raw, err := c.send(ctx, baseV, msg)
+	if err != nil {
+		return c.search(ctx, refined, threshold, opts, false, 0)
+	}
+	resp, ok := raw.(respTQuery)
+	if !ok {
+		return Result{}, fmt.Errorf("refine search %v: unexpected response %T", refined, raw)
+	}
+	if resp.ErrCode != errCodeNone {
+		return c.search(ctx, refined, threshold, opts, false, 0)
+	}
+	return Result{
+		Matches:      resp.Matches,
+		Exhausted:    resp.Exhausted,
+		Completeness: 1.0,
+		Stats: Stats{
+			NodesContacted: 1, // only the base root was involved
+			Messages:       2,
+			PhysFrames:     1,
+			RefineHit:      true,
+		},
+	}, nil
+}
+
 func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions, cumulative bool, sessionID uint64) (Result, error) {
 	if k.IsEmpty() {
 		return Result{}, ErrEmptyQuery
@@ -192,7 +357,10 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 	if dl, ok := ctx.Deadline(); ok {
 		msg.DeadlineUnixNano = dl.UnixNano()
 	}
-	raw, err := c.send(ctx, v, msg)
+	// Only one-shot searches may be spread to soft replicas: cumulative
+	// sessions have root affinity, and continuations must return to
+	// whichever server holds the session.
+	raw, viaSoft, err := c.sendSearch(ctx, v, msg, !cumulative && sessionID == 0)
 	if err != nil {
 		return Result{}, fmt.Errorf("superset search %v: %w", k, err)
 	}
@@ -203,14 +371,21 @@ func (c *Client) search(ctx context.Context, k keyword.Set, threshold int, opts 
 	if resp.ErrCode == errCodeNoSession {
 		return Result{}, ErrNoSuchSession
 	}
+	if !viaSoft && !cumulative && sessionID == 0 {
+		// Owner-path responses are the authority on the replica set:
+		// advertise ⇒ (re)learn it, silence ⇒ the root was demoted.
+		c.noteSoftAddrs(v, resp.SoftAddrs)
+	}
 	stats := Stats{
 		NodesContacted: resp.SubNodes,
 		Messages:       resp.SubMsgs + 2, // plus the initiator↔root round trip
 		Rounds:         resp.Rounds,
 		PhysFrames:     resp.PhysFrames + 1, // plus the initiator's frame to the root
 		CacheHit:       resp.CacheHit,
+		RefineHit:      resp.RefineHit,
+		SoftServed:     viaSoft,
 	}
-	if resp.CacheHit {
+	if resp.CacheHit || resp.RefineHit {
 		stats.NodesContacted = 1 // only the root was involved
 	}
 	completeness := 1.0

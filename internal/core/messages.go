@@ -68,6 +68,23 @@ type (
 		// admission can shed doomed requests and an expired traversal
 		// abandons its remaining waves.
 		DeadlineUnixNano int64
+		// RefineFromKey marks an explicit refinement request (Lemma
+		// 3.3): the receiver is the root of a previously-exhausted
+		// search for the ancestor query RefineFromKey rooted at
+		// RefineFromVertex, and is asked to derive this (refined)
+		// query's answer from its cached ancestor state. Vertex then
+		// carries the REFINED root F_h(QueryKey), which the receiver
+		// does not own — ownership is checked against RefineFromVertex
+		// instead. errCodeNoRefineState reports unusable cached state;
+		// the client falls back to a plain search.
+		RefineFromKey    string
+		RefineFromVertex uint64
+		// SoftOnly marks a search a spreading client addressed directly
+		// to a soft replica: the receiver must answer from a live soft
+		// copy of the root or reject with errCodeNoSoftCopy — it must
+		// NOT fall back to its own tables, which are not authoritative
+		// for this vertex.
+		SoftOnly bool
 	}
 	respTQuery struct {
 		Matches     []Match
@@ -84,6 +101,15 @@ type (
 		// when requested (WantTrace); used by the experiment harness
 		// to derive nodes-contacted-versus-recall curves.
 		Trace []TraceStep
+		// RefineHit reports that the answer was derived from cached
+		// ancestor state (Lemma 3.3) instead of a traversal. Kept
+		// separate from CacheHit so the Fig-9 hit accounting stays
+		// exact: a refine hit was counted as a cache miss.
+		RefineHit bool
+		// SoftAddrs advertises the soft-replica set of a promoted hot
+		// root (set only by the owner): clients may spread subsequent
+		// identical-root searches across these addresses.
+		SoftAddrs []string
 	}
 
 	// msgSubQuery is the root's per-node step (the paper's
@@ -216,6 +242,34 @@ type (
 	respMigrateCommit struct {
 		Dropped int
 	}
+
+	// msgSoftPromote installs one chunk of a hot vertex's table on a
+	// soft-replica peer. The owner of a popularity-promoted root
+	// pushes its full table in migration-sized chunks under one
+	// generation number; the copy goes live only when the Done chunk
+	// lands, so a half-pushed table never serves. Soft copies are
+	// volatile by design — never WAL-logged, dropped on restart — and
+	// the owner re-promotes from live popularity if they matter.
+	msgSoftPromote struct {
+		Instance string
+		Vertex   uint64
+		Gen      uint64
+		Entries  []BulkEntry
+		Done     bool
+	}
+
+	// msgSoftInvalidate drops a soft-replica copy. The owner sends it
+	// synchronously (best effort) on any mutation of a promoted
+	// vertex, carrying the mutated entry's SetKey so the replica also
+	// runs the same invalidateSubsetsOf event over its own result
+	// cache; demotion-by-cooling sends it with an empty SetKey (the
+	// copy goes away but cached results remain valid).
+	msgSoftInvalidate struct {
+		Instance string
+		Vertex   uint64
+		Gen      uint64
+		SetKey   string
+	}
 )
 
 // ReadOnlyMessage classifies index-protocol bodies that are safe to
@@ -257,6 +311,7 @@ func RegisterTypes() {
 		msgBulkInsert{},
 		msgMigrateChunk{}, respMigrateChunk{},
 		msgMigrateCommit{}, respMigrateCommit{},
+		msgSoftPromote{}, msgSoftInvalidate{},
 		Match{},
 	} {
 		transport.RegisterType(v)

@@ -26,6 +26,14 @@ const (
 	// root must NOT retry such units per-message — the whole search is
 	// being abandoned.
 	errCodeCancelled
+	// errCodeNoRefineState rejects an explicit refinement request
+	// (msgTQuery.RefineFromKey) whose receiver holds no usable cached
+	// ancestor state; the client falls back to a plain search.
+	errCodeNoRefineState
+	// errCodeNoSoftCopy rejects a spread search (msgTQuery.SoftOnly)
+	// whose receiver no longer holds a live soft copy of the root; the
+	// client forgets the replica set and retries via the owner.
+	errCodeNoSoftCopy
 )
 
 // maxBottomUpFree bounds the free dimensions of a bottom-up traversal:
@@ -43,8 +51,14 @@ const spanStepSampleEvery = 8
 
 // runSearch is the root-side orchestration of a superset search: the
 // paper's Steps 1–3, driving the frontier queue U over the spanning
-// binomial tree SBT_{H_r}(F_h(K)).
-func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, error) {
+// binomial tree SBT_{H_r}(F_h(K)). soft, when non-nil, is a live
+// soft-replica copy of the root vertex's table: this server is not
+// the root's owner but serves the search anyway, scanning the soft
+// copy wherever the authoritative path would scan the root's table.
+// Everything else — subcube waves, accounting, caching — is
+// unchanged, so a soft-served answer is byte-identical to the
+// owner's.
+func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (respTQuery, error) {
 	query := keyword.ParseKey(msg.QueryKey)
 	if query.IsEmpty() {
 		return respTQuery{}, ErrEmptyQuery
@@ -74,22 +88,48 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 	}
 
 	var sess *session
+	var softAddrs []string
 	if msg.SessionID != 0 {
 		sess = s.sessions.take(msg.SessionID)
 		if sess == nil {
 			return respTQuery{ErrCode: errCodeNoSession}, nil
 		}
 	} else {
+		// Popularity tracking (owner only): every fresh one-shot query
+		// for a root counts toward promotion, and a promoted root's
+		// replica addresses ride back on the response — including on
+		// cache hits, so clients learn the set without a miss.
+		if soft == nil && !msg.Cumulative {
+			softAddrs = s.hot.note(ctx, msg.Instance, rootV)
+		}
 		if !msg.Cumulative && !msg.NoCache {
-			if matches, exhausted, ok := s.cache.get(cacheKey(msg.Instance, msg.QueryKey), msg.Threshold); ok {
+			if matches, exhausted, ok := s.cache.get(msg.Instance, msg.QueryKey, msg.Threshold); ok {
 				s.met.cacheHits.Inc()
-				resp := respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true}
+				resp := respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true, SoftAddrs: softAddrs}
 				if instrumented {
 					s.recordSearchSpan(msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
 				}
 				return resp, nil
 			} else if s.cache.enabled() {
 				s.met.cacheMisses.Inc()
+				// Cross-client refinement reuse (Lemma 3.3): before
+				// paying a traversal, try deriving the answer from an
+				// exhausted cached ancestor — any client's completed
+				// search for a subset query covers this one. The miss
+				// above still counts (RefineHit is deliberately not a
+				// CacheHit), so the Fig-9 hit accounting stays exact.
+				if src, ok := s.cache.refineSource(msg.Instance, query); ok {
+					if derived, ok := deriveRefinement(cube, order, rootV, query, src); ok {
+						s.met.refineHits.Inc()
+						s.cache.put(msg.Instance, msg.QueryKey, query, derived, true)
+						matches, exhausted, _ := truncateCached(derived, true, msg.Threshold)
+						resp := respTQuery{Matches: matches, Exhausted: exhausted, RefineHit: true, SoftAddrs: softAddrs}
+						if instrumented {
+							s.recordSearchSpan(msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
+						}
+						return resp, nil
+					}
+				}
 			}
 		}
 		var err error
@@ -97,6 +137,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		if err != nil {
 			return respTQuery{}, err
 		}
+		sess.soft = soft
 	}
 
 	// Span aggregates (nodes, msgs, duration, …) are recorded for every
@@ -151,6 +192,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery) (respTQuery, erro
 		FailedNodes: failed,
 		PhysFrames:  frames,
 		Rounds:      rounds,
+		SoftAddrs:   softAddrs,
 	}
 	if msg.WantTrace && trace != nil {
 		resp.Trace = *trace
@@ -202,7 +244,7 @@ func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hyp
 		ContinuedFrom:  msg.SessionID,
 		SessionPending: resp.SessionID,
 	}
-	if resp.CacheHit {
+	if resp.CacheHit || resp.RefineHit {
 		span.Nodes = 1 // only the root was involved
 	}
 	if n := len(steps); n > 0 {
@@ -281,7 +323,15 @@ type visitResult struct {
 func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hypercube.Vertex, limit int) visitResult {
 	instance, queryKey, query := sess.instance, sess.queryKey, sess.query
 	if u.vertex == rootV {
-		matches, remaining := s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, query, queryKey, u.skip, limit)
+		var matches []Match
+		var remaining int
+		if sess.soft != nil {
+			// Soft-served search: the root's matches come from the soft
+			// copy, not this node's (unrelated) authoritative tables.
+			matches, remaining = scanTable(sess.soft, u.vertex, rootV, query, u.skip, limit)
+		} else {
+			matches, remaining = s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, query, queryKey, u.skip, limit)
+		}
 		var children []hypercube.ChildEdge
 		if u.genDim >= 0 {
 			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
@@ -552,9 +602,15 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 
 	// The root's own address identifies which other vertices this
 	// server hosts; failing to resolve it only disables that shortcut.
+	// On a soft-served search the root resolves to the OWNER's address,
+	// not this node's, so the shortcut stays off — non-root vertices
+	// all take the batch path to their authoritative peers (possibly
+	// including this node itself, via a self-addressed frame).
 	var selfAddr transport.Addr
-	if a, err := s.cfg.Resolver.Resolve(ctx, instance, rootV); err == nil {
-		selfAddr = a
+	if sess.soft == nil {
+		if a, err := s.cfg.Resolver.Resolve(ctx, instance, rootV); err == nil {
+			selfAddr = a
+		}
 	}
 
 	// Group wave positions by destination peer, preserving first-seen
@@ -587,6 +643,15 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 	// maps here but the DHT layer no longer owns takes the remote path.
 	for _, i := range local {
 		u := wave[i]
+		if u.vertex == rootV && sess.soft != nil {
+			matches, remaining := scanTable(sess.soft, u.vertex, rootV, sess.query, u.skip, limit)
+			var children []hypercube.ChildEdge
+			if u.genDim >= 0 {
+				children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
+			}
+			results[i] = visitResult{matches: matches, remaining: remaining, children: children}
+			continue
+		}
 		if u.vertex != rootV && !s.owns(instance, u.vertex) {
 			results[i] = s.visit(ctx, sess, u, rootV, limit)
 			continue

@@ -53,6 +53,26 @@ type ServerConfig struct {
 	// CacheCapacity is the root-result cache capacity in object-ID
 	// units (the paper's α·|O|/2^r); 0 disables caching.
 	CacheCapacity int
+	// CachePolicy selects the result-cache replacement policy:
+	// CachePolicyHot (default) — popularity-tracked segmented LRU with
+	// frequency-sketch admission and capacity auto-tuning — or
+	// CachePolicyFIFO, the fixed-size insertion-order cache.
+	CachePolicy string
+	// CacheTargetHit is the hit ratio the hot policy auto-tunes its
+	// capacity toward (grow up to 4× CacheCapacity while below it,
+	// shrink back when comfortably above). 0 disables auto-tuning.
+	// Ignored by the FIFO policy.
+	CacheTargetHit float64
+	// HotReplicas enables soft replication of hot root vertices: a
+	// root whose fresh-query count crosses HotPromoteThreshold gets
+	// its table soft-copied onto this many extra peers, and the owner
+	// advertises their addresses so clients spread the load. 0
+	// disables the layer (the default).
+	HotReplicas int
+	// HotPromoteThreshold is the fresh-query count that promotes a
+	// root (default 64). Counters halve every ~1024 fresh queries, so
+	// the threshold tracks current popularity.
+	HotPromoteThreshold int
 	// MaxSessions bounds retained cumulative-search sessions
 	// (oldest evicted first). Default 256.
 	MaxSessions int
@@ -171,8 +191,18 @@ type Server struct {
 	searchSeq atomic.Uint64
 
 	shards   []*tableShard // length is a power of two
-	cache    *fifoCache
+	cache    resultCache
 	sessions *sessionStore
+
+	// hot tracks root popularity and manages soft replication of the
+	// roots this server owns; soft holds the copies other owners
+	// pushed onto this node. served counts every operation this server
+	// answered (the load-distribution experiments' per-peer counter —
+	// registry counters can't attribute per node when servers share a
+	// registry).
+	hot    *hotVertexManager
+	soft   *softStore
+	served atomic.Uint64
 
 	// migrate manages inbound range migrations and the double-read
 	// window state; always non-nil on servers built by NewServer.
@@ -291,6 +321,15 @@ type serverMetrics struct {
 	cacheHits     *telemetry.Counter   // core_cache_hits_total
 	cacheMisses   *telemetry.Counter   // core_cache_misses_total
 
+	opRefine   *telemetry.Counter // core_ops_total{op="refine-search"}
+	refineHits *telemetry.Counter // core_refine_hits_total
+	refineMiss *telemetry.Counter // core_refine_fallbacks_total
+
+	hotPromotions     *telemetry.Counter // core_hot_promotions_total
+	hotDemotions      *telemetry.Counter // core_hot_demotions_total
+	softInvalidations *telemetry.Counter // core_soft_invalidations_total
+	softServes        *telemetry.Counter // core_soft_serves_total
+
 	batchSize  *telemetry.Histogram // core_search_batch_size
 	coalesced  *telemetry.Counter   // core_search_msgs_coalesced_total
 	physFrames *telemetry.Counter   // core_search_phys_frames_total
@@ -321,9 +360,19 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		searchLatency: reg.Histogram("core_search_duration_ns", telemetry.DefaultLatencyBuckets),
 		cacheHits:     reg.Counter("core_cache_hits_total"),
 		cacheMisses:   reg.Counter("core_cache_misses_total"),
-		batchSize:     reg.Histogram("core_search_batch_size", telemetry.ExpBuckets(1, 2, 11)),
-		coalesced:     reg.Counter("core_search_msgs_coalesced_total"),
-		physFrames:    reg.Counter("core_search_phys_frames_total"),
+
+		opRefine:   ops.With("refine-search"),
+		refineHits: reg.Counter("core_refine_hits_total"),
+		refineMiss: reg.Counter("core_refine_fallbacks_total"),
+
+		hotPromotions:     reg.Counter("core_hot_promotions_total"),
+		hotDemotions:      reg.Counter("core_hot_demotions_total"),
+		softInvalidations: reg.Counter("core_soft_invalidations_total"),
+		softServes:        reg.Counter("core_soft_serves_total"),
+
+		batchSize:  reg.Histogram("core_search_batch_size", telemetry.ExpBuckets(1, 2, 11)),
+		coalesced:  reg.Counter("core_search_msgs_coalesced_total"),
+		physFrames: reg.Counter("core_search_phys_frames_total"),
 		// Lock waits sit well under the RPC latency floor; buckets span
 		// ~256ns to ~17ms in powers of 4.
 		shardLockWait: reg.Histogram("core_server_shard_lock_wait_ns", telemetry.ExpBuckets(256, 4, 9)),
@@ -401,6 +450,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.CachePolicy {
+	case "", CachePolicyHot, CachePolicyFIFO:
+	default:
+		return nil, fmt.Errorf("core: unknown cache policy %q (want %q or %q)", cfg.CachePolicy, CachePolicyHot, CachePolicyFIFO)
+	}
 	shards := make([]*tableShard, cfg.Shards)
 	for i := range shards {
 		shards[i] = &tableShard{tables: make(map[string]map[hypercube.Vertex]*table)}
@@ -410,9 +464,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cube:     cube,
 		met:      newServerMetrics(cfg.Telemetry),
 		shards:   shards,
-		cache:    newFIFOCache(cfg.CacheCapacity),
+		cache:    newResultCache(cfg.CachePolicy, cfg.CacheCapacity, cfg.CacheTargetHit),
 		sessions: newSessionStore(cfg.MaxSessions),
+		soft:     newSoftStore(),
 	}
+	s.hot = newHotVertexManager(s, cfg.HotReplicas, cfg.HotPromoteThreshold)
 	if cfg.Admission != nil {
 		s.adm = admission.New(*cfg.Admission, cfg.Telemetry)
 	}
@@ -442,6 +498,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		reg.GaugeFunc("core_index_entries", func() int64 { return int64(s.Stats().Entries) })
 		reg.GaugeFunc("core_index_objects", func() int64 { return int64(s.Stats().Objects) })
 		reg.GaugeFunc("core_cache_queries", func() int64 { return int64(s.cache.len()) })
+		reg.GaugeFunc("core_cache_entries", func() int64 { return int64(s.cache.len()) })
+		reg.GaugeFunc("core_cache_units", func() int64 { return int64(s.cache.unitCount()) })
+		reg.GaugeFunc("core_soft_tables", func() int64 { return int64(s.soft.count()) })
 		reg.GaugeFunc("core_sessions_active", func() int64 { return int64(s.sessions.len()) })
 		for i, sh := range s.shards {
 			sh := sh
@@ -519,6 +578,10 @@ func (s *Server) Handler(ctx context.Context, from transport.Addr, body any) (an
 
 // handle dispatches one admitted (or ungated) message.
 func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any, error) {
+	// Per-server load attribution for the distribution experiments:
+	// registry counters can't tell servers apart when a deployment
+	// shares one registry, so each server counts what it answers.
+	s.served.Add(1)
 	switch msg := body.(type) {
 	case msgInsertEntry:
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
@@ -606,11 +669,47 @@ func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any
 		}
 		return respMigrateCommit{Dropped: len(entries)}, nil
 	case msgTQuery:
+		if msg.RefineFromKey != "" {
+			// Explicit refinement: the receiver must own the ANCESTOR
+			// root (it holds the cached state); msg.Vertex carries the
+			// refined root, which it typically does not own.
+			if !s.owns(msg.Instance, hypercube.Vertex(msg.RefineFromVertex)) {
+				return nil, ErrNotOwner
+			}
+			s.met.opRefine.Inc()
+			return s.runRefine(msg), nil
+		}
+		// A live soft copy serves before the ownership check: soft
+		// replicas of a hot root are, by design, nodes that do NOT own
+		// the vertex, and spreading clients address them directly.
+		if tbl := s.soft.lookup(msg.Instance, hypercube.Vertex(msg.Vertex)); tbl != nil {
+			s.met.opSearch.Inc()
+			s.met.softServes.Inc()
+			return s.runSearch(ctx, msg, tbl)
+		}
+		if msg.SoftOnly {
+			// A spreading client reached us for a copy we no longer
+			// hold; answering from our own tables would be wrong (we
+			// are not this vertex's owner), so bounce it back.
+			return respTQuery{ErrCode: errCodeNoSoftCopy}, nil
+		}
 		if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
 			return nil, ErrNotOwner
 		}
 		s.met.opSearch.Inc()
-		return s.runSearch(ctx, msg)
+		return s.runSearch(ctx, msg, nil)
+	case msgSoftPromote:
+		s.soft.applyPromote(msg)
+		return respAck{}, nil
+	case msgSoftInvalidate:
+		s.soft.applyInvalidate(msg)
+		if msg.SetKey != "" {
+			// The owner mutated the promoted vertex: run the same
+			// subset-invalidation event over this node's result cache
+			// that the owner just ran over its own.
+			s.cache.invalidateSubsetsOf(msg.Instance, keyword.ParseKey(msg.SetKey))
+		}
+		return respAck{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnhandledMessage, body)
 	}
@@ -695,6 +794,11 @@ func (s *Server) insertEntry(instance string, v hypercube.Vertex, setKey, object
 	// The cache has its own lock; invalidating outside the shard lock
 	// keeps the lock order flat (shard locks never nest with others).
 	s.cache.invalidateSubsetsOf(instance, set)
+	// Local authority over the vertex supersedes any soft copy of it,
+	// and a promoted root whose table changed must demote (its
+	// replicas now serve a stale copy).
+	s.soft.dropLocal(instance, v)
+	s.hot.noteMutation(instance, v, setKey)
 	return nil
 }
 
@@ -755,6 +859,8 @@ func (s *Server) deleteEntry(instance string, v hypercube.Vertex, setKey, object
 	}
 	if found {
 		s.cache.invalidateSubsetsOf(instance, set)
+		s.soft.dropLocal(instance, v)
+		s.hot.noteMutation(instance, v, setKey)
 	}
 	return found, nil
 }
@@ -990,6 +1096,16 @@ func scanVertexLocked(sh *tableShard, instance string, v, root hypercube.Vertex,
 	if !ok {
 		return nil, 0
 	}
+	return scanTable(tbl, v, root, query, skip, limit)
+}
+
+// scanTable is the scan itself over one vertex table — shared by the
+// authoritative path above and soft-replica serving, so a soft copy
+// produces the byte-identical match windows its owner would. Callers
+// must prevent concurrent mutation of tbl: shard lock for the
+// authoritative tables, the immutable-once-live contract for soft
+// copies.
+func scanTable(tbl *table, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
 	setKeys := tbl.sortedKeys()
 
 	bufp := matchScratch.Get().(*[]Match)
@@ -1067,9 +1183,32 @@ func (s *Server) CacheStats() (hits, misses uint64) {
 	return s.cache.stats()
 }
 
-// CacheCapacity returns the configured root-result cache capacity in
-// object-ID units (0 = caching disabled).
-func (s *Server) CacheCapacity() int { return s.cache.capacity }
+// CacheCapacity returns the root-result cache capacity in object-ID
+// units (0 = caching disabled). Under the hot policy this is the
+// auto-tuned live capacity, not the configured base.
+func (s *Server) CacheCapacity() int { return s.cache.capacityUnits() }
+
+// CacheSnapshot returns a point-in-time view of the result cache:
+// policy, capacity, occupancy and per-instance hit ratios.
+func (s *Server) CacheSnapshot() CacheSnapshot { return s.cache.snapshot() }
+
+// OpsServed reports how many protocol operations this server has
+// answered — the per-peer load counter the distribution experiments
+// aggregate into top-node share and Gini coefficients.
+func (s *Server) OpsServed() uint64 { return s.served.Load() }
+
+// HotPromotedRoots lists the currently promoted hot roots as
+// "instance/vertex" strings in sorted order; the promotion-determinism
+// test fingerprints replayed query logs with it.
+func (s *Server) HotPromotedRoots() []string {
+	keys := s.hot.promotedRoots()
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k.instance+"/"+strconv.FormatUint(uint64(k.vertex), 10))
+	}
+	sort.Strings(out)
+	return out
+}
 
 // extractRange removes and returns the entries a newly joined
 // predecessor now owns: those whose vertex key is outside (newID,
@@ -1264,6 +1403,10 @@ func (s *Server) CrashReset() {
 	s.cache.reset()
 	s.sessions.reset()
 	s.migrate.crashReset()
+	// Soft state is volatile by contract: copies and popularity die
+	// with the process.
+	s.soft.reset()
+	s.hot.reset()
 }
 
 // RecoverFromStore replays the data directory (snapshot + WAL tail)

@@ -24,6 +24,10 @@ type session struct {
 	// head); for BottomUp the remaining vertices in descending-depth
 	// order.
 	work []workUnit
+	// soft, when non-nil, is the soft-replica copy of the root
+	// vertex's table this (non-owner) server is serving the search
+	// from; root-vertex scans read it instead of the local tables.
+	soft *table
 }
 
 // workUnit is one pending node visit: scan 'vertex', skipping the

@@ -77,6 +77,13 @@ type Stats struct {
 	PhysFrames int
 	// CacheHit reports that the root answered entirely from its cache.
 	CacheHit bool
+	// RefineHit reports that the root derived the answer from cached
+	// ancestor state (Lemma 3.3) instead of traversing. Disjoint from
+	// CacheHit: a refine hit is counted as a cache miss.
+	RefineHit bool
+	// SoftServed reports that a soft replica (not the root's owner)
+	// answered the search.
+	SoftServed bool
 }
 
 // TraversalOrder selects how the spanning binomial tree is explored.

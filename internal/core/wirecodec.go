@@ -26,6 +26,8 @@ const (
 	wireRespMigrateChunk  = 15
 	wireMsgMigrateCommit  = 16
 	wireRespMigrateCommit = 17
+	wireMsgSoftPromote    = 18
+	wireMsgSoftInvalidate = 19
 )
 
 // registerWireCodecs binds every index-protocol message to its wire
@@ -48,6 +50,8 @@ func registerWireCodecs() {
 	wire.Register[respMigrateChunk](wireRespMigrateChunk)
 	wire.Register[msgMigrateCommit](wireMsgMigrateCommit)
 	wire.Register[respMigrateCommit](wireRespMigrateCommit)
+	wire.Register[msgSoftPromote](wireMsgSoftPromote)
+	wire.Register[msgSoftInvalidate](wireMsgSoftInvalidate)
 }
 
 // Shared field helpers. Matches carry two strings each, so the
@@ -241,6 +245,9 @@ func (m *msgTQuery) MarshalWire(w *wire.Writer) {
 	w.Bool(m.WantTrace)
 	w.String(m.ClientID)
 	w.Varint(m.DeadlineUnixNano)
+	w.String(m.RefineFromKey)
+	w.Uvarint(m.RefineFromVertex)
+	w.Bool(m.SoftOnly)
 }
 
 func (m *msgTQuery) UnmarshalWire(r *wire.Reader) error {
@@ -256,6 +263,9 @@ func (m *msgTQuery) UnmarshalWire(r *wire.Reader) error {
 	m.WantTrace = r.Bool()
 	m.ClientID = r.String()
 	m.DeadlineUnixNano = r.Varint()
+	m.RefineFromKey = r.String()
+	m.RefineFromVertex = r.Uvarint()
+	m.SoftOnly = r.Bool()
 	return r.Err()
 }
 
@@ -276,6 +286,11 @@ func (m *respTQuery) MarshalWire(w *wire.Writer) {
 		w.Int(ts.Matches)
 		w.Bool(ts.Failed)
 	}
+	w.Bool(m.RefineHit)
+	w.Uvarint(uint64(len(m.SoftAddrs)))
+	for _, a := range m.SoftAddrs {
+		w.String(a)
+	}
 }
 
 func (m *respTQuery) UnmarshalWire(r *wire.Reader) error {
@@ -295,6 +310,13 @@ func (m *respTQuery) UnmarshalWire(r *wire.Reader) error {
 			m.Trace[i].Vertex = r.Uvarint()
 			m.Trace[i].Matches = r.Int()
 			m.Trace[i].Failed = r.Bool()
+		}
+	}
+	m.RefineHit = r.Bool()
+	if n := r.Count(1); n > 0 {
+		m.SoftAddrs = make([]string, n)
+		for i := range m.SoftAddrs {
+			m.SoftAddrs[i] = r.String()
 		}
 	}
 	return r.Err()
@@ -480,3 +502,35 @@ func (m *msgMigrateCommit) UnmarshalWire(r *wire.Reader) error {
 
 func (m *respMigrateCommit) MarshalWire(w *wire.Writer)         { w.Int(m.Dropped) }
 func (m *respMigrateCommit) UnmarshalWire(r *wire.Reader) error { m.Dropped = r.Int(); return r.Err() }
+
+func (m *msgSoftPromote) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.U64(m.Gen)
+	marshalBulkEntries(w, m.Entries)
+	w.Bool(m.Done)
+}
+
+func (m *msgSoftPromote) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.Gen = r.U64()
+	m.Entries = unmarshalBulkEntries(r)
+	m.Done = r.Bool()
+	return r.Err()
+}
+
+func (m *msgSoftInvalidate) MarshalWire(w *wire.Writer) {
+	w.String(m.Instance)
+	w.Uvarint(m.Vertex)
+	w.U64(m.Gen)
+	w.String(m.SetKey)
+}
+
+func (m *msgSoftInvalidate) UnmarshalWire(r *wire.Reader) error {
+	m.Instance = r.String()
+	m.Vertex = r.Uvarint()
+	m.Gen = r.U64()
+	m.SetKey = r.String()
+	return r.Err()
+}

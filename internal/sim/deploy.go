@@ -87,8 +87,24 @@ type DeployConfig struct {
 	// fold onto, assigned round-robin (vertex v lives on peer v mod
 	// Peers). 0 means one peer per vertex.
 	Peers int
-	// CacheCapacity is the per-node FIFO cache size in object-ID units.
+	// CacheCapacity is the per-node result-cache size in object-ID
+	// units.
 	CacheCapacity int
+	// CachePolicy selects the result-cache policy ("" = hot, or
+	// "fifo"). See core.ServerConfig.CachePolicy.
+	CachePolicy string
+	// CacheTargetHit is the hot policy's auto-tune target hit ratio
+	// (0 disables auto-tuning).
+	CacheTargetHit float64
+	// HotReplicas soft-replicates promoted hot roots onto this many
+	// extra peers (0 = disabled). See core.ServerConfig.HotReplicas.
+	HotReplicas int
+	// HotPromoteThreshold promotes a root after this many fresh
+	// queries when HotReplicas > 0 (0 = library default).
+	HotPromoteThreshold int
+	// HotSpread makes the deployment's clients round-robin one-shot
+	// searches for promoted roots across owner + soft replicas.
+	HotSpread bool
 	// Replicas is the number of independent index instances (< 2
 	// disables replication).
 	Replicas int
@@ -165,18 +181,23 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 			dataDir = filepath.Join(cfg.DataDir, "peer-"+strconv.Itoa(p))
 		}
 		srv, err := core.NewServer(core.ServerConfig{
-			Hasher:          hasher,
-			Resolver:        resolver,
-			Sender:          sender,
-			CacheCapacity:   cfg.CacheCapacity,
-			BatchWaves:      cfg.Batch,
-			Shards:          cfg.Shards,
-			ScanParallelism: cfg.ScanParallelism,
-			DataDir:         dataDir,
-			Fsync:           cfg.Fsync,
-			SnapshotEvery:   cfg.SnapshotEvery,
-			Admission:       cfg.Admission,
-			Telemetry:       cfg.Telemetry,
+			Hasher:         hasher,
+			Resolver:       resolver,
+			Sender:         sender,
+			CacheCapacity:  cfg.CacheCapacity,
+			CachePolicy:    cfg.CachePolicy,
+			CacheTargetHit: cfg.CacheTargetHit,
+			HotReplicas:    cfg.HotReplicas,
+			BatchWaves:     cfg.Batch,
+
+			HotPromoteThreshold: cfg.HotPromoteThreshold,
+			Shards:              cfg.Shards,
+			ScanParallelism:     cfg.ScanParallelism,
+			DataDir:             dataDir,
+			Fsync:               cfg.Fsync,
+			SnapshotEvery:       cfg.SnapshotEvery,
+			Admission:           cfg.Admission,
+			Telemetry:           cfg.Telemetry,
 		})
 		if err != nil {
 			for _, s := range servers[:p] {
@@ -214,6 +235,7 @@ func NewCustomDeployment(cfg DeployConfig) (*Deployment, error) {
 			net.Close()
 			return nil, err
 		}
+		clients[i].SetSpread(cfg.HotSpread)
 	}
 	d := &Deployment{
 		R: r, Peers: peers, Net: net, Hasher: hasher, Servers: servers,

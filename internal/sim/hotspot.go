@@ -4,10 +4,17 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/p2pkeyword/keysearch/internal/core"
 	"github.com/p2pkeyword/keysearch/internal/corpus"
+	"github.com/p2pkeyword/keysearch/internal/hypercube"
 	"github.com/p2pkeyword/keysearch/internal/invindex"
 	"github.com/p2pkeyword/keysearch/internal/keyword"
 )
+
+// HotSpotSpreadReplicas is the soft-replica count the hot-spot study
+// attributes the "hypercube+hot" row with — matching the k=2 the
+// recorded Zipf storm study deploys.
+const HotSpotSpreadReplicas = 2
 
 // HotSpotResult quantifies the Section 3.4 hot-spot discussion: how
 // query traffic concentrates on responsible nodes under each scheme.
@@ -42,6 +49,16 @@ type HotSpotResult struct {
 	// arrivals.
 	HyperServingNodes int
 	DIIServingNodes   int
+	// Spread models the hot-vertex layer on top of the hypercube
+	// scheme: once a template's root has absorbed
+	// core.DefaultHotPromoteThreshold arrivals it is promoted, and the
+	// remaining arrivals rotate round-robin across the owner and its
+	// HotSpotSpreadReplicas soft replicas (the client's spreading
+	// discipline), with replica nodes drawn from the same deterministic
+	// candidate walk the live layer places copies with.
+	Spread             LoadCurve
+	SpreadTopNodeShare float64
+	SpreadServingNodes int
 }
 
 // HotSpots replays a query log offline, attributing each query to the
@@ -54,20 +71,49 @@ func HotSpots(log *corpus.QueryLog, r int) (HotSpotResult, error) {
 	size := 1 << uint(r)
 	hyper := make([]int, size)
 	dii := make([]int, size)
+	spread := make([]int, size)
+	// Per-template promotion state for the spread attribution: arrival
+	// count so far and the round-robin rotation slot once promoted.
+	type hotState struct {
+		arrivals int
+		next     int
+		targets  []hypercube.Vertex // owner first, then replicas
+	}
+	hot := make(map[int]*hotState)
 	for _, q := range log.Queries() {
-		hyper[hasher.Vertex(q.Keywords)]++
+		root := hasher.Vertex(q.Keywords)
+		hyper[root]++
 		for _, w := range q.Keywords.Words() {
 			dii[invindex.NodeFor(w, r)]++
 		}
+		st, ok := hot[q.Template]
+		if !ok {
+			st = &hotState{}
+			hot[q.Template] = st
+		}
+		st.arrivals++
+		if st.arrivals <= core.DefaultHotPromoteThreshold {
+			spread[root]++
+			continue
+		}
+		if st.targets == nil {
+			st.targets = spreadTargets(root, r)
+		}
+		spread[st.targets[st.next%len(st.targets)]]++
+		st.next++
 	}
 	res := HotSpotResult{R: r}
 	res.Hyper = curveFromLoads(SchemeHypercube, r, hyper)
 	res.DII = curveFromLoads(SchemeDII, r, dii)
+	res.Spread = curveFromLoads(SchemeHypercube, r, spread)
 	if res.Hyper.Total > 0 {
 		res.HyperTopNodeShare = float64(res.Hyper.Loads[0]) / float64(res.Hyper.Total)
 	}
 	if res.DII.Total > 0 {
 		res.DIITopNodeShare = float64(res.DII.Loads[0]) / float64(res.DII.Total)
+	}
+	if res.Spread.Total > 0 {
+		res.SpreadTopNodeShare = float64(res.Spread.Loads[0]) / float64(res.Spread.Total)
 	}
 	res.TopTemplateShare = log.TopShare(1)
 	for _, v := range res.Hyper.Loads {
@@ -80,7 +126,31 @@ func HotSpots(log *corpus.QueryLog, r int) (HotSpotResult, error) {
 			res.DIIServingNodes++
 		}
 	}
+	for _, v := range res.Spread.Loads {
+		if v > 0 {
+			res.SpreadServingNodes++
+		}
+	}
 	return res, nil
+}
+
+// spreadTargets returns the rotation targets of a promoted root: the
+// owner vertex followed by its soft-replica vertices, drawn from the
+// live layer's deterministic candidate walk (dedup, owner skipped).
+func spreadTargets(root hypercube.Vertex, r int) []hypercube.Vertex {
+	targets := []hypercube.Vertex{root}
+	seen := map[hypercube.Vertex]struct{}{root: {}}
+	for _, cand := range core.SoftReplicaCandidates(root, r, HotSpotSpreadReplicas) {
+		if len(targets) == HotSpotSpreadReplicas+1 {
+			break
+		}
+		if _, dup := seen[cand]; dup {
+			continue
+		}
+		seen[cand] = struct{}{}
+		targets = append(targets, cand)
+	}
+	return targets
 }
 
 func curveFromLoads(scheme LoadScheme, r int, loads []int) LoadCurve {
@@ -107,6 +177,7 @@ func RenderHotSpots(w interface{ Write([]byte) (int, error) }, res HotSpotResult
 		serving int
 	}{
 		{"hypercube", res.Hyper, res.HyperTopNodeShare, res.HyperServingNodes},
+		{"hyper+hot", res.Spread, res.SpreadTopNodeShare, res.SpreadServingNodes},
 		{"DII", res.DII, res.DIITopNodeShare, res.DIIServingNodes},
 	} {
 		fmt.Fprintf(w, "%-12s %-11.2f%% %-11.1f%% %-11.1f%% %-10.3f %d\n",
@@ -119,5 +190,9 @@ func RenderHotSpots(w interface{ Write([]byte) (int, error) }, res HotSpotResult
 	fmt.Fprintln(w, "note: the hypercube top node ≈ the top template's repeat traffic —")
 	fmt.Fprintln(w, "the residual hot spot §3.4 concedes and the Figure 9 cache absorbs;")
 	fmt.Fprintln(w, "DII additionally funnels every query containing a popular keyword")
-	fmt.Fprintln(w, "through that keyword's single node.")
+	fmt.Fprintln(w, "through that keyword's single node. hyper+hot is the hypercube with")
+	fmt.Fprintf(w, "the hot-vertex layer: roots past %d arrivals spread their residual\n",
+		core.DefaultHotPromoteThreshold)
+	fmt.Fprintf(w, "traffic round-robin across the owner and %d soft replicas.\n",
+		HotSpotSpreadReplicas)
 }

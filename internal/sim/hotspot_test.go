@@ -38,6 +38,45 @@ func TestHotSpotsDIIConcentratesQueryLoad(t *testing.T) {
 	}
 }
 
+// The hot-vertex layer's spread attribution must flatten the residual
+// hypercube hot spot: same arrivals, strictly lower top-node share,
+// no higher Gini, and more serving nodes.
+func TestHotSpotsSpreadFlattensResidualHotSpot(t *testing.T) {
+	c := testCorpus(t, 8000)
+	log, err := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{
+		Queries: 20000, Templates: 500, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HotSpots(log, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread.Total != res.Hyper.Total {
+		t.Errorf("spread attribution lost arrivals: %d, want %d", res.Spread.Total, res.Hyper.Total)
+	}
+	if res.SpreadTopNodeShare >= res.HyperTopNodeShare {
+		t.Errorf("spread top-node share %.3f not below plain hypercube %.3f",
+			res.SpreadTopNodeShare, res.HyperTopNodeShare)
+	}
+	if g, base := res.Spread.Gini(), res.Hyper.Gini(); g > base {
+		t.Errorf("spread Gini %.3f worse than plain hypercube %.3f", g, base)
+	}
+	if res.SpreadServingNodes < res.HyperServingNodes {
+		t.Errorf("spreading reduced serving nodes: %d < %d",
+			res.SpreadServingNodes, res.HyperServingNodes)
+	}
+	// Promotion spreads only residual traffic: the top node still
+	// carries at least the threshold's worth of each promoted template
+	// plus its rotation share — it cannot drop below 1/(k+1) of the
+	// plain share.
+	if res.SpreadTopNodeShare < res.HyperTopNodeShare/(HotSpotSpreadReplicas+2) {
+		t.Errorf("spread top-node share %.3f implausibly low vs %.3f",
+			res.SpreadTopNodeShare, res.HyperTopNodeShare)
+	}
+}
+
 func TestHotSpotsValidation(t *testing.T) {
 	c := testCorpus(t, 200)
 	log, _ := corpus.GenerateQueryLog(c, corpus.QueryLogConfig{Queries: 50, Templates: 10, Seed: 1})

@@ -85,6 +85,13 @@ type (
 	// carries the shed reason and a Retry-After hint. Use IsOverload /
 	// OverloadRetryAfter to detect it across transports.
 	OverloadError = admission.Overload
+	// CacheSnapshot is a point-in-time view of a peer's result cache
+	// (policy, occupancy, per-instance hit ratios); see
+	// Peer.CacheSnapshot.
+	CacheSnapshot = core.CacheSnapshot
+	// InstanceCacheStats is one index instance's slice of a
+	// CacheSnapshot.
+	InstanceCacheStats = core.InstanceCacheStats
 )
 
 // DefaultResilience returns the recommended production resilience
@@ -105,6 +112,15 @@ const (
 
 // All is a search threshold meaning "every matching object".
 const All = core.All
+
+// Result-cache policies (Config.CachePolicy).
+const (
+	// CachePolicyHot is the popularity-tracked cache with frequency
+	// admission (the default).
+	CachePolicyHot = core.CachePolicyHot
+	// CachePolicyFIFO is the legacy fixed-size FIFO cache.
+	CachePolicyFIFO = core.CachePolicyFIFO
+)
 
 // Wave-batching modes (Config.BatchWaves).
 const (

@@ -40,6 +40,26 @@ type Config struct {
 	// CacheCapacity is the per-node query-result cache size in
 	// object-ID units (default 0 = disabled).
 	CacheCapacity int
+	// CachePolicy selects the result-cache replacement policy: "hot"
+	// (default) — popularity-tracked segmented LRU with frequency-
+	// sketch admission and capacity auto-tuning — or "fifo", the
+	// fixed-size insertion-order cache of earlier releases.
+	CachePolicy string
+	// CacheTargetHit is the hit ratio the hot cache policy auto-tunes
+	// its capacity toward (growing up to 4× CacheCapacity while below
+	// it). 0 disables auto-tuning; ignored under "fifo".
+	CacheTargetHit float64
+	// HotReplicas soft-replicates each promoted hot root vertex onto
+	// this many extra peers, spreading its query load (0 = disabled,
+	// the default). See DESIGN "Hot-vertex layer".
+	HotReplicas int
+	// HotPromoteThreshold is the fresh-query count that promotes a
+	// root when HotReplicas > 0 (default 64).
+	HotPromoteThreshold int
+	// HotSpread makes this peer's clients round-robin one-shot
+	// searches for promoted roots across owner + advertised soft
+	// replicas. Off by default.
+	HotSpread bool
 	// IndexReplicas is the number of independent index instances
 	// (Section 3.4's "secondary hypercube" replication). Each replica
 	// has its own keyword hash and vertex mapping; writes fan out to
@@ -198,6 +218,8 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Resolver:        resolver,
 		Sender:          sender,
 		CacheCapacity:   cfg.CacheCapacity,
+		CachePolicy:     cfg.CachePolicy,
+		CacheTargetHit:  cfg.CacheTargetHit,
 		BatchWaves:      cfg.BatchWaves,
 		Shards:          cfg.Shards,
 		ScanParallelism: cfg.ScanParallelism,
@@ -207,6 +229,9 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 		Admission:       cfg.Admission,
 		Owner:           node.Owns,
 		Telemetry:       cfg.Telemetry,
+		HotReplicas:     cfg.HotReplicas,
+
+		HotPromoteThreshold: cfg.HotPromoteThreshold,
 		Migration: core.MigrationConfig{
 			ChunkEntries: cfg.MigrateChunkEntries,
 			ChunkBytes:   cfg.MigrateChunkBytes,
@@ -247,6 +272,7 @@ func NewPeer(network transport.Network, addr Addr, cfg Config) (*Peer, error) {
 			endpoint.Close()
 			return nil, err
 		}
+		clients[i].SetSpread(cfg.HotSpread)
 	}
 	index, err := core.NewReplicated(clients...)
 	if err != nil {
@@ -445,6 +471,17 @@ func (p *Peer) Search(ctx context.Context, k Set, threshold int, opts SearchOpti
 	return p.index.SupersetSearch(ctx, k, threshold, opts)
 }
 
+// Refine narrows a previously searched base query to a superset query
+// refined ⊇ base without re-traversing: the base root's owner derives
+// the refined answer from its cached complete result (Lemma 3.3).
+// Falls back to a plain Search transparently when no usable cached
+// state exists; Stats.RefineHit reports which path answered. Uses the
+// primary replica (refinement state lives on the node that served the
+// base search).
+func (p *Peer) Refine(ctx context.Context, base, refined Set, threshold int, opts SearchOptions) (Result, error) {
+	return p.index.Primary().RefineSearch(ctx, base, refined, threshold, opts)
+}
+
 // SearchCursor starts a cumulative search for paging through large
 // result sets.
 // Cursors are pinned to the primary replica's responsible node, which
@@ -525,6 +562,10 @@ func (p *Peer) IndexStats() core.TableStats { return p.server.Stats() }
 
 // CacheStats reports this peer's result-cache hit/miss counters.
 func (p *Peer) CacheStats() (hits, misses uint64) { return p.server.CacheStats() }
+
+// CacheSnapshot reports the result cache's policy, capacity, occupancy
+// and per-instance hit ratios at this moment.
+func (p *Peer) CacheSnapshot() core.CacheSnapshot { return p.server.CacheSnapshot() }
 
 // Telemetry returns the registry this peer reports into (nil when
 // instrumentation is disabled).
