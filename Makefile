@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke fuzz-smoke zipf-smoke figures fmt vet clean ci chaos
+.PHONY: all build test race cover bench bench-smoke crash-smoke load-smoke churn-smoke fuzz-smoke zipf-smoke prefix-smoke figures fmt vet clean ci chaos
 
 all: build test
 
@@ -8,9 +8,9 @@ all: build test
 # suite (includes the telemetry concurrency hammer), the seeded chaos
 # suite, the SIGKILL crash-recovery smoke, the live-churn migration
 # smoke, the open-loop load-rig smoke, the wire-decoder fuzz smoke,
-# the Zipf hotspot-storm smoke, and a single-iteration benchmark
-# smoke pass.
-ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke zipf-smoke bench-smoke
+# the Zipf hotspot-storm smoke, the prefix-multicast smoke, and a
+# single-iteration benchmark smoke pass.
+ci: vet build race chaos crash-smoke churn-smoke load-smoke fuzz-smoke zipf-smoke prefix-smoke bench-smoke
 
 # One iteration of every benchmark, as a smoke test: the figure
 # pipelines still run end to end, BenchmarkWaveBatching enforces its
@@ -67,6 +67,16 @@ churn-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/ksbench -fig churn -objects 5000 > results/churn.txt
 
+# Prefix-multicast smoke: byte-identical prefix answers across the
+# batching × cache-policy matrix, prefix/superset cache isolation, the
+# prefix-under-migration double-read check, and the cost study —
+# exclusion-mask multicast vs naive per-dimension fan-out (the DII-
+# style per-keyword-index model) — recorded into results/prefix.txt.
+prefix-smoke:
+	$(GO) test -count=1 -run 'TestPrefix' ./internal/core/ ./internal/sim/
+	mkdir -p results
+	$(GO) run ./cmd/ksbench -fig prefix -objects 5000 > results/prefix.txt
+
 # Zipf hotspot-storm smoke: a short Zipf-popular query-log replay with
 # the full hot-vertex layer on (popularity cache, refinement reuse,
 # soft replication, client spreading), asserting byte-identical
@@ -119,6 +129,7 @@ figures:
 	$(GO) run ./cmd/ksbench -fig ft > results/ft.txt
 	$(GO) run ./cmd/ksbench -fig batch > results/batch.txt
 	$(GO) run ./cmd/ksbench -fig churn > results/churn.txt
+	$(GO) run ./cmd/ksbench -fig prefix > results/prefix.txt
 
 fmt:
 	gofmt -w .

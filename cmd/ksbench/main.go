@@ -11,6 +11,7 @@
 //	ksbench -fig 9                  # query performance with cache
 //	ksbench -fig eq1                # Equation (1) check
 //	ksbench -fig costs              # Section 3.5 operation costs
+//	ksbench -fig prefix             # prefix multicast vs fan-out costs
 //	ksbench -fig all -objects 20000 # everything, smaller corpus
 //
 // The full paper-scale corpus (131,180 objects, 178,000 queries) is
@@ -48,7 +49,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ksbench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, batch, churn, or all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, eq1, costs, ft, hotspot, batch, churn, prefix, or all")
 		objects   = fs.Int("objects", corpus.DefaultObjects, "corpus size (paper: 131180)")
 		queries   = fs.Int("queries", 178000, "query-log length for fig 9 (paper: ~178000/day)")
 		templates = fs.Int("templates", 2000, "distinct query templates")
@@ -187,6 +188,11 @@ func run(args []string) error {
 	}
 	if want("ft") {
 		if err := runFaultStudy(out, c, *seed); err != nil {
+			return err
+		}
+	}
+	if want("prefix") {
+		if err := runPrefixStudy(out, c); err != nil {
 			return err
 		}
 	}
@@ -456,6 +462,37 @@ func runChurnStudy(out *os.File, c *corpus.Corpus, seed int64) error {
 	}
 	if churnFound != staticFound || churnFound != sweepN {
 		return fmt.Errorf("churn study: final sweep found %d objects, static %d, want %d", churnFound, staticFound, sweepN)
+	}
+	return nil
+}
+
+// runPrefixStudy records the prefix-multicast cost comparison: the
+// exclusion-mask multicast versus the naive per-dimension fan-out
+// (the Figure 6 DII-style per-keyword-index cost model), on the most
+// frequent 3- and 2-character keyword prefixes of the corpus.
+func runPrefixStudy(out *os.File, c *corpus.Corpus) error {
+	prefixes := sim.PrefixStudyPrefixes(c, 3, 8)
+	prefixes = append(prefixes, sim.PrefixStudyPrefixes(c, 2, 4)...)
+	seen := map[string]bool{}
+	deduped := prefixes[:0]
+	for _, p := range prefixes {
+		if !seen[p] {
+			seen[p] = true
+			deduped = append(deduped, p)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "prefix study: %d prefixes over 2^10 nodes (multicast vs per-dimension fan-out)...\n",
+		len(deduped))
+	res, err := sim.PrefixStudy(c, deduped, 10)
+	if err != nil {
+		return err
+	}
+	sim.RenderPrefixStudy(out, res)
+	fmt.Fprintln(out)
+	for _, p := range res.Points {
+		if !p.Identical {
+			return fmt.Errorf("prefix study: %q answer sets diverge between strategies", p.Prefix)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -53,13 +54,20 @@ type options struct {
 	querySeed  int64
 	logPath    string
 
-	rate     float64
-	duration time.Duration
-	arrival  string
-	seed     int64
-	timeout  time.Duration
-	clients  int
-	thresh   int
+	rate       float64
+	duration   time.Duration
+	arrival    string
+	seed       int64
+	timeout    time.Duration
+	clients    int
+	thresh     int
+	prefixFrac float64
+	prefixLen  int
+
+	// prefixEvery is derived from prefixFrac: every Nth request is
+	// issued as a prefix multicast instead of a superset search (0 =
+	// superset-only).
+	prefixEvery int
 
 	admissionOn  bool
 	maxInflight  int
@@ -106,6 +114,8 @@ func run(args []string) error {
 	fs.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-request deadline (0 = none)")
 	fs.IntVar(&o.clients, "clients", 64, "distinct client identities the load is spread across")
 	fs.IntVar(&o.thresh, "threshold", 10, "search threshold (matches requested per query)")
+	fs.Float64Var(&o.prefixFrac, "prefix-frac", 0, "fraction of requests issued as prefix multicasts, derived from the query's first keyword (0 = superset-only)")
+	fs.IntVar(&o.prefixLen, "prefix-len", 3, "prefix length for -prefix-frac queries")
 	fs.BoolVar(&o.admissionOn, "admission", true, "enable server-side admission control")
 	fs.IntVar(&o.maxInflight, "max-inflight", 64, "admission: concurrent client-facing requests per peer")
 	fs.IntVar(&o.maxQueue, "max-queue", 64, "admission: bounded wait queue per peer (-1 = none)")
@@ -127,6 +137,18 @@ func run(args []string) error {
 	}
 	if o.transport != "inmem" && o.transport != "tcp" {
 		return fmt.Errorf("unknown transport %q", o.transport)
+	}
+	if o.prefixFrac < 0 || o.prefixFrac > 1 {
+		return fmt.Errorf("-prefix-frac %v outside [0, 1]", o.prefixFrac)
+	}
+	if o.prefixFrac > 0 {
+		if o.prefixLen < 1 {
+			return fmt.Errorf("-prefix-len %d must be positive", o.prefixLen)
+		}
+		o.prefixEvery = int(math.Round(1 / o.prefixFrac))
+		if o.prefixEvery < 1 {
+			o.prefixEvery = 1
+		}
 	}
 	switch o.wire {
 	case "binary", "gob":
@@ -177,6 +199,10 @@ func run(args []string) error {
 		QuerySeed:     o.querySeed,
 		Threshold:     o.thresh,
 	})
+	if o.prefixFrac > 0 {
+		bench.Workload.PrefixFrac = o.prefixFrac
+		bench.Workload.PrefixLen = o.prefixLen
+	}
 
 	if o.study && o.zipfStudy {
 		return fmt.Errorf("-study and -zipf-study are mutually exclusive")
@@ -261,6 +287,37 @@ func buildFleet(o *options, c *corpus.Corpus, admissionOn bool) (fleet, error) {
 	}
 }
 
+// prefixOf derives the prefix-multicast argument from a replayed
+// query: its first keyword truncated to plen characters ("" when the
+// query is empty, in which case the caller falls back to superset).
+func prefixOf(q corpus.Query, plen int) string {
+	words := q.Keywords.Words()
+	if len(words) == 0 {
+		return ""
+	}
+	w := words[0]
+	if len(w) > plen {
+		w = w[:plen]
+	}
+	return w
+}
+
+// prefixMixer deterministically picks which requests of an open-loop
+// phase become prefix multicasts: every every-th one (0 = none).
+type prefixMixer struct {
+	every int
+	plen  int
+	n     atomic.Uint64
+}
+
+// pick returns the prefix to query, or "" for a superset search.
+func (m *prefixMixer) pick(q corpus.Query) string {
+	if m.every <= 0 || m.n.Add(1)%uint64(m.every) != 0 {
+		return ""
+	}
+	return prefixOf(q, m.plen)
+}
+
 type inmemFleet struct {
 	d      *sim.Deployment
 	reg    *telemetry.Registry
@@ -269,6 +326,7 @@ type inmemFleet struct {
 	// default, and the PR 6 baseline behavior) sets NoCache on every
 	// query.
 	cacheOn bool
+	mix     prefixMixer
 }
 
 func newInmemFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*inmemFleet, error) {
@@ -289,12 +347,19 @@ func newInmemFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*inmemF
 		d.Close()
 		return nil, err
 	}
-	return &inmemFleet{d: d, reg: reg, thresh: o.thresh, cacheOn: o.cacheUnits > 0}, nil
+	return &inmemFleet{
+		d: d, reg: reg, thresh: o.thresh, cacheOn: o.cacheUnits > 0,
+		mix: prefixMixer{every: o.prefixEvery, plen: o.prefixLen},
+	}, nil
 }
 
 func (f *inmemFleet) do(ctx context.Context, q corpus.Query, clientID string) error {
-	_, err := f.d.Client.SupersetSearch(ctx, q.Keywords, f.thresh,
-		core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID})
+	opts := core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID}
+	if p := f.mix.pick(q); p != "" {
+		_, err := f.d.Client.PrefixSearch(ctx, p, f.thresh, opts)
+		return err
+	}
+	_, err := f.d.Client.SupersetSearch(ctx, q.Keywords, f.thresh, opts)
 	return err
 }
 

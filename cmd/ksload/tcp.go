@@ -20,6 +20,7 @@ type tcpFleet struct {
 	peers   []*keysearch.Peer
 	thresh  int
 	cacheOn bool
+	mix     prefixMixer
 }
 
 func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet, error) {
@@ -47,7 +48,10 @@ func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	f := &tcpFleet{net: net, thresh: o.thresh, cacheOn: o.cacheUnits > 0}
+	f := &tcpFleet{
+		net: net, thresh: o.thresh, cacheOn: o.cacheUnits > 0,
+		mix: prefixMixer{every: o.prefixEvery, plen: o.prefixLen},
+	}
 	for i := 0; i < o.peers; i++ {
 		p, err := keysearch.NewPeer(net, "127.0.0.1:0", cfg)
 		if err != nil {
@@ -82,8 +86,12 @@ func newTCPFleet(o *options, c *corpus.Corpus, pol *admission.Policy) (*tcpFleet
 }
 
 func (f *tcpFleet) do(ctx context.Context, q corpus.Query, clientID string) error {
-	_, err := f.peers[0].Search(ctx, q.Keywords, f.thresh,
-		core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID})
+	opts := core.SearchOptions{Order: core.ParallelLevels, NoCache: !f.cacheOn, ClientID: clientID}
+	if p := f.mix.pick(q); p != "" {
+		_, err := f.peers[0].PrefixSearch(ctx, p, f.thresh, opts)
+		return err
+	}
+	_, err := f.peers[0].Search(ctx, q.Keywords, f.thresh, opts)
 	return err
 }
 

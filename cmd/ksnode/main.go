@@ -11,6 +11,8 @@
 //	unpublish <id> <kw1> [kw2 ...] withdraw it
 //	pin <kw1> [kw2 ...]            exact keyword-set search
 //	search <n> <kw1> [kw2 ...]     up to n superset matches
+//	prefix <n> <pfx>               up to n objects with a keyword
+//	                               starting pfx (constrained multicast)
 //	refine <n> <base1,base2> <kw1> [kw2 ...]
 //	                               narrow a previous search for the
 //	                               comma-joined base keywords to this
@@ -278,6 +280,23 @@ func dispatch(ctx context.Context, peer *keysearch.Peer, fields []string) error 
 		}
 		fmt.Printf("%d matches, %d nodes contacted, exhausted=%v\n",
 			len(res.Matches), res.Stats.NodesContacted, res.Exhausted)
+	case "prefix":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: prefix <n> <pfx>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad threshold %q", fields[1])
+		}
+		res, err := peer.PrefixSearch(opCtx, fields[2], n, keysearch.SearchOptions{})
+		if err != nil {
+			return err
+		}
+		for _, m := range res.Matches {
+			fmt.Printf("  %s %v\n", m.ObjectID, m.Keywords())
+		}
+		fmt.Printf("%d matches, %d nodes contacted, exhausted=%v, completeness=%.2f\n",
+			len(res.Matches), res.Stats.NodesContacted, res.Exhausted, res.Completeness)
 	case "refine":
 		if len(fields) < 4 {
 			return fmt.Errorf("usage: refine <n> <base1,base2,...> <kw...>")

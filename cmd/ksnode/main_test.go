@@ -78,6 +78,13 @@ func TestDispatchPublishSearchFetch(t *testing.T) {
 	}
 
 	out, err = captureStdout(t, func() error {
+		return dispatch(ctx, peer, []string{"prefix", "5", "ja"})
+	})
+	if err != nil || !strings.Contains(out, "song1") || !strings.Contains(out, "completeness=1.00") {
+		t.Errorf("prefix output: %q err: %v", out, err)
+	}
+
+	out, err = captureStdout(t, func() error {
 		return dispatch(ctx, peer, []string{"fetch", "song1"})
 	})
 	if err != nil || !strings.Contains(out, "local://song1") {

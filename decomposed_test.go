@@ -36,39 +36,42 @@ func TestDecomposedIndexOverCluster(t *testing.T) {
 	}
 
 	// Single-family query (text).
-	ids, _, err := dec.SupersetSearch(ctx, NewKeywordSet("jazz"), All, SearchOptions{})
+	res, err := dec.SupersetSearch(ctx, NewKeywordSet("jazz"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 2 {
-		t.Errorf("jazz search = %v", ids)
+	if len(res.ObjectIDs) != 2 {
+		t.Errorf("jazz search = %v", res.ObjectIDs)
+	}
+	if !res.Exhausted || res.Completeness != 1 || res.FailedSubtrees != 0 {
+		t.Errorf("healthy search degraded: %+v", res)
 	}
 
 	// Cross-family intersection.
-	ids, _, err = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
+	res, err = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 1 || ids[0] != "song" {
-		t.Errorf("cross-family search = %v, want [song]", ids)
+	if len(res.ObjectIDs) != 1 || res.ObjectIDs[0] != "song" {
+		t.Errorf("cross-family search = %v, want [song]", res.ObjectIDs)
 	}
 
 	// The small type family exhausts within its own 2^4 cube.
-	_, st, err := dec.SupersetSearch(ctx, NewKeywordSet("type:video"), All, SearchOptions{})
+	res, err = dec.SupersetSearch(ctx, NewKeywordSet("type:video"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.NodesContacted > 16 {
-		t.Errorf("type-family search contacted %d nodes, want ≤ 2^4", st.NodesContacted)
+	if res.Stats.NodesContacted > 16 {
+		t.Errorf("type-family search contacted %d nodes, want ≤ 2^4", res.Stats.NodesContacted)
 	}
 
 	// Delete removes from all involved families.
 	if _, err := dec.Delete(ctx, objects[0]); err != nil {
 		t.Fatal(err)
 	}
-	ids, _, _ = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
-	if len(ids) != 0 {
-		t.Errorf("after delete: %v", ids)
+	res, _ = dec.SupersetSearch(ctx, NewKeywordSet("type:audio", "jazz"), All, SearchOptions{})
+	if len(res.ObjectIDs) != 0 {
+		t.Errorf("after delete: %v", res.ObjectIDs)
 	}
 }
 

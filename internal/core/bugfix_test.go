@@ -43,7 +43,7 @@ func TestSpanStopSurvivesTruncation(t *testing.T) {
 	for i := range steps {
 		steps[i] = TraceStep{Vertex: uint64(i), Matches: 1}
 	}
-	srv.recordSearchSpan(msgTQuery{Instance: DefaultInstance, QueryKey: "a"},
+	srv.recordSearchSpan("superset-search", msgTQuery{Instance: DefaultInstance, QueryKey: "a"},
 		TopDown, 0, respTQuery{Exhausted: false}, time.Now(), 1, steps)
 
 	spans, _ := reg.Spans()
@@ -77,7 +77,7 @@ func TestSpanStopUntruncatedStillMarked(t *testing.T) {
 	srv := newSpanTestServer(t, reg)
 
 	steps := []TraceStep{{Vertex: 1}, {Vertex: 2}, {Vertex: 3}}
-	srv.recordSearchSpan(msgTQuery{Instance: DefaultInstance, QueryKey: "b"},
+	srv.recordSearchSpan("superset-search", msgTQuery{Instance: DefaultInstance, QueryKey: "b"},
 		TopDown, 0, respTQuery{Exhausted: false}, time.Now(), 1, steps)
 
 	spans, _ := reg.Spans()
@@ -96,15 +96,15 @@ func TestSpanStopUntruncatedStillMarked(t *testing.T) {
 func TestCacheGetReturnsPrivateCopy(t *testing.T) {
 	c := newFIFOCache(100)
 	set := keyword.NewSet("a", "b")
-	c.put(DefaultInstance, set.Key(), set, []Match{{ObjectID: "o1"}, {ObjectID: "o2"}}, true)
+	c.put(DefaultInstance, supersetPred(set.Key(), set), []Match{{ObjectID: "o1"}, {ObjectID: "o2"}}, true)
 
-	got, _, ok := c.get(DefaultInstance, set.Key(), All)
+	got, _, ok := c.get(DefaultInstance, supersetPred(set.Key(), set), All)
 	if !ok || len(got) != 2 {
 		t.Fatalf("get = (%v, %v), want 2 matches", got, ok)
 	}
 	got[0].ObjectID = "mutated"
 
-	again, _, ok := c.get(DefaultInstance, set.Key(), All)
+	again, _, ok := c.get(DefaultInstance, supersetPred(set.Key(), set), All)
 	if !ok || again[0].ObjectID != "o1" {
 		t.Fatalf("cached copy corrupted by caller mutation: %+v", again)
 	}
@@ -130,9 +130,9 @@ func TestCacheConcurrencyHammer(t *testing.T) {
 				switch i % 3 {
 				case 0:
 					matches := []Match{{ObjectID: "o" + strconv.Itoa(i)}, {ObjectID: "p" + strconv.Itoa(w)}}
-					c.put(DefaultInstance, set.Key(), set, matches, i%2 == 0)
+					c.put(DefaultInstance, supersetPred(set.Key(), set), matches, i%2 == 0)
 				case 1:
-					if got, _, ok := c.get(DefaultInstance, set.Key(), 1); ok {
+					if got, _, ok := c.get(DefaultInstance, supersetPred(set.Key(), set), 1); ok {
 						for _, m := range got {
 							if m.ObjectID == "" {
 								t.Error("torn match read from cache")
@@ -162,14 +162,14 @@ func TestSessionStoreTakeOrderIndependent(t *testing.T) {
 	st := newSessionStore(3)
 	ids := make([]uint64, 4)
 	for i := range ids {
-		ids[i] = st.save(&session{queryKey: strconv.Itoa(i)})
+		ids[i] = st.save(&session{pred: queryPred{key: strconv.Itoa(i)}})
 	}
 	// Capacity 3: saving 4 evicted the oldest (ids[0]).
 	if st.take(ids[0]) != nil {
 		t.Fatal("evicted session still retrievable")
 	}
 	// Take from the middle of the order list.
-	if sess := st.take(ids[2]); sess == nil || sess.queryKey != "2" {
+	if sess := st.take(ids[2]); sess == nil || sess.pred.key != "2" {
 		t.Fatalf("middle take = %+v", sess)
 	}
 	if st.take(ids[2]) != nil {
@@ -177,8 +177,8 @@ func TestSessionStoreTakeOrderIndependent(t *testing.T) {
 	}
 	// Oldest surviving is ids[1]; filling past capacity must evict it
 	// even after the interior removal churned the list.
-	st.save(&session{queryKey: "4"})
-	st.save(&session{queryKey: "5"})
+	st.save(&session{pred: queryPred{key: "4"}})
+	st.save(&session{pred: queryPred{key: "5"}})
 	if st.take(ids[1]) != nil {
 		t.Fatal("eviction skipped the oldest surviving session")
 	}
@@ -202,10 +202,10 @@ func TestSessionStoreConcurrencyHammer(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				switch i % 3 {
 				case 0:
-					mine = append(mine, st.save(&session{queryKey: strconv.Itoa(w)}))
+					mine = append(mine, st.save(&session{pred: queryPred{key: strconv.Itoa(w)}}))
 				case 1:
 					if len(mine) > 0 {
-						if sess := st.take(mine[0]); sess != nil && sess.queryKey != strconv.Itoa(w) {
+						if sess := st.take(mine[0]); sess != nil && sess.pred.key != strconv.Itoa(w) {
 							t.Error("take returned another goroutine's session")
 							return
 						}

@@ -29,17 +29,21 @@ type resultCache interface {
 	enabled() bool
 	// get returns a cached result able to satisfy a query of the given
 	// threshold: the cached traversal either exhausted the
-	// subhypercube or gathered at least threshold matches.
-	get(instance, queryKey string, threshold int) ([]Match, bool, bool)
+	// subhypercube (or multicast range) or gathered at least threshold
+	// matches. The predicate's class-aware cache key keeps query
+	// classes from ever colliding.
+	get(instance string, pred queryPred, threshold int) ([]Match, bool, bool)
 	// put stores a completed query result. Implementations may decline
 	// (capacity, admission policy); stored slices are cloned and
 	// immutable from then on.
-	put(instance, queryKey string, query keyword.Set, matches []Match, exhausted bool)
+	put(instance string, pred queryPred, matches []Match, exhausted bool)
 	// refineSource returns the complete match list of the most refined
 	// exhausted cached ancestor of query (a cached K_anc ⊂ query whose
 	// traversal exhausted its subcube), for Lemma 3.3 refinement
-	// derivation. The returned slice is the immutable stored slice and
-	// must not be mutated.
+	// derivation. Only ClassSuperset entries qualify — Lemma 3.3 is a
+	// superset-lattice property, so pin and prefix entries are never
+	// offered as sources. The returned slice is the immutable stored
+	// slice and must not be mutated.
 	refineSource(instance string, query keyword.Set) ([]Match, bool)
 	// invalidateSubsetsOf drops the instance's cached queries K with
 	// K ⊆ changed, since an index mutation under keyword set 'changed'
@@ -135,7 +139,7 @@ type cachedResult struct {
 	matches   []Match
 	exhausted bool
 	instance  string
-	query     keyword.Set
+	pred      queryPred
 }
 
 func newFIFOCache(capacity int) *fifoCache {
@@ -163,12 +167,12 @@ func (c *fifoCache) instCounters(instance string) *instanceCounters {
 	return ic
 }
 
-func (c *fifoCache) get(instance, queryKey string, threshold int) ([]Match, bool, bool) {
+func (c *fifoCache) get(instance string, pred queryPred, threshold int) ([]Match, bool, bool) {
 	if !c.enabled() {
 		return nil, false, false
 	}
 	c.mu.Lock()
-	item, ok := c.items[cacheKey(instance, queryKey)]
+	item, ok := c.items[pred.cacheKey(instance)]
 	if !ok || (!item.exhausted && len(item.matches) < threshold) {
 		c.misses++
 		c.instCounters(instance).misses++
@@ -203,12 +207,12 @@ func truncateCached(matches []Match, exhausted bool, threshold int) ([]Match, bo
 // put stores a completed query result, evicting oldest entries until
 // the capacity constraint holds. Results larger than the whole cache
 // are not stored.
-func (c *fifoCache) put(instance, queryKey string, query keyword.Set, matches []Match, exhausted bool) {
+func (c *fifoCache) put(instance string, pred queryPred, matches []Match, exhausted bool) {
 	if !c.enabled() || len(matches) > c.capacity {
 		return
 	}
-	key := cacheKey(instance, queryKey)
-	item := cachedResult{matches: cloneMatches(matches), exhausted: exhausted, instance: instance, query: query}
+	key := pred.cacheKey(instance)
+	item := cachedResult{matches: cloneMatches(matches), exhausted: exhausted, instance: instance, pred: pred}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.items[key]; ok {
@@ -263,11 +267,11 @@ func (c *fifoCache) refineSource(instance string, query keyword.Set) ([]Match, b
 	)
 	for key := range c.byInstance[instance] {
 		item, ok := c.items[key]
-		if !ok || !item.exhausted {
+		if !ok || !item.exhausted || item.pred.class != ClassSuperset {
 			continue
 		}
-		if item.query.Len() > bestLen && item.query.SubsetOf(query) && !item.query.Equal(query) {
-			best, bestLen = item.matches, item.query.Len()
+		if item.pred.set.Len() > bestLen && item.pred.set.SubsetOf(query) && !item.pred.set.Equal(query) {
+			best, bestLen = item.matches, item.pred.set.Len()
 		}
 	}
 	return best, bestLen >= 0
@@ -293,7 +297,7 @@ func (c *fifoCache) invalidateSubsetsOf(instance string, changed keyword.Set) {
 			delete(keys, key)
 			continue
 		}
-		if item.query.SubsetOf(changed) {
+		if item.pred.invalidatedBy(changed) {
 			c.units -= len(item.matches)
 			delete(c.items, key)
 			delete(keys, key)

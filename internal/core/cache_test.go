@@ -159,16 +159,16 @@ func TestFIFOCacheEviction(t *testing.T) {
 		}
 		return ms
 	}
-	c.put("main", "q1", keyword.NewSet("a"), mk(4, "a"), true)
-	c.put("main", "q2", keyword.NewSet("b"), mk(4, "b"), true)
-	c.put("main", "q3", keyword.NewSet("c"), mk(4, "c"), true) // evicts q1
-	if _, _, ok := c.get("main", "q1", 1); ok {
+	c.put("main", supersetPred("q1", keyword.NewSet("a")), mk(4, "a"), true)
+	c.put("main", supersetPred("q2", keyword.NewSet("b")), mk(4, "b"), true)
+	c.put("main", supersetPred("q3", keyword.NewSet("c")), mk(4, "c"), true) // evicts q1
+	if _, _, ok := c.get("main", supersetPred("q1", keyword.Set{}), 1); ok {
 		t.Error("q1 should have been evicted (FIFO)")
 	}
-	if _, _, ok := c.get("main", "q2", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("q2", keyword.Set{}), 1); !ok {
 		t.Error("q2 should survive")
 	}
-	if _, _, ok := c.get("main", "q3", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("q3", keyword.Set{}), 1); !ok {
 		t.Error("q3 should survive")
 	}
 }
@@ -176,35 +176,35 @@ func TestFIFOCacheEviction(t *testing.T) {
 func TestFIFOCacheOversizedResultNotStored(t *testing.T) {
 	c := newFIFOCache(3)
 	ms := make([]Match, 5)
-	c.put("main", "big", keyword.NewSet("a"), ms, true)
-	if _, _, ok := c.get("main", "big", 1); ok {
+	c.put("main", supersetPred("big", keyword.NewSet("a")), ms, true)
+	if _, _, ok := c.get("main", supersetPred("big", keyword.Set{}), 1); ok {
 		t.Error("oversized result stored")
 	}
 }
 
 func TestFIFOCacheDisabled(t *testing.T) {
 	c := newFIFOCache(0)
-	c.put("main", "q", keyword.NewSet("a"), []Match{{ObjectID: "x"}}, true)
-	if _, _, ok := c.get("main", "q", 1); ok {
+	c.put("main", supersetPred("q", keyword.NewSet("a")), []Match{{ObjectID: "x"}}, true)
+	if _, _, ok := c.get("main", supersetPred("q", keyword.Set{}), 1); ok {
 		t.Error("disabled cache returned a hit")
 	}
 }
 
 func TestFIFOCacheInvalidateSubsets(t *testing.T) {
 	c := newFIFOCache(100)
-	c.put("main", "qa", keyword.NewSet("a"), []Match{{ObjectID: "1"}}, true)
-	c.put("main", "qab", keyword.NewSet("a", "b"), []Match{{ObjectID: "2"}}, true)
-	c.put("main", "qc", keyword.NewSet("c"), []Match{{ObjectID: "3"}}, true)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), []Match{{ObjectID: "1"}}, true)
+	c.put("main", supersetPred("qab", keyword.NewSet("a", "b")), []Match{{ObjectID: "2"}}, true)
+	c.put("main", supersetPred("qc", keyword.NewSet("c")), []Match{{ObjectID: "3"}}, true)
 	// An index change under {a, b, x} affects queries {a} and {a,b}
 	// but not {c}.
 	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b", "x"))
-	if _, _, ok := c.get("main", "qa", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qa", keyword.Set{}), 1); ok {
 		t.Error("query {a} should be invalidated")
 	}
-	if _, _, ok := c.get("main", "qab", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qab", keyword.Set{}), 1); ok {
 		t.Error("query {a,b} should be invalidated")
 	}
-	if _, _, ok := c.get("main", "qc", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("qc", keyword.Set{}), 1); !ok {
 		t.Error("query {c} should survive")
 	}
 	if c.len() != 1 {
@@ -218,13 +218,13 @@ func TestFIFOCacheInvalidateSubsets(t *testing.T) {
 // untouched.
 func TestFIFOCacheInvalidateInstanceScoped(t *testing.T) {
 	c := newFIFOCache(100)
-	c.put("main", "qa", keyword.NewSet("a"), []Match{{ObjectID: "m"}}, true)
-	c.put("main-replica-1", "qa", keyword.NewSet("a"), []Match{{ObjectID: "r"}}, true)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), []Match{{ObjectID: "m"}}, true)
+	c.put("main-replica-1", supersetPred("qa", keyword.NewSet("a")), []Match{{ObjectID: "r"}}, true)
 	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b"))
-	if _, _, ok := c.get("main", "qa", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qa", keyword.Set{}), 1); ok {
 		t.Error("main-instance entry should be invalidated")
 	}
-	got, _, ok := c.get("main-replica-1", "qa", 1)
+	got, _, ok := c.get("main-replica-1", supersetPred("qa", keyword.Set{}), 1)
 	if !ok {
 		t.Fatal("replica-instance entry wrongly invalidated")
 	}
@@ -241,12 +241,12 @@ func TestFIFOCacheInvalidateInstanceScoped(t *testing.T) {
 
 func TestFIFOCacheReplaceKeepsUnits(t *testing.T) {
 	c := newFIFOCache(10)
-	c.put("main", "q", keyword.NewSet("a"), make([]Match, 6), false)
-	c.put("main", "q", keyword.NewSet("a"), make([]Match, 2), true)
+	c.put("main", supersetPred("q", keyword.NewSet("a")), make([]Match, 6), false)
+	c.put("main", supersetPred("q", keyword.NewSet("a")), make([]Match, 2), true)
 	if c.units != 2 {
 		t.Errorf("units = %d after replace, want 2", c.units)
 	}
-	got, exhausted, ok := c.get("main", "q", 2)
+	got, exhausted, ok := c.get("main", supersetPred("q", keyword.Set{}), 2)
 	if !ok || !exhausted || len(got) != 2 {
 		t.Errorf("get after replace = %d matches, exhausted=%v, ok=%v", len(got), exhausted, ok)
 	}

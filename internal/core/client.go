@@ -231,21 +231,127 @@ func (c *Client) Delete(ctx context.Context, obj Object) (bool, Stats, error) {
 }
 
 // PinSearch returns the IDs of objects associated with exactly the
-// keyword set K: one message for the query and one for the result.
+// keyword set K: one message for the query and one for the result. It
+// rides the unified query-class dispatch (msgTQuery with ClassPin);
+// the answer is byte-identical to the legacy msgPinQuery path, which
+// servers still accept from old clients.
 func (c *Client) PinSearch(ctx context.Context, k keyword.Set) ([]string, Stats, error) {
 	if k.IsEmpty() {
 		return nil, Stats{}, ErrEmptyQuery
 	}
 	v := c.hasher.Vertex(k)
-	raw, err := c.send(ctx, v, msgPinQuery{Instance: c.instance, Vertex: uint64(v), SetKey: k.Key(), ClientID: c.clientID})
+	msg := msgTQuery{
+		Instance:  c.instance,
+		Dim:       c.hasher.Dim(),
+		Vertex:    uint64(v),
+		QueryKey:  k.Key(),
+		Class:     ClassPin,
+		Threshold: All,
+		ClientID:  c.clientID,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		msg.DeadlineUnixNano = dl.UnixNano()
+	}
+	raw, err := c.send(ctx, v, msg)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("pin search %v: %w", k, err)
 	}
-	resp, ok := raw.(respPinQuery)
+	resp, ok := raw.(respTQuery)
 	if !ok {
 		return nil, Stats{}, fmt.Errorf("pin search %v: unexpected response %T", k, raw)
 	}
-	return resp.ObjectIDs, Stats{NodesContacted: 1, Messages: 2}, nil
+	ids := make([]string, 0, len(resp.Matches))
+	for _, m := range resp.Matches {
+		ids = append(ids, m.ObjectID)
+	}
+	if len(ids) == 0 {
+		ids = nil
+	}
+	return ids, Stats{NodesContacted: 1, Messages: 2}, nil
+}
+
+// PrefixSearch returns up to threshold objects whose keyword sets
+// contain at least one keyword starting with prefix. The query is a
+// constrained multicast (one SBT branch per dimension the prefix can
+// hash to), coordinated by the owner of the lowest candidate
+// dimension; threshold must be positive, and All is accepted.
+func (c *Client) PrefixSearch(ctx context.Context, prefix string, threshold int, opts SearchOptions) (Result, error) {
+	return c.PrefixSearchMasked(ctx, prefix, 0, threshold, opts)
+}
+
+// PrefixSearchMasked is PrefixSearch with an explicit dimension mask:
+// only SBT branches rooted at dimensions in mask are visited. A zero
+// mask means every dimension. Callers that know the deployment
+// vocabulary shrink the mask with Hasher.PrefixMask to turn the
+// broadcast into a targeted multicast.
+func (c *Client) PrefixSearchMasked(ctx context.Context, prefix string, mask uint64, threshold int, opts SearchOptions) (Result, error) {
+	p := keyword.Normalize(prefix)
+	if p == "" {
+		return Result{}, ErrEmptyQuery
+	}
+	if threshold <= 0 {
+		return Result{}, fmt.Errorf("core: threshold %d must be positive", threshold)
+	}
+	opts = opts.withDefaults()
+	clientID := opts.ClientID
+	if clientID == "" {
+		clientID = c.clientID
+	}
+	full := uint64(1)<<uint(c.hasher.Dim()) - 1
+	if mask == 0 {
+		mask = full
+	}
+	mask &= full
+	if mask == 0 {
+		return Result{}, fmt.Errorf("core: dimension mask selects no dimensions")
+	}
+	root := hypercube.Vertex(mask & -mask) // lowest masked dimension coordinates
+	msg := msgTQuery{
+		Instance:  c.instance,
+		Dim:       c.hasher.Dim(),
+		Vertex:    uint64(root),
+		QueryKey:  p,
+		Class:     ClassPrefix,
+		DimMask:   mask,
+		Threshold: threshold,
+		Order:     opts.Order,
+		NoCache:   opts.NoCache,
+		WantTrace: opts.Trace,
+		ClientID:  clientID,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		msg.DeadlineUnixNano = dl.UnixNano()
+	}
+	raw, err := c.send(ctx, root, msg)
+	if err != nil {
+		return Result{}, fmt.Errorf("prefix search %q: %w", p, err)
+	}
+	resp, ok := raw.(respTQuery)
+	if !ok {
+		return Result{}, fmt.Errorf("prefix search %q: unexpected response %T", p, raw)
+	}
+	stats := Stats{
+		NodesContacted: resp.SubNodes,
+		Messages:       resp.SubMsgs + 2, // plus the initiator↔coordinator round trip
+		Rounds:         resp.Rounds,
+		PhysFrames:     resp.PhysFrames + 1, // plus the initiator's frame
+		CacheHit:       resp.CacheHit,
+	}
+	if resp.CacheHit {
+		stats.NodesContacted = 1 // only the coordinator was involved
+	}
+	completeness := 1.0
+	if resp.FailedNodes > 0 && resp.SubNodes > 0 {
+		completeness = float64(resp.SubNodes-resp.FailedNodes) / float64(resp.SubNodes)
+	}
+	return Result{
+		Matches:        resp.Matches,
+		Exhausted:      resp.Exhausted,
+		Stats:          stats,
+		Completeness:   completeness,
+		FailedSubtrees: resp.FailedNodes,
+		Trace:          resp.Trace,
+	}, nil
 }
 
 // SupersetSearch returns up to threshold objects whose keyword sets

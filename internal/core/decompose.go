@@ -69,8 +69,7 @@ func (d *Decomposed) Insert(ctx context.Context, obj Object) (Stats, error) {
 		if err != nil {
 			return total, fmt.Errorf("family %q: %w", f, err)
 		}
-		total.NodesContacted += st.NodesContacted
-		total.Messages += st.Messages
+		total.Add(st)
 	}
 	return total, nil
 }
@@ -91,36 +90,60 @@ func (d *Decomposed) Delete(ctx context.Context, obj Object) (Stats, error) {
 		if err != nil {
 			return total, fmt.Errorf("family %q: %w", f, err)
 		}
-		total.NodesContacted += st.NodesContacted
-		total.Messages += st.Messages
+		total.Add(st)
 	}
 	return total, nil
+}
+
+// DecomposedResult is the intersection answer of a decomposed search:
+// object IDs present in every touched family, the aggregate cost over
+// all families, and the quality signals of the weakest family — the
+// intersection is only as complete as its least complete input.
+type DecomposedResult struct {
+	// ObjectIDs is the sorted intersection of the family answers.
+	ObjectIDs []string
+	// Stats aggregates every cost field across the family searches.
+	Stats Stats
+	// Exhausted reports whether every family search was exhaustive;
+	// a non-exhausted family may have truncated the intersection.
+	Exhausted bool
+	// Completeness is the minimum per-family completeness: the
+	// fraction of the weakest family's subcube that answered.
+	Completeness float64
+	// FailedSubtrees sums the unreachable subtrees across families.
+	FailedSubtrees int
 }
 
 // SupersetSearch searches every family the query touches and
 // intersects the result object IDs. threshold bounds the per-family
 // fetch; because intersection can only shrink a result set, fewer than
 // threshold objects may be returned even when more exist — callers
-// needing exhaustive answers pass All.
-func (d *Decomposed) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) ([]string, Stats, error) {
+// needing exhaustive answers pass All and check Exhausted. Degraded
+// family searches (node failures) are surfaced, not hidden: the result
+// carries the minimum family completeness and the summed failed
+// subtrees, so callers can tell a genuinely empty intersection from
+// one computed over partial inputs.
+func (d *Decomposed) SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts SearchOptions) (DecomposedResult, error) {
 	if k.IsEmpty() {
-		return nil, Stats{}, ErrEmptyQuery
+		return DecomposedResult{}, ErrEmptyQuery
 	}
 	projections, err := d.split(k)
 	if err != nil {
-		return nil, Stats{}, err
+		return DecomposedResult{}, err
 	}
-	var (
-		total     Stats
-		intersect map[string]bool
-	)
+	out := DecomposedResult{Exhausted: true, Completeness: 1.0}
+	var intersect map[string]bool
 	for _, f := range sortedFamilies(projections) {
 		res, err := d.parts[f].SupersetSearch(ctx, projections[f], threshold, opts)
 		if err != nil {
-			return nil, total, fmt.Errorf("family %q: %w", f, err)
+			return out, fmt.Errorf("family %q: %w", f, err)
 		}
-		total.NodesContacted += res.Stats.NodesContacted
-		total.Messages += res.Stats.Messages
+		out.Stats.Add(res.Stats)
+		out.Exhausted = out.Exhausted && res.Exhausted
+		if res.Completeness < out.Completeness {
+			out.Completeness = res.Completeness
+		}
+		out.FailedSubtrees += res.FailedSubtrees
 		ids := make(map[string]bool, len(res.Matches))
 		for _, m := range res.Matches {
 			ids[m.ObjectID] = true
@@ -135,12 +158,12 @@ func (d *Decomposed) SupersetSearch(ctx context.Context, k keyword.Set, threshol
 			}
 		}
 	}
-	out := make([]string, 0, len(intersect))
+	out.ObjectIDs = make([]string, 0, len(intersect))
 	for id := range intersect {
-		out = append(out, id)
+		out.ObjectIDs = append(out.ObjectIDs, id)
 	}
-	sort.Strings(out)
-	return out, total, nil
+	sort.Strings(out.ObjectIDs)
+	return out, nil
 }
 
 func sortedFamilies(m map[string]keyword.Set) []string {

@@ -53,12 +53,12 @@ func TestDecomposedInsertAndSearchSingleFamily(t *testing.T) {
 		}
 	}
 	// Query entirely in the text family.
-	ids, _, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
+	res, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !equalStrings(ids, []string{"doc1", "song1"}) {
-		t.Errorf("jazz search = %v", ids)
+	if !equalStrings(res.ObjectIDs, []string{"doc1", "song1"}) {
+		t.Errorf("jazz search = %v", res.ObjectIDs)
 	}
 }
 
@@ -74,15 +74,82 @@ func TestDecomposedCrossFamilyIntersection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ids, st, err := dec.SupersetSearch(ctx, keyword.NewSet("type:audio", "jazz"), All, SearchOptions{})
+	res, err := dec.SupersetSearch(ctx, keyword.NewSet("type:audio", "jazz"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !equalStrings(ids, []string{"song1"}) {
-		t.Errorf("cross-family search = %v, want [song1]", ids)
+	if !equalStrings(res.ObjectIDs, []string{"song1"}) {
+		t.Errorf("cross-family search = %v, want [song1]", res.ObjectIDs)
 	}
+	st := res.Stats
 	if st.NodesContacted == 0 || st.Messages == 0 {
 		t.Errorf("stats not aggregated: %+v", st)
+	}
+	if st.Rounds == 0 || st.PhysFrames == 0 {
+		t.Errorf("round/frame totals not aggregated: %+v", st)
+	}
+	if !res.Exhausted {
+		t.Error("exhaustive cross-family search not reported exhausted")
+	}
+	if res.Completeness != 1 || res.FailedSubtrees != 0 {
+		t.Errorf("healthy search degraded: completeness=%v failed=%d", res.Completeness, res.FailedSubtrees)
+	}
+}
+
+// TestDecomposedDegradedFamilySurfacesCompleteness injects crash-stop
+// failures into one family's fleet and checks the Result-shaped
+// degradation contract: the search still answers (no error), the
+// reported completeness is the minimum over the families — the
+// degraded text family's, not the healthy type family's 1.0 — and the
+// failed-subtree counts are merged into the total.
+func TestDecomposedDegradedFamilySurfacesCompleteness(t *testing.T) {
+	dec, dType, dText := newDecomposedDeployment(t)
+	ctx := context.Background()
+	for _, o := range []Object{
+		obj("song1", "type:audio", "jazz", "piano"),
+		obj("song2", "type:audio", "rock"),
+		obj("doc1", "type:document", "jazz", "history"),
+	} {
+		if _, err := dec.Insert(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash every text-family server except the owner of the query
+	// root, so the traversal starts but loses subtrees.
+	rootV := dText.hasher.Vertex(keyword.NewSet("jazz"))
+	rootAddr := dText.addrs[int(uint64(rootV)%uint64(len(dText.addrs)))]
+	downed := 0
+	for _, a := range dText.addrs {
+		if a != rootAddr {
+			dText.net.SetDown(a, true)
+			downed++
+		}
+	}
+	if downed == 0 {
+		t.Fatal("every text server owns the root; cannot inject failures")
+	}
+
+	res, err := dec.SupersetSearch(ctx, keyword.NewSet("type:audio", "jazz"), All, SearchOptions{NoCache: true})
+	if err != nil {
+		t.Fatalf("degraded search errored instead of degrading: %v", err)
+	}
+	if res.Completeness >= 1 {
+		t.Errorf("completeness = %v with %d/%d text servers down, want < 1",
+			res.Completeness, downed, len(dText.addrs))
+	}
+	if res.FailedSubtrees == 0 {
+		t.Error("no failed subtrees reported despite crashed servers")
+	}
+
+	// The healthy type family alone must still be perfect, proving the
+	// merged figure really is the cross-family minimum.
+	typeRes, err := dType.client.SupersetSearch(ctx, keyword.NewSet("type:audio"), All, SearchOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typeRes.Completeness != 1 || typeRes.FailedSubtrees != 0 {
+		t.Fatalf("type family unexpectedly degraded: %+v", typeRes.Stats)
 	}
 }
 
@@ -96,12 +163,12 @@ func TestDecomposedDelete(t *testing.T) {
 	if _, err := dec.Delete(ctx, o); err != nil {
 		t.Fatal(err)
 	}
-	ids, _, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
+	res, err := dec.SupersetSearch(ctx, keyword.NewSet("jazz"), All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 0 {
-		t.Errorf("after delete, search = %v", ids)
+	if len(res.ObjectIDs) != 0 {
+		t.Errorf("after delete, search = %v", res.ObjectIDs)
 	}
 }
 
@@ -126,10 +193,11 @@ func TestDecomposedSmallerSearchSpace(t *testing.T) {
 		}
 	}
 	q := keyword.NewSet("type:audio")
-	_, decStats, err := dec.SupersetSearch(ctx, q, All, SearchOptions{})
+	decRes, err := dec.SupersetSearch(ctx, q, All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	decStats := decRes.Stats
 	monoRes, err := mono.client.SupersetSearch(ctx, q, All, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +216,7 @@ func TestDecomposedUnknownFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = dec.SupersetSearch(context.Background(), keyword.NewSet("a"), 1, SearchOptions{})
+	_, err = dec.SupersetSearch(context.Background(), keyword.NewSet("a"), 1, SearchOptions{})
 	if err == nil {
 		t.Error("unknown family accepted")
 	}

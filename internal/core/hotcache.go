@@ -62,7 +62,7 @@ const tuneWindow = 512
 type hotEntry struct {
 	key       string
 	instance  string
-	query     keyword.Set
+	pred      queryPred
 	matches   []Match
 	exhausted bool
 	protected bool
@@ -96,11 +96,11 @@ func (c *hotCache) instCounters(instance string) *instanceCounters {
 	return ic
 }
 
-func (c *hotCache) get(instance, queryKey string, threshold int) ([]Match, bool, bool) {
+func (c *hotCache) get(instance string, pred queryPred, threshold int) ([]Match, bool, bool) {
 	if !c.enabled() {
 		return nil, false, false
 	}
-	key := cacheKey(instance, queryKey)
+	key := pred.cacheKey(instance)
 	c.mu.Lock()
 	c.sketch.increment(key)
 	c.winLookups++
@@ -147,11 +147,11 @@ func (c *hotCache) touchLocked(e *hotEntry) {
 	}
 }
 
-func (c *hotCache) put(instance, queryKey string, query keyword.Set, matches []Match, exhausted bool) {
+func (c *hotCache) put(instance string, pred queryPred, matches []Match, exhausted bool) {
 	if !c.enabled() || len(matches) > c.capacity {
 		return
 	}
-	key := cacheKey(instance, queryKey)
+	key := pred.cacheKey(instance)
 	cloned := cloneMatches(matches)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -161,7 +161,7 @@ func (c *hotCache) put(instance, queryKey string, query keyword.Set, matches []M
 		if e.protected {
 			c.protUnits -= len(e.matches)
 		}
-		e.matches, e.exhausted, e.query = cloned, exhausted, query
+		e.matches, e.exhausted, e.pred = cloned, exhausted, pred
 		c.units += len(cloned)
 		if e.protected {
 			c.protUnits += len(cloned)
@@ -177,7 +177,7 @@ func (c *hotCache) put(instance, queryKey string, query keyword.Set, matches []M
 			return
 		}
 	}
-	e := &hotEntry{key: key, instance: instance, query: query, matches: cloned, exhausted: exhausted}
+	e := &hotEntry{key: key, instance: instance, pred: pred, matches: cloned, exhausted: exhausted}
 	e.elem = c.probation.PushFront(e)
 	c.items[key] = e
 	c.units += len(cloned)
@@ -295,11 +295,11 @@ func (c *hotCache) refineSource(instance string, query keyword.Set) ([]Match, bo
 		bestLen = -1
 	)
 	for _, e := range c.byInstance[instance] {
-		if !e.exhausted {
+		if !e.exhausted || e.pred.class != ClassSuperset {
 			continue
 		}
-		if e.query.Len() > bestLen && e.query.SubsetOf(query) && !e.query.Equal(query) {
-			best, bestLen = e.matches, e.query.Len()
+		if e.pred.set.Len() > bestLen && e.pred.set.SubsetOf(query) && !e.pred.set.Equal(query) {
+			best, bestLen = e.matches, e.pred.set.Len()
 		}
 	}
 	return best, bestLen >= 0
@@ -317,7 +317,7 @@ func (c *hotCache) invalidateSubsetsOf(instance string, changed keyword.Set) {
 	}
 	var drop []*hotEntry
 	for _, e := range keys {
-		if e.query.SubsetOf(changed) {
+		if e.pred.invalidatedBy(changed) {
 			drop = append(drop, e)
 		}
 	}

@@ -20,23 +20,23 @@ func hotMatches(n int, tag string) []Match {
 // any would-be victim.
 func TestHotCacheAdmissionProtectsPopularEntries(t *testing.T) {
 	c := newHotCache(8, 0)
-	c.put("main", "qa", keyword.NewSet("a"), hotMatches(4, "a"), true)
-	c.put("main", "qb", keyword.NewSet("b"), hotMatches(4, "b"), true)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), hotMatches(4, "a"), true)
+	c.put("main", supersetPred("qb", keyword.NewSet("b")), hotMatches(4, "b"), true)
 	// Make both residents popular.
 	for i := 0; i < 10; i++ {
-		c.get("main", "qa", 1)
-		c.get("main", "qb", 1)
+		c.get("main", supersetPred("qa", keyword.Set{}), 1)
+		c.get("main", supersetPred("qb", keyword.Set{}), 1)
 	}
 	// A one-off candidate (sketch count 0) needs to evict and must lose
 	// the admission contest.
-	c.put("main", "cold", keyword.NewSet("c"), hotMatches(4, "c"), true)
-	if _, _, ok := c.get("main", "cold", 1); ok {
+	c.put("main", supersetPred("cold", keyword.NewSet("c")), hotMatches(4, "c"), true)
+	if _, _, ok := c.get("main", supersetPred("cold", keyword.Set{}), 1); ok {
 		t.Error("one-off candidate displaced popular residents")
 	}
-	if _, _, ok := c.get("main", "qa", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("qa", keyword.Set{}), 1); !ok {
 		t.Error("popular entry qa evicted by tail traffic")
 	}
-	if _, _, ok := c.get("main", "qb", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("qb", keyword.Set{}), 1); !ok {
 		t.Error("popular entry qb evicted by tail traffic")
 	}
 }
@@ -45,16 +45,16 @@ func TestHotCacheAdmissionProtectsPopularEntries(t *testing.T) {
 // displacing the coldest victim.
 func TestHotCacheAdmissionAcceptsHotterCandidate(t *testing.T) {
 	c := newHotCache(8, 0)
-	c.put("main", "qa", keyword.NewSet("a"), hotMatches(4, "a"), true)
-	c.put("main", "qb", keyword.NewSet("b"), hotMatches(4, "b"), true)
-	c.get("main", "qa", 1) // qa warmer than qb
-	c.get("main", "qa", 1)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), hotMatches(4, "a"), true)
+	c.put("main", supersetPred("qb", keyword.NewSet("b")), hotMatches(4, "b"), true)
+	c.get("main", supersetPred("qa", keyword.Set{}), 1) // qa warmer than qb
+	c.get("main", supersetPred("qa", keyword.Set{}), 1)
 	// The candidate's misses feed the sketch until it beats the victims.
 	for i := 0; i < 30; i++ {
-		c.get("main", "hot", 1)
+		c.get("main", supersetPred("hot", keyword.Set{}), 1)
 	}
-	c.put("main", "hot", keyword.NewSet("h"), hotMatches(4, "h"), true)
-	if _, _, ok := c.get("main", "hot", 1); !ok {
+	c.put("main", supersetPred("hot", keyword.NewSet("h")), hotMatches(4, "h"), true)
+	if _, _, ok := c.get("main", supersetPred("hot", keyword.Set{}), 1); !ok {
 		t.Fatal("frequently-requested candidate was not admitted")
 	}
 	if c.unitCount() > 8 {
@@ -66,30 +66,30 @@ func TestHotCacheAdmissionAcceptsHotterCandidate(t *testing.T) {
 // stream of one-off insertions that churns probation.
 func TestHotCacheProtectedSegmentSurvivesScan(t *testing.T) {
 	c := newHotCache(10, 0)
-	c.put("main", "hot", keyword.NewSet("h"), hotMatches(2, "h"), true)
-	c.get("main", "hot", 1) // graduate to protected
+	c.put("main", supersetPred("hot", keyword.NewSet("h")), hotMatches(2, "h"), true)
+	c.get("main", supersetPred("hot", keyword.Set{}), 1) // graduate to protected
 	for i := 0; i < 20; i++ {
 		key := "scan" + strconv.Itoa(i)
-		c.put("main", key, keyword.NewSet(key), hotMatches(2, key), true)
-		c.get("main", key, 1)
+		c.put("main", supersetPred(key, keyword.NewSet(key)), hotMatches(2, key), true)
+		c.get("main", supersetPred(key, keyword.Set{}), 1)
 	}
-	if _, _, ok := c.get("main", "hot", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("hot", keyword.Set{}), 1); !ok {
 		t.Error("protected entry evicted by scan traffic")
 	}
 }
 
 func TestHotCacheOversizedResultNotStored(t *testing.T) {
 	c := newHotCache(3, 0)
-	c.put("main", "big", keyword.NewSet("a"), hotMatches(5, "x"), true)
-	if _, _, ok := c.get("main", "big", 1); ok {
+	c.put("main", supersetPred("big", keyword.NewSet("a")), hotMatches(5, "x"), true)
+	if _, _, ok := c.get("main", supersetPred("big", keyword.Set{}), 1); ok {
 		t.Error("oversized result stored")
 	}
 }
 
 func TestHotCacheDisabled(t *testing.T) {
 	c := newHotCache(0, 0)
-	c.put("main", "q", keyword.NewSet("a"), hotMatches(1, "x"), true)
-	if _, _, ok := c.get("main", "q", 1); ok {
+	c.put("main", supersetPred("q", keyword.NewSet("a")), hotMatches(1, "x"), true)
+	if _, _, ok := c.get("main", supersetPred("q", keyword.Set{}), 1); ok {
 		t.Error("disabled cache returned a hit")
 	}
 }
@@ -100,7 +100,7 @@ func TestHotCacheAutoTune(t *testing.T) {
 	c := newHotCache(8, 0.5)
 	// A full window of misses: hit ratio 0 < 0.5 target, so grow.
 	for i := 0; i < tuneWindow; i++ {
-		c.get("main", "miss"+strconv.Itoa(i), 1)
+		c.get("main", supersetPred("miss"+strconv.Itoa(i), keyword.Set{}), 1)
 	}
 	grown := c.capacityUnits()
 	if grown <= 8 {
@@ -110,10 +110,10 @@ func TestHotCacheAutoTune(t *testing.T) {
 		t.Fatalf("capacity %d exceeds the 4x bound", grown)
 	}
 	// Windows of pure hits: ratio 1.0 >= target+0.05, so shrink back.
-	c.put("main", "q", keyword.NewSet("a"), hotMatches(1, "x"), true)
+	c.put("main", supersetPred("q", keyword.NewSet("a")), hotMatches(1, "x"), true)
 	for w := 0; w < 20 && c.capacityUnits() > 8; w++ {
 		for i := 0; i < tuneWindow; i++ {
-			c.get("main", "q", 1)
+			c.get("main", supersetPred("q", keyword.Set{}), 1)
 		}
 	}
 	if got := c.capacityUnits(); got != 8 {
@@ -126,13 +126,13 @@ func TestHotCacheAutoTune(t *testing.T) {
 // instance's cached results for the same query.
 func TestHotCacheInvalidateInstanceScoped(t *testing.T) {
 	c := newHotCache(100, 0)
-	c.put("main", "qa", keyword.NewSet("a"), hotMatches(1, "m"), true)
-	c.put("other", "qa", keyword.NewSet("a"), hotMatches(1, "o"), true)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), hotMatches(1, "m"), true)
+	c.put("other", supersetPred("qa", keyword.NewSet("a")), hotMatches(1, "o"), true)
 	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b"))
-	if _, _, ok := c.get("main", "qa", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qa", keyword.Set{}), 1); ok {
 		t.Error("main-instance entry should be invalidated")
 	}
-	if _, _, ok := c.get("other", "qa", 1); !ok {
+	if _, _, ok := c.get("other", supersetPred("qa", keyword.Set{}), 1); !ok {
 		t.Error("other-instance entry wrongly invalidated")
 	}
 }
@@ -141,17 +141,17 @@ func TestHotCacheInvalidateInstanceScoped(t *testing.T) {
 // under set S invalidates every cached query that is a subset of S).
 func TestHotCacheInvalidateSubsets(t *testing.T) {
 	c := newHotCache(100, 0)
-	c.put("main", "qa", keyword.NewSet("a"), hotMatches(1, "1"), true)
-	c.put("main", "qab", keyword.NewSet("a", "b"), hotMatches(1, "2"), true)
-	c.put("main", "qc", keyword.NewSet("c"), hotMatches(1, "3"), true)
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), hotMatches(1, "1"), true)
+	c.put("main", supersetPred("qab", keyword.NewSet("a", "b")), hotMatches(1, "2"), true)
+	c.put("main", supersetPred("qc", keyword.NewSet("c")), hotMatches(1, "3"), true)
 	c.invalidateSubsetsOf("main", keyword.NewSet("a", "b", "x"))
-	if _, _, ok := c.get("main", "qa", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qa", keyword.Set{}), 1); ok {
 		t.Error("query {a} should be invalidated")
 	}
-	if _, _, ok := c.get("main", "qab", 1); ok {
+	if _, _, ok := c.get("main", supersetPred("qab", keyword.Set{}), 1); ok {
 		t.Error("query {a,b} should be invalidated")
 	}
-	if _, _, ok := c.get("main", "qc", 1); !ok {
+	if _, _, ok := c.get("main", supersetPred("qc", keyword.Set{}), 1); !ok {
 		t.Error("query {c} should survive")
 	}
 }
@@ -159,11 +159,11 @@ func TestHotCacheInvalidateSubsets(t *testing.T) {
 // The per-instance snapshot decomposes the cache-wide totals exactly.
 func TestHotCacheSnapshotPerInstance(t *testing.T) {
 	c := newHotCache(100, 0)
-	c.put("main", "qa", keyword.NewSet("a"), hotMatches(2, "m"), true)
-	c.put("aux", "qb", keyword.NewSet("b"), hotMatches(3, "x"), true)
-	c.get("main", "qa", 1)   // hit
-	c.get("main", "nope", 1) // miss
-	c.get("aux", "qb", 1)    // hit
+	c.put("main", supersetPred("qa", keyword.NewSet("a")), hotMatches(2, "m"), true)
+	c.put("aux", supersetPred("qb", keyword.NewSet("b")), hotMatches(3, "x"), true)
+	c.get("main", supersetPred("qa", keyword.Set{}), 1)   // hit
+	c.get("main", supersetPred("nope", keyword.Set{}), 1) // miss
+	c.get("aux", supersetPred("qb", keyword.Set{}), 1)    // hit
 	snap := c.snapshot()
 	if snap.Policy != CachePolicyHot {
 		t.Errorf("policy %q", snap.Policy)

@@ -85,6 +85,17 @@ type (
 		// NOT fall back to its own tables, which are not authoritative
 		// for this vertex.
 		SoftOnly bool
+		// Class selects the query's match predicate and root resolution.
+		// The zero value is ClassSuperset, so pre-Class initiators decode
+		// unchanged. For ClassPin, QueryKey is the exact set key and
+		// Vertex its F_h image; for ClassPrefix, QueryKey is the
+		// normalized prefix string and Vertex the lowest dimension of
+		// DimMask.
+		Class QueryClass
+		// DimMask constrains a ClassPrefix multicast to the dimensions a
+		// matching keyword can hash to (0 = all r dimensions). Ignored by
+		// the other classes.
+		DimMask uint64
 	}
 	respTQuery struct {
 		Matches     []Match
@@ -130,6 +141,10 @@ type (
 		// Relay marks a double-read forwarded to the old owner of a
 		// migrating range (see msgPinQuery.Relay).
 		Relay bool
+		// Class selects the match predicate applied to the vertex's
+		// table (zero value = ClassSuperset; QueryKey's meaning follows
+		// msgTQuery.Class).
+		Class QueryClass
 	}
 	respSubQuery struct {
 		Matches   []Match
@@ -161,6 +176,9 @@ type (
 		// no deadline (tcpnet) still stops scanning units once the
 		// root's search has expired.
 		DeadlineUnixNano int64
+		// Class selects the match predicate for every unit of the frame
+		// (zero value = ClassSuperset).
+		Class QueryClass
 	}
 
 	// wireUnit is one logical sub-query inside a batch.

@@ -749,19 +749,19 @@ func (s *Server) pinQueryRead(ctx context.Context, instance string, v hypercube.
 // object ID) order and applies skip/limit — byte-identical to scanning
 // the union table. Outside a window it is exactly scanVertex plus one
 // atomic load.
-func (s *Server) scanVertexRead(ctx context.Context, dim int, instance string, v, root hypercube.Vertex, query keyword.Set, queryKey string, skip, limit int) ([]Match, int) {
+func (s *Server) scanVertexRead(ctx context.Context, dim int, instance string, v, root hypercube.Vertex, pred queryPred, skip, limit int) ([]Match, int) {
 	srcs := s.migrate.sources(instance, v)
 	if len(srcs) == 0 {
-		return s.scanVertex(instance, v, root, query, skip, limit)
+		return s.scanVertex(instance, v, root, pred, skip, limit)
 	}
-	merged, _ := s.scanVertex(instance, v, root, query, 0, -1)
+	merged, _ := s.scanVertex(instance, v, root, pred, 0, -1)
 	type mk struct{ setKey, id string }
 	seen := make(map[mk]struct{}, len(merged))
 	for _, mt := range merged {
 		seen[mk{mt.SetKey, mt.ObjectID}] = struct{}{}
 	}
 	msg := msgSubQuery{Instance: instance, Dim: dim, Vertex: uint64(v), Root: uint64(root),
-		QueryKey: queryKey, Limit: -1, GenDim: -1, Relay: true}
+		QueryKey: pred.key, Class: pred.class, Limit: -1, GenDim: -1, Relay: true}
 	for _, src := range srcs {
 		s.migrate.nDoubleReads.Add(1)
 		s.migrate.met.doubleReads.Inc()

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strconv"
+
+	"github.com/p2pkeyword/keysearch/internal/keyword"
+)
+
+// queryPred is a query's class-resolved match predicate: the one thing
+// the scan and cache layers need to evaluate any query class against a
+// table entry. The traversal machinery above it (roots, branches,
+// frontier expansion) decides WHICH vertices to scan; the predicate
+// decides what matches there.
+type queryPred struct {
+	class QueryClass
+	// key is the wire QueryKey verbatim: the canonical set key for
+	// superset and pin queries, the normalized prefix string for
+	// prefix queries.
+	key string
+	// set is the parsed keyword set for superset and pin classes
+	// (empty for prefix).
+	set keyword.Set
+	// prefix is the normalized prefix for ClassPrefix (empty
+	// otherwise).
+	prefix string
+	// mask is the prefix query's dimension mask, carried only where
+	// the cache key is computed (the coordinator); scans don't use it.
+	mask uint64
+}
+
+// predFor resolves the wire (Class, QueryKey) pair into a predicate.
+func predFor(class QueryClass, queryKey string) queryPred {
+	p := queryPred{class: class, key: queryKey}
+	if class == ClassPrefix {
+		p.prefix = queryKey
+	} else {
+		p.set = keyword.ParseKey(queryKey)
+	}
+	return p
+}
+
+// supersetPred builds a ClassSuperset predicate from an explicit
+// (cache key, parsed set) pair. The pair is usually (set.Key(), set),
+// but the cache layer allows arbitrary keys, so both travel.
+func supersetPred(queryKey string, query keyword.Set) queryPred {
+	return queryPred{class: ClassSuperset, key: queryKey, set: query}
+}
+
+// matches applies the class predicate to an entry's keyword set.
+func (p queryPred) matches(other keyword.Set) bool {
+	switch p.class {
+	case ClassPin:
+		return p.set.Equal(other)
+	case ClassPrefix:
+		return other.HasPrefix(p.prefix)
+	default:
+		return p.set.SubsetOf(other)
+	}
+}
+
+// invalidatedBy reports whether a mutation of an entry with keyword
+// set changed can alter this query's cached answer. Conservative in
+// the prefix case: the dimension mask is ignored, so a prefix entry
+// may be dropped for a mutation outside its multicast range.
+func (p queryPred) invalidatedBy(changed keyword.Set) bool {
+	switch p.class {
+	case ClassPin:
+		return p.set.Equal(changed)
+	case ClassPrefix:
+		return changed.HasPrefix(p.prefix)
+	default:
+		return p.set.SubsetOf(changed)
+	}
+}
+
+// cacheKey returns the result-cache key. Superset entries keep the
+// bare legacy key so existing cache contents and stats semantics are
+// untouched; other classes are tagged with the class and (for prefix)
+// the dimension mask, so a prefix query and a superset query over the
+// same keywords can never collide. '\x02' cannot appear in normalized
+// keywords or prefixes, making the tagged encodings unambiguous.
+func (p queryPred) cacheKey(instance string) string {
+	switch p.class {
+	case ClassPrefix:
+		return cacheKey(instance, "\x02prefix\x02"+p.prefix+"\x02"+strconv.FormatUint(p.mask, 16))
+	case ClassPin:
+		return cacheKey(instance, "\x02pin\x02"+p.key)
+	default:
+		return cacheKey(instance, p.key)
+	}
+}

@@ -111,7 +111,7 @@ func (s *Server) runRefine(msg msgTQuery) respTQuery {
 	if !msg.NoCache {
 		// The derived result is complete: cache it under the refined
 		// key so later plain searches (and further refinements) hit.
-		s.cache.put(msg.Instance, msg.QueryKey, refined, derived, true)
+		s.cache.put(msg.Instance, supersetPred(msg.QueryKey, refined), derived, true)
 	}
 	matches, exhausted, _ := truncateCached(derived, true, msg.Threshold)
 	return respTQuery{Matches: matches, Exhausted: exhausted, RefineHit: true}
@@ -132,7 +132,7 @@ func visitRank(cube hypercube.Cube, order TraversalOrder, rootV hypercube.Vertex
 		}
 		return rank
 	}
-	units := expandFrontier(cube, rootV, []workUnit{{vertex: rootV, genDim: cube.Dim()}})
+	units := expandFrontier(cube, rootV, []workUnit{{vertex: rootV, genDim: cube.Dim()}}, 0)
 	for _, u := range units {
 		rank[u.vertex] = len(rank)
 	}

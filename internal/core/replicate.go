@@ -97,8 +97,7 @@ func (r *Replicated) Insert(ctx context.Context, obj Object) (Stats, error) {
 			}
 			continue
 		}
-		total.NodesContacted += st.NodesContacted
-		total.Messages += st.Messages
+		total.Add(st)
 	}
 	return total, firstErr
 }
@@ -122,8 +121,7 @@ func (r *Replicated) Delete(ctx context.Context, obj Object) (bool, Stats, error
 			continue
 		}
 		found = found || ok
-		total.NodesContacted += st.NodesContacted
-		total.Messages += st.Messages
+		total.Add(st)
 	}
 	return found, total, firstErr
 }
@@ -220,6 +218,42 @@ func (r *Replicated) SupersetSearch(ctx context.Context, k keyword.Set, threshol
 		}
 		r.reads.Inc()
 		res, err := c.SupersetSearch(ctx, k, threshold, opts)
+		if err == nil {
+			if len(res.Matches) > 0 && res.Completeness >= 1 {
+				return res, nil
+			}
+			if !answered || betterResult(res, best) {
+				best, answered = res, true
+			}
+			continue
+		}
+		if !failover(err) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	if answered {
+		return best, nil
+	}
+	return Result{}, fmt.Errorf("all %d replicas failed: %w", len(r.clients), lastErr)
+}
+
+// PrefixSearch queries the primary replica's prefix multicast and
+// fails over exactly like SupersetSearch: a conclusive answer
+// (non-empty and complete) returns immediately, anything weaker lets
+// the remaining replicas compete and the best answer wins.
+func (r *Replicated) PrefixSearch(ctx context.Context, prefix string, threshold int, opts SearchOptions) (Result, error) {
+	var (
+		lastErr  error
+		best     Result
+		answered bool
+	)
+	for i, c := range r.clients {
+		if i > 0 {
+			r.failovers.Inc()
+		}
+		r.reads.Inc()
+		res, err := c.PrefixSearch(ctx, prefix, threshold, opts)
 		if err == nil {
 			if len(res.Matches) > 0 && res.Completeness >= 1 {
 				return res, nil

@@ -87,6 +87,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 		startedAt = time.Now()
 	}
 
+	pred := supersetPred(msg.QueryKey, query)
 	var sess *session
 	var softAddrs []string
 	if msg.SessionID != 0 {
@@ -103,11 +104,11 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 			softAddrs = s.hot.note(ctx, msg.Instance, rootV)
 		}
 		if !msg.Cumulative && !msg.NoCache {
-			if matches, exhausted, ok := s.cache.get(msg.Instance, msg.QueryKey, msg.Threshold); ok {
+			if matches, exhausted, ok := s.cache.get(msg.Instance, pred, msg.Threshold); ok {
 				s.met.cacheHits.Inc()
 				resp := respTQuery{Matches: matches, Exhausted: exhausted, CacheHit: true, SoftAddrs: softAddrs}
 				if instrumented {
-					s.recordSearchSpan(msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
+					s.recordSearchSpan("superset-search", msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
 				}
 				return resp, nil
 			} else if s.cache.enabled() {
@@ -121,11 +122,11 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 				if src, ok := s.cache.refineSource(msg.Instance, query); ok {
 					if derived, ok := deriveRefinement(cube, order, rootV, query, src); ok {
 						s.met.refineHits.Inc()
-						s.cache.put(msg.Instance, msg.QueryKey, query, derived, true)
+						s.cache.put(msg.Instance, pred, derived, true)
 						matches, exhausted, _ := truncateCached(derived, true, msg.Threshold)
 						resp := respTQuery{Matches: matches, Exhausted: exhausted, RefineHit: true, SoftAddrs: softAddrs}
 						if instrumented {
-							s.recordSearchSpan(msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
+							s.recordSearchSpan("superset-search", msg, order, rootV, resp, startedAt, time.Since(startedAt).Nanoseconds(), nil)
 						}
 						return resp, nil
 					}
@@ -133,7 +134,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 			}
 		}
 		var err error
-		sess, err = newSession(cube, msg.Instance, msg.QueryKey, query, rootV, order)
+		sess, err = newSession(cube, msg.Instance, pred, rootV, order)
 		if err != nil {
 			return respTQuery{}, err
 		}
@@ -201,7 +202,7 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 		resp.SessionID = s.sessions.save(sess)
 	}
 	if msg.SessionID == 0 && !msg.Cumulative && !msg.NoCache && failed == 0 {
-		s.cache.put(msg.Instance, msg.QueryKey, query, collected, exhausted)
+		s.cache.put(msg.Instance, pred, collected, exhausted)
 	}
 	if instrumented {
 		// One clock read shared by the latency histogram and the span.
@@ -217,17 +218,19 @@ func (s *Server) runSearch(ctx context.Context, msg msgTQuery, soft *table) (res
 		if trace != nil {
 			steps = *trace
 		}
-		s.recordSearchSpan(msg, order, rootV, resp, startedAt, elapsedNS, steps)
+		s.recordSearchSpan("superset-search", msg, order, rootV, resp, startedAt, elapsedNS, steps)
 	}
 	return resp, nil
 }
 
-// recordSearchSpan converts one completed superset search into a
-// telemetry span: the T_QUERY/T_CONT/T_STOP wave tree the root drove,
-// with per-step vertex and depth, bounded by telemetry.MaxSpanSteps.
-func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hypercube.Vertex, resp respTQuery, startedAt time.Time, elapsedNS int64, steps []TraceStep) {
+// recordSearchSpan converts one completed search into a telemetry
+// span: the T_QUERY/T_CONT/T_STOP wave tree the root drove, with
+// per-step vertex and depth, bounded by telemetry.MaxSpanSteps. op
+// labels the span with the query class ("superset-search",
+// "prefix-search").
+func (s *Server) recordSearchSpan(op string, msg msgTQuery, order TraversalOrder, rootV hypercube.Vertex, resp respTQuery, startedAt time.Time, elapsedNS int64, steps []TraceStep) {
 	span := telemetry.Span{
-		Op:             "superset-search",
+		Op:             op,
 		Instance:       msg.Instance,
 		Query:          msg.QueryKey,
 		Root:           uint64(rootV),
@@ -279,9 +282,13 @@ func (s *Server) recordSearchSpan(msg msgTQuery, order TraversalOrder, rootV hyp
 	s.cfg.Telemetry.RecordSpan(span)
 }
 
-// newSession builds the initial frontier for a fresh query.
-func newSession(cube hypercube.Cube, instance, queryKey string, query keyword.Set, rootV hypercube.Vertex, order TraversalOrder) (*session, error) {
-	sess := &session{instance: instance, cube: cube, queryKey: queryKey, query: query, order: order}
+// newSession builds the initial frontier for a fresh query. The
+// session starts with superset-shaped defaults — the traversal root is
+// hosted here and classifies local work — which the prefix multicast
+// coordinator overrides per branch.
+func newSession(cube hypercube.Cube, instance string, pred queryPred, rootV hypercube.Vertex, order TraversalOrder) (*session, error) {
+	sess := &session{instance: instance, cube: cube, pred: pred, order: order,
+		rootLocal: true, selfVertex: rootV}
 	switch order {
 	case TopDown, ParallelLevels:
 		// The root itself is the first unit; its children are the
@@ -321,16 +328,16 @@ type visitResult struct {
 // query root hosted by this server, remotely via a T_QUERY/T_CONT
 // round trip otherwise.
 func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hypercube.Vertex, limit int) visitResult {
-	instance, queryKey, query := sess.instance, sess.queryKey, sess.query
-	if u.vertex == rootV {
+	instance := sess.instance
+	if u.vertex == rootV && sess.rootLocal {
 		var matches []Match
 		var remaining int
 		if sess.soft != nil {
 			// Soft-served search: the root's matches come from the soft
 			// copy, not this node's (unrelated) authoritative tables.
-			matches, remaining = scanTable(sess.soft, u.vertex, rootV, query, u.skip, limit)
+			matches, remaining = scanTable(sess.soft, u.vertex, rootV, sess.pred, u.skip, limit)
 		} else {
-			matches, remaining = s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, query, queryKey, u.skip, limit)
+			matches, remaining = s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, sess.pred, u.skip, limit)
 		}
 		var children []hypercube.ChildEdge
 		if u.genDim >= 0 {
@@ -344,10 +351,11 @@ func (s *Server) visit(ctx context.Context, sess *session, u workUnit, rootV hyp
 		Dim:      sess.cube.Dim(),
 		Vertex:   uint64(u.vertex),
 		Root:     uint64(rootV),
-		QueryKey: queryKey,
+		QueryKey: sess.pred.key,
 		Limit:    limit,
 		Skip:     u.skip,
 		GenDim:   u.genDim,
+		Class:    sess.pred.class,
 	}
 	var (
 		raw    any
@@ -410,14 +418,14 @@ func (s *Server) traverseSequential(ctx context.Context, sess *session, rootV hy
 			if u.genDim >= 0 {
 				// Regenerate the failed node's children locally so the
 				// rest of its subtree is still explored.
-				sess.work = append(sess.work, asUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+				sess.work = append(sess.work, sess.childUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
 			}
 			continue
 		}
 		collected = append(collected, res.matches...)
 		need -= len(res.matches)
 		if u.genDim >= 0 {
-			sess.work = append(sess.work, asUnits(res.children)...)
+			sess.work = append(sess.work, sess.childUnits(res.children)...)
 		}
 		if res.remaining > 0 {
 			// Partially consumed node: resume it first on continuation.
@@ -451,7 +459,7 @@ func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hype
 		sess.work = nil
 		if batch && rounds == 1 && threshold == All &&
 			sess.cube.Dim()-rootV.OnesCount() <= maxBottomUpFree {
-			wave = expandFrontier(sess.cube, rootV, wave)
+			wave = expandFrontier(sess.cube, rootV, wave, sess.exclude)
 		}
 
 		var results []visitResult
@@ -500,12 +508,12 @@ func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hype
 			if res.err != nil {
 				failed++
 				if u.genDim >= 0 {
-					nextLevel = append(nextLevel, asUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+					nextLevel = append(nextLevel, sess.childUnits(sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
 				}
 				continue
 			}
 			if u.genDim >= 0 {
-				nextLevel = append(nextLevel, asUnits(res.children)...)
+				nextLevel = append(nextLevel, sess.childUnits(res.children)...)
 			}
 			if need > 0 {
 				take := len(res.matches)
@@ -533,15 +541,16 @@ func (s *Server) traverseParallel(ctx context.Context, sess *session, rootV hype
 // its SBT children, generated breadth-first. Expanded units carry
 // genDim -1 so the accounting loop neither re-appends their children
 // on success nor regenerates them on failure — the whole subtree is
-// already in the wave.
-func expandFrontier(cube hypercube.Cube, rootV hypercube.Vertex, frontier []workUnit) []workUnit {
+// already in the wave. Children intersecting the exclude mask are
+// pruned (prefix-multicast branch partition); zero excludes nothing.
+func expandFrontier(cube hypercube.Cube, rootV hypercube.Vertex, frontier []workUnit, exclude hypercube.Vertex) []workUnit {
 	out := make([]workUnit, 0, cube.SubcubeSize(rootV))
 	queue := append(make([]workUnit, 0, len(frontier)), frontier...)
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
 		if u.genDim >= 0 {
-			queue = append(queue, asUnits(cube.InducedChildEdges(rootV, u.vertex, u.genDim))...)
+			queue = append(queue, filterUnits(asUnits(cube.InducedChildEdges(rootV, u.vertex, u.genDim)), exclude)...)
 			u.genDim = -1
 		}
 		out = append(out, u)
@@ -565,11 +574,13 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 	instance := sess.instance
 	results := make([]visitResult, len(wave))
 
-	// Resolve each distinct non-root vertex once.
+	// Resolve each distinct non-root vertex once. A foreign branch
+	// root (prefix multicast, rootLocal false) is a remote vertex like
+	// any other and must be resolved.
 	distinct := make([]hypercube.Vertex, 0, len(wave))
 	pos := make(map[hypercube.Vertex]int, len(wave))
 	for _, u := range wave {
-		if u.vertex == rootV {
+		if u.vertex == rootV && sess.rootLocal {
 			continue
 		}
 		if _, ok := pos[u.vertex]; !ok {
@@ -600,15 +611,17 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 		wg.Wait()
 	}
 
-	// The root's own address identifies which other vertices this
-	// server hosts; failing to resolve it only disables that shortcut.
-	// On a soft-served search the root resolves to the OWNER's address,
-	// not this node's, so the shortcut stays off — non-root vertices
-	// all take the batch path to their authoritative peers (possibly
-	// including this node itself, via a self-addressed frame).
+	// This server's own address identifies which other vertices it
+	// hosts; failing to resolve it only disables that shortcut. The
+	// session's selfVertex — not the branch root, which a prefix
+	// multicast may not own — resolves to it. On a soft-served search
+	// the root resolves to the OWNER's address, not this node's, so
+	// the shortcut stays off — non-root vertices all take the batch
+	// path to their authoritative peers (possibly including this node
+	// itself, via a self-addressed frame).
 	var selfAddr transport.Addr
 	if sess.soft == nil {
-		if a, err := s.cfg.Resolver.Resolve(ctx, instance, rootV); err == nil {
+		if a, err := s.cfg.Resolver.Resolve(ctx, instance, sess.selfVertex); err == nil {
 			selfAddr = a
 		}
 	}
@@ -619,7 +632,7 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 	byAddr := make(map[transport.Addr][]int)
 	order := make([]transport.Addr, 0, len(wave))
 	for i, u := range wave {
-		if u.vertex == rootV {
+		if u.vertex == rootV && sess.rootLocal {
 			local = append(local, i)
 			continue
 		}
@@ -643,8 +656,9 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 	// maps here but the DHT layer no longer owns takes the remote path.
 	for _, i := range local {
 		u := wave[i]
-		if u.vertex == rootV && sess.soft != nil {
-			matches, remaining := scanTable(sess.soft, u.vertex, rootV, sess.query, u.skip, limit)
+		isLocalRoot := u.vertex == rootV && sess.rootLocal
+		if isLocalRoot && sess.soft != nil {
+			matches, remaining := scanTable(sess.soft, u.vertex, rootV, sess.pred, u.skip, limit)
 			var children []hypercube.ChildEdge
 			if u.genDim >= 0 {
 				children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
@@ -652,17 +666,17 @@ func (s *Server) dispatchWave(ctx context.Context, sess *session, wave []workUni
 			results[i] = visitResult{matches: matches, remaining: remaining, children: children}
 			continue
 		}
-		if u.vertex != rootV && !s.owns(instance, u.vertex) {
+		if !isLocalRoot && !s.owns(instance, u.vertex) {
 			results[i] = s.visit(ctx, sess, u, rootV, limit)
 			continue
 		}
-		matches, remaining := s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, sess.query, sess.queryKey, u.skip, limit)
+		matches, remaining := s.scanVertexRead(ctx, sess.cube.Dim(), instance, u.vertex, rootV, sess.pred, u.skip, limit)
 		var children []hypercube.ChildEdge
 		if u.genDim >= 0 {
 			children = sess.cube.InducedChildEdges(rootV, u.vertex, u.genDim)
 		}
-		results[i] = visitResult{matches: matches, remaining: remaining, children: children, remote: u.vertex != rootV}
-		if u.vertex != rootV {
+		results[i] = visitResult{matches: matches, remaining: remaining, children: children, remote: !isLocalRoot}
+		if !isLocalRoot {
 			s.met.coalesced.Inc() // frame avoided entirely
 		}
 	}
@@ -703,9 +717,10 @@ func (s *Server) sendBatch(ctx context.Context, sess *session, addr transport.Ad
 		Instance: sess.instance,
 		Dim:      sess.cube.Dim(),
 		Root:     uint64(rootV),
-		QueryKey: sess.queryKey,
+		QueryKey: sess.pred.key,
 		Limit:    limit,
 		Units:    units,
+		Class:    sess.pred.class,
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		msg.DeadlineUnixNano = dl.UnixNano()
@@ -760,4 +775,27 @@ func asUnits(edges []hypercube.ChildEdge) []workUnit {
 		units[i] = workUnit{vertex: e.To, genDim: e.Dim, skip: 0}
 	}
 	return units
+}
+
+// childUnits converts child edges to work units, pruning vertices the
+// session's branch-exclusion mask assigns to an earlier prefix branch.
+func (sess *session) childUnits(edges []hypercube.ChildEdge) []workUnit {
+	return filterUnits(asUnits(edges), sess.exclude)
+}
+
+// filterUnits drops units whose vertex intersects exclude. SBT paths
+// only accumulate bits, so cutting a child here removes exactly the
+// subtree of vertices carrying an excluded dimension — every other
+// descendant stays reachable.
+func filterUnits(units []workUnit, exclude hypercube.Vertex) []workUnit {
+	if exclude == 0 {
+		return units
+	}
+	keep := units[:0]
+	for _, u := range units {
+		if u.vertex&exclude == 0 {
+			keep = append(keep, u)
+		}
+	}
+	return keep
 }

@@ -322,8 +322,16 @@ type serverMetrics struct {
 	cacheMisses   *telemetry.Counter   // core_cache_misses_total
 
 	opRefine   *telemetry.Counter // core_ops_total{op="refine-search"}
+	opPrefix   *telemetry.Counter // core_ops_total{op="prefix-search"}
 	refineHits *telemetry.Counter // core_refine_hits_total
 	refineMiss *telemetry.Counter // core_refine_fallbacks_total
+
+	// core_search_class_total{class}: one count per dispatched query,
+	// labeled by its class — pin and prefix count however they arrive
+	// (unified msgTQuery dispatch or the legacy msgPinQuery path).
+	classSuperset *telemetry.Counter
+	classPin      *telemetry.Counter
+	classPrefix   *telemetry.Counter
 
 	hotPromotions     *telemetry.Counter // core_hot_promotions_total
 	hotDemotions      *telemetry.Counter // core_hot_demotions_total
@@ -342,6 +350,7 @@ type serverMetrics struct {
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	ops := reg.CounterVec("core_ops_total", "op")
+	classes := reg.CounterVec("core_search_class_total", "class")
 	return serverMetrics{
 		opInsert:      ops.With("insert"),
 		opDelete:      ops.With("delete"),
@@ -362,8 +371,13 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		cacheMisses:   reg.Counter("core_cache_misses_total"),
 
 		opRefine:   ops.With("refine-search"),
+		opPrefix:   ops.With("prefix-search"),
 		refineHits: reg.Counter("core_refine_hits_total"),
 		refineMiss: reg.Counter("core_refine_fallbacks_total"),
+
+		classSuperset: classes.With(ClassSuperset.String()),
+		classPin:      classes.With(ClassPin.String()),
+		classPrefix:   classes.With(ClassPrefix.String()),
 
 		hotPromotions:     reg.Counter("core_hot_promotions_total"),
 		hotDemotions:      reg.Counter("core_hot_demotions_total"),
@@ -379,6 +393,20 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		scanParUnits:  reg.Counter("core_scan_parallel_units_total"),
 
 		searchAbandoned: reg.Counter("core_search_abandoned_total"),
+	}
+}
+
+// classCounter maps a query class to its core_search_class_total
+// series (nil-safe like every instrument; unknown classes fall back to
+// the superset series so the total still moves).
+func (m *serverMetrics) classCounter(c QueryClass) *telemetry.Counter {
+	switch c {
+	case ClassPin:
+		return m.classPin
+	case ClassPrefix:
+		return m.classPrefix
+	default:
+		return m.classSuperset
 	}
 }
 
@@ -604,6 +632,7 @@ func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any
 		return respDeleteEntry{Found: found}, nil
 	case msgPinQuery:
 		s.met.opPin.Inc()
+		s.met.classCounter(ClassPin).Inc()
 		if msg.Relay {
 			// Double-read from the new owner of a migrating range:
 			// answer from the local table without the ownership check —
@@ -669,6 +698,27 @@ func (s *Server) handle(ctx context.Context, from transport.Addr, body any) (any
 		}
 		return respMigrateCommit{Dropped: len(entries)}, nil
 	case msgTQuery:
+		s.met.classCounter(msg.Class).Inc()
+		switch msg.Class {
+		case ClassPin:
+			if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+				return nil, ErrNotOwner
+			}
+			s.met.opPin.Inc()
+			return s.runPinQuery(ctx, msg)
+		case ClassPrefix:
+			if msg.SoftOnly {
+				// Soft replicas hold one vertex's table; a prefix
+				// multicast needs the whole branch partition, so spread
+				// requests bounce back to the owner path.
+				return respTQuery{ErrCode: errCodeNoSoftCopy}, nil
+			}
+			if !s.owns(msg.Instance, hypercube.Vertex(msg.Vertex)) {
+				return nil, ErrNotOwner
+			}
+			s.met.opPrefix.Inc()
+			return s.runPrefixSearch(ctx, msg)
+		}
 		if msg.RefineFromKey != "" {
 			// Explicit refinement: the receiver must own the ANCESTOR
 			// root (it holds the cached state); msg.Vertex carries the
@@ -935,9 +985,9 @@ func (s *Server) pinQuery(instance string, v hypercube.Vertex, setKey string) re
 // migration-aware: a vertex inside an open inbound window double-reads
 // the old owner (scanVertexRead).
 func (s *Server) subQuery(ctx context.Context, msg msgSubQuery) respSubQuery {
-	query := keyword.ParseKey(msg.QueryKey)
+	pred := predFor(msg.Class, msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
-	matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(msg.Vertex), root, query, msg.QueryKey, msg.Skip, msg.Limit)
+	matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(msg.Vertex), root, pred, msg.Skip, msg.Limit)
 	resp := respSubQuery{Matches: matches, Remaining: remaining}
 	return s.subQueryChildren(msg, resp)
 }
@@ -945,9 +995,9 @@ func (s *Server) subQuery(ctx context.Context, msg msgSubQuery) respSubQuery {
 // subQueryLocal answers a relayed sub-query strictly from the local
 // tables (the old-owner half of a double-read; never re-relayed).
 func (s *Server) subQueryLocal(msg msgSubQuery) respSubQuery {
-	query := keyword.ParseKey(msg.QueryKey)
+	pred := predFor(msg.Class, msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
-	matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(msg.Vertex), root, query, msg.Skip, msg.Limit)
+	matches, remaining := s.scanVertex(msg.Instance, hypercube.Vertex(msg.Vertex), root, pred, msg.Skip, msg.Limit)
 	resp := respSubQuery{Matches: matches, Remaining: remaining}
 	return s.subQueryChildren(msg, resp)
 }
@@ -985,7 +1035,7 @@ func (s *Server) subQueryBatch(ctx context.Context, msg msgSubQueryBatch) respSu
 		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, msg.DeadlineUnixNano))
 		defer cancel()
 	}
-	query := keyword.ParseKey(msg.QueryKey)
+	pred := predFor(msg.Class, msg.QueryKey)
 	root := hypercube.Vertex(msg.Root)
 	results := make([]respSubUnit, len(msg.Units))
 
@@ -1006,7 +1056,7 @@ func (s *Server) subQueryBatch(ctx context.Context, msg msgSubQueryBatch) respSu
 			return
 		}
 		u := msg.Units[i]
-		matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(u.Vertex), root, query, msg.QueryKey, u.Skip, msg.Limit)
+		matches, remaining := s.scanVertexRead(ctx, msg.Dim, msg.Instance, hypercube.Vertex(u.Vertex), root, pred, u.Skip, msg.Limit)
 		results[i] = respSubUnit{Matches: matches, Remaining: remaining}
 	}
 	workers := s.cfg.ScanParallelism
@@ -1079,24 +1129,25 @@ var matchScratch = sync.Pool{
 	},
 }
 
-// scanVertex collects matches ⟨K', O⟩ with K' ⊇ query from vertex v's
-// table in deterministic (sorted) order. limit < 0 means unlimited.
-// remaining reports matches present beyond the returned window.
-func (s *Server) scanVertex(instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
+// scanVertex collects the entries of vertex v's table matching the
+// query predicate, in deterministic (sorted) order. limit < 0 means
+// unlimited. remaining reports matches present beyond the returned
+// window.
+func (s *Server) scanVertex(instance string, v, root hypercube.Vertex, pred queryPred, skip, limit int) ([]Match, int) {
 	sh := s.shardFor(instance, v)
 	sh.rlock(s.met.shardLockWait)
 	defer sh.mu.RUnlock()
-	return scanVertexLocked(sh, instance, v, root, query, skip, limit)
+	return scanVertexLocked(sh, instance, v, root, pred, skip, limit)
 }
 
 // scanVertexLocked is scanVertex without the locking; callers must
 // hold sh — the shard owning (instance, v) — in at least read mode.
-func scanVertexLocked(sh *tableShard, instance string, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
+func scanVertexLocked(sh *tableShard, instance string, v, root hypercube.Vertex, pred queryPred, skip, limit int) ([]Match, int) {
 	tbl, ok := sh.tables[instance][v]
 	if !ok {
 		return nil, 0
 	}
-	return scanTable(tbl, v, root, query, skip, limit)
+	return scanTable(tbl, v, root, pred, skip, limit)
 }
 
 // scanTable is the scan itself over one vertex table — shared by the
@@ -1105,8 +1156,19 @@ func scanVertexLocked(sh *tableShard, instance string, v, root hypercube.Vertex,
 // must prevent concurrent mutation of tbl: shard lock for the
 // authoritative tables, the immutable-once-live contract for soft
 // copies.
-func scanTable(tbl *table, v, root hypercube.Vertex, query keyword.Set, skip, limit int) ([]Match, int) {
+func scanTable(tbl *table, v, root hypercube.Vertex, pred queryPred, skip, limit int) ([]Match, int) {
 	setKeys := tbl.sortedKeys()
+	if pred.class == ClassPin {
+		// Exact-set lookup: a single map probe replaces the sorted walk,
+		// keeping the legacy pin path's O(1) cost under the unified
+		// predicate. Output order (the entry's sorted-ID snapshot) is
+		// identical to what the sorted walk would produce for one key.
+		if _, ok := tbl.entries[pred.key]; ok {
+			setKeys = []string{pred.key}
+		} else {
+			setKeys = nil
+		}
+	}
 
 	bufp := matchScratch.Get().(*[]Match)
 	buf := (*bufp)[:0]
@@ -1115,7 +1177,7 @@ func scanTable(tbl *table, v, root hypercube.Vertex, query keyword.Set, skip, li
 	seen := 0
 	for _, k := range setKeys {
 		e := tbl.entries[k]
-		if !query.SubsetOf(e.set) {
+		if !pred.matches(e.set) {
 			continue
 		}
 		for _, id := range e.ids() {

@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"github.com/p2pkeyword/keysearch/internal/hypercube"
-	"github.com/p2pkeyword/keysearch/internal/keyword"
 )
 
 // session is the root-side state of a cumulative superset search
@@ -16,8 +15,7 @@ import (
 type session struct {
 	instance string
 	cube     hypercube.Cube
-	queryKey string
-	query    keyword.Set
+	pred     queryPred
 	order    TraversalOrder
 	// work is the pending frontier: for TopDown/ParallelLevels the
 	// paper's queue U (plus a possible partially-consumed node at the
@@ -28,6 +26,20 @@ type session struct {
 	// vertex's table this (non-owner) server is serving the search
 	// from; root-vertex scans read it instead of the local tables.
 	soft *table
+	// exclude is the prefix-multicast branch-partition mask: child
+	// edges landing on a vertex that intersects it belong to an
+	// earlier branch and are pruned. Zero for superset searches.
+	exclude hypercube.Vertex
+	// rootLocal reports that this server hosts the traversal root's
+	// table (always true for superset; only the coordinator's own
+	// first branch for a prefix multicast). When false, the root
+	// vertex is visited remotely like any other frontier node.
+	rootLocal bool
+	// selfVertex is the vertex whose owner is this server — the
+	// traversal root for superset, the coordinator's root for every
+	// prefix branch. Wave dispatch resolves it (not the branch root)
+	// to classify work units as local.
+	selfVertex hypercube.Vertex
 }
 
 // workUnit is one pending node visit: scan 'vertex', skipping the

@@ -12,7 +12,7 @@ func TestSessionStoreEviction(t *testing.T) {
 	sessions := make([]*session, 5)
 	ids := make([]uint64, 5)
 	for i := range sessions {
-		sessions[i] = &session{queryKey: "q"}
+		sessions[i] = &session{pred: queryPred{key: "q"}}
 		ids[i] = st.save(sessions[i])
 		if got := st.len(); got > max {
 			t.Fatalf("after save %d: len = %d, want <= %d", i, got, max)
@@ -50,10 +50,10 @@ func TestSessionStoreEviction(t *testing.T) {
 // eviction order of the remaining sessions intact.
 func TestSessionStoreTakeRemoves(t *testing.T) {
 	st := newSessionStore(2)
-	a := st.save(&session{queryKey: "a"})
-	b := st.save(&session{queryKey: "b"})
+	a := st.save(&session{pred: queryPred{key: "a"}})
+	b := st.save(&session{pred: queryPred{key: "b"}})
 
-	if got := st.take(a); got == nil || got.queryKey != "a" {
+	if got := st.take(a); got == nil || got.pred.key != "a" {
 		t.Fatalf("take(a) = %v, want session a", got)
 	}
 	if got := st.take(a); got != nil {
@@ -61,11 +61,11 @@ func TestSessionStoreTakeRemoves(t *testing.T) {
 	}
 
 	// With a gone, saving one more must not evict b (only one live).
-	c := st.save(&session{queryKey: "c"})
-	if got := st.take(b); got == nil || got.queryKey != "b" {
+	c := st.save(&session{pred: queryPred{key: "c"}})
+	if got := st.take(b); got == nil || got.pred.key != "b" {
 		t.Fatalf("take(b) after unrelated save = %v, want session b", got)
 	}
-	if got := st.take(c); got == nil || got.queryKey != "c" {
+	if got := st.take(c); got == nil || got.pred.key != "c" {
 		t.Fatalf("take(c) = %v, want session c", got)
 	}
 }

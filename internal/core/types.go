@@ -54,6 +54,45 @@ type Match struct {
 // Keywords decodes the match's keyword set.
 func (m Match) Keywords() keyword.Set { return keyword.ParseKey(m.SetKey) }
 
+// QueryClass selects the match predicate and root resolution of a
+// query. All classes flow through the same msgTQuery dispatch path and
+// share the traversal, batching, caching, and migration machinery;
+// only the predicate and the set of candidate vertices differ.
+type QueryClass int
+
+const (
+	// ClassSuperset is the paper's superset search: objects whose
+	// keyword set contains every query keyword. The zero value, so
+	// pre-Class peers (gob or wire v2) decode as superset queries.
+	ClassSuperset QueryClass = iota
+	// ClassPin is the exact-set lookup of Section 3.4: one vertex, one
+	// table entry.
+	ClassPin
+	// ClassPrefix matches objects carrying any keyword with a given
+	// string prefix: a constrained multicast over the dimensions the
+	// prefix can hash to.
+	ClassPrefix
+)
+
+func (c QueryClass) valid() bool {
+	return c == ClassSuperset || c == ClassPin || c == ClassPrefix
+}
+
+// String implements fmt.Stringer; the values label the
+// core_search_class_total telemetry series.
+func (c QueryClass) String() string {
+	switch c {
+	case ClassSuperset:
+		return "superset"
+	case ClassPin:
+		return "pin"
+	case ClassPrefix:
+		return "prefix"
+	default:
+		return "invalid"
+	}
+}
+
 // Stats describes the cost of one search operation, in the units the
 // paper's Section 3.5 and Section 4 report.
 type Stats struct {
@@ -84,6 +123,20 @@ type Stats struct {
 	// SoftServed reports that a soft replica (not the root's owner)
 	// answered the search.
 	SoftServed bool
+}
+
+// Add accumulates other into s: the integer cost fields sum, the
+// boolean provenance flags OR. Aggregators (decomposed and replicated
+// indexes) must use Add rather than summing fields by hand, so a field
+// added here can never be silently dropped from their accounting.
+func (s *Stats) Add(other Stats) {
+	s.NodesContacted += other.NodesContacted
+	s.Messages += other.Messages
+	s.Rounds += other.Rounds
+	s.PhysFrames += other.PhysFrames
+	s.CacheHit = s.CacheHit || other.CacheHit
+	s.RefineHit = s.RefineHit || other.RefineHit
+	s.SoftServed = s.SoftServed || other.SoftServed
 }
 
 // TraversalOrder selects how the spanning binomial tree is explored.

@@ -248,6 +248,8 @@ func (m *msgTQuery) MarshalWire(w *wire.Writer) {
 	w.String(m.RefineFromKey)
 	w.Uvarint(m.RefineFromVertex)
 	w.Bool(m.SoftOnly)
+	w.Int(int(m.Class))
+	w.U64(m.DimMask)
 }
 
 func (m *msgTQuery) UnmarshalWire(r *wire.Reader) error {
@@ -266,6 +268,8 @@ func (m *msgTQuery) UnmarshalWire(r *wire.Reader) error {
 	m.RefineFromKey = r.String()
 	m.RefineFromVertex = r.Uvarint()
 	m.SoftOnly = r.Bool()
+	m.Class = QueryClass(r.Int())
+	m.DimMask = r.U64()
 	return r.Err()
 }
 
@@ -332,6 +336,7 @@ func (m *msgSubQuery) MarshalWire(w *wire.Writer) {
 	w.Int(m.Skip)
 	w.Int(m.GenDim)
 	w.Bool(m.Relay)
+	w.Int(int(m.Class))
 }
 
 func (m *msgSubQuery) UnmarshalWire(r *wire.Reader) error {
@@ -344,6 +349,7 @@ func (m *msgSubQuery) UnmarshalWire(r *wire.Reader) error {
 	m.Skip = r.Int()
 	m.GenDim = r.Int()
 	m.Relay = r.Bool()
+	m.Class = QueryClass(r.Int())
 	return r.Err()
 }
 
@@ -373,6 +379,7 @@ func (m *msgSubQueryBatch) MarshalWire(w *wire.Writer) {
 		w.Int(u.Skip)
 		w.Int(u.GenDim)
 	}
+	w.Int(int(m.Class))
 }
 
 func (m *msgSubQueryBatch) UnmarshalWire(r *wire.Reader) error {
@@ -390,6 +397,7 @@ func (m *msgSubQueryBatch) UnmarshalWire(r *wire.Reader) error {
 			m.Units[i].GenDim = r.Int()
 		}
 	}
+	m.Class = QueryClass(r.Int())
 	return r.Err()
 }
 

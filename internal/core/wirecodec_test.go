@@ -61,6 +61,10 @@ func TestCoreWireRoundTrip(t *testing.T) {
 		msgTQuery{Instance: "default", Dim: 10, Vertex: 1023, QueryKey: "q", Threshold: 50,
 			Order: 1, Cumulative: true, SessionID: 0xfeedface12345678, NoCache: true,
 			WantTrace: true, ClientID: "c", DeadlineUnixNano: -1},
+		msgTQuery{Instance: "default", Dim: 10, Vertex: 4, QueryKey: "kw1", Threshold: All,
+			Class: ClassPrefix, DimMask: 0x3ff},
+		msgTQuery{Instance: "default", Dim: 6, Vertex: 9, QueryKey: "a b", Threshold: All,
+			Class: ClassPin},
 		msgTQuery{},
 		respTQuery{Matches: matches, Exhausted: true, SessionID: 7, SubNodes: 3, SubMsgs: 9,
 			Rounds: 2, FailedNodes: 1, PhysFrames: 4, CacheHit: true, ErrCode: -2,
@@ -68,11 +72,15 @@ func TestCoreWireRoundTrip(t *testing.T) {
 		respTQuery{},
 		msgSubQuery{Instance: "i", Dim: 8, Vertex: 200, Root: 100, QueryKey: "qk",
 			Limit: 10, Skip: 5, GenDim: -1, Relay: true},
+		msgSubQuery{Instance: "i", Dim: 8, Vertex: 200, Root: 1, QueryKey: "kw",
+			Limit: -1, GenDim: 2, Class: ClassPrefix},
 		respSubQuery{Matches: matches, Remaining: 17, Children: edges},
 		respSubQuery{},
 		msgSubQueryBatch{Instance: "i", Dim: 6, Root: 63, QueryKey: "q", Limit: 100,
 			Units:            []wireUnit{{Vertex: 1, Skip: 0, GenDim: 3}, {Vertex: 2, Skip: 10, GenDim: -1}},
 			DeadlineUnixNano: 1754500000000000000},
+		msgSubQueryBatch{Instance: "i", Dim: 6, Root: 2, QueryKey: "kw", Limit: 5,
+			Units: []wireUnit{{Vertex: 2, GenDim: 6}}, Class: ClassPrefix},
 		msgSubQueryBatch{},
 		respSubQueryBatch{Results: []respSubUnit{
 			{Matches: matches, Remaining: 2, Children: edges, ErrCode: 0},

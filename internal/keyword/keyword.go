@@ -81,6 +81,14 @@ func (s Set) Has(word string) bool {
 	return i < len(s.words) && s.words[i] == word
 }
 
+// HasPrefix reports whether any keyword of the set starts with prefix
+// (already-normalized form). The sorted word list makes this a binary
+// search: the first word ≥ prefix is the only candidate.
+func (s Set) HasPrefix(prefix string) bool {
+	i := sort.SearchStrings(s.words, prefix)
+	return i < len(s.words) && strings.HasPrefix(s.words[i], prefix)
+}
+
 // SubsetOf reports whether s ⊆ other (the paper's "other can be
 // described by s" relation when other is an object's keyword set).
 func (s Set) SubsetOf(other Set) bool {
@@ -213,4 +221,25 @@ func (h Hasher) Vertex(k Set) hypercube.Vertex {
 // ascending order; |Dimensions| = |One(F_h(K))|.
 func (h Hasher) Dimensions(k Set) []int {
 	return h.Vertex(k).One(h.r)
+}
+
+// PrefixMask returns the dimension bitmask a prefix query must cover
+// given a vocabulary: the OR of 1<<h(w) over every vocabulary word
+// that starts with the prefix. With no matching words (or an empty
+// vocabulary) it returns 0, which query layers treat as "all
+// dimensions" — h is not invertible, so without vocabulary knowledge
+// every dimension may host a matching keyword.
+func (h Hasher) PrefixMask(vocab []string, prefix string) uint64 {
+	var mask uint64
+	p := Normalize(prefix)
+	if p == "" {
+		return 0
+	}
+	for _, raw := range vocab {
+		w := Normalize(raw)
+		if strings.HasPrefix(w, p) {
+			mask |= 1 << uint(h.Hash(w))
+		}
+	}
+	return mask
 }

@@ -45,6 +45,11 @@ type Workload struct {
 	Templates     int    `json:"templates"`
 	QuerySeed     int64  `json:"query_seed"`
 	Threshold     int    `json:"threshold"`
+	// PrefixFrac > 0 means every round(1/PrefixFrac)-th request was
+	// issued as a prefix multicast over the query's first keyword
+	// truncated to PrefixLen characters, instead of a superset search.
+	PrefixFrac float64 `json:"prefix_frac,omitempty"`
+	PrefixLen  int     `json:"prefix_len,omitempty"`
 }
 
 // RunResult is one measured phase: a Report plus the offered-load

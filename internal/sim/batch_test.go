@@ -18,6 +18,11 @@ func (p parallelSearcher) SupersetSearch(ctx context.Context, k keyword.Set, thr
 	return p.c.SupersetSearch(ctx, k, threshold, opts)
 }
 
+func (p parallelSearcher) PrefixSearch(ctx context.Context, prefix string, threshold int, opts core.SearchOptions) (core.Result, error) {
+	opts.Order = core.ParallelLevels
+	return p.c.PrefixSearch(ctx, prefix, threshold, opts)
+}
+
 // TestChaosReplayFingerprintUnchangedByBatching replays one seeded
 // chaos schedule — crashes, recoveries and partitions over a folded
 // 16-peer fleet — against a batched and an unbatched deployment and
@@ -56,6 +61,7 @@ func TestChaosReplayFingerprintUnchangedByBatching(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		sched.PrefixEvery = 4 // pin the prefix class in the fingerprint too
 		report, err := ReplayChaos(d, parallelSearcher{d.Client}, queries, sched)
 		if err != nil {
 			t.Fatal(err)

@@ -81,6 +81,12 @@ type FaultEvent struct {
 type ChaosSchedule struct {
 	Seed   int64
 	Events []FaultEvent
+	// PrefixEvery, when positive, makes ReplayChaos run an extra
+	// prefix-class query after every PrefixEvery-th superset query
+	// (under the identical fault state), recorded with a "prefix:"
+	// QueryKey. Zero keeps the outcome stream superset-only, which
+	// per-query prediction harnesses rely on.
+	PrefixEvery int
 }
 
 // Crashed returns the set of nodes the schedule crashes and never
@@ -184,6 +190,7 @@ func GenerateChaos(seed int64, cfg ChaosConfig) (ChaosSchedule, error) {
 // and *core.Replicated satisfy it.
 type Searcher interface {
 	SupersetSearch(ctx context.Context, k keyword.Set, threshold int, opts core.SearchOptions) (core.Result, error)
+	PrefixSearch(ctx context.Context, prefix string, threshold int, opts core.SearchOptions) (core.Result, error)
 }
 
 // QueryOutcome is the recorded result of one chaos-run search.
@@ -248,29 +255,49 @@ func ReplayChaos(d *Deployment, s Searcher, queries []keyword.Set, sched ChaosSc
 		}
 		out := QueryOutcome{QueryKey: q.Key(), Completeness: 1}
 		res, err := s.SupersetSearch(ctx, q, core.All, core.SearchOptions{NoCache: true})
-		if err != nil {
-			out.Err = err.Error()
-			out.Completeness = 0
-			report.Failed++
-		} else {
-			out.Completeness = res.Completeness
-			out.FailedSubtrees = res.FailedSubtrees
-			out.ObjectIDs = make([]string, len(res.Matches))
-			for i, m := range res.Matches {
-				out.ObjectIDs[i] = m.ObjectID
-			}
-			if len(res.Matches) > 0 {
-				report.Answered++
-			}
-			if res.Completeness < 1 {
-				report.Degraded++
-			} else {
-				report.Exact++
+		report.recordOutcome(out, res, err)
+
+		// Scheduled interleave: also run a prefix multicast (on the
+		// first word's two-character prefix) under the identical fault
+		// state, so the fingerprint invariant pins the prefix class too.
+		if sched.PrefixEvery > 0 && qi%sched.PrefixEvery == 0 {
+			if words := q.Words(); len(words) > 0 {
+				p := words[0]
+				if len(p) > 2 {
+					p = p[:2]
+				}
+				pout := QueryOutcome{QueryKey: "prefix:" + p, Completeness: 1}
+				pres, perr := s.PrefixSearch(ctx, p, core.All, core.SearchOptions{NoCache: true})
+				report.recordOutcome(pout, pres, perr)
 			}
 		}
-		report.Outcomes = append(report.Outcomes, out)
 	}
 	return report, nil
+}
+
+// recordOutcome folds one search answer into the report tallies.
+func (r *ChaosReport) recordOutcome(out QueryOutcome, res core.Result, err error) {
+	if err != nil {
+		out.Err = err.Error()
+		out.Completeness = 0
+		r.Failed++
+	} else {
+		out.Completeness = res.Completeness
+		out.FailedSubtrees = res.FailedSubtrees
+		out.ObjectIDs = make([]string, len(res.Matches))
+		for i, m := range res.Matches {
+			out.ObjectIDs[i] = m.ObjectID
+		}
+		if len(res.Matches) > 0 {
+			r.Answered++
+		}
+		if res.Completeness < 1 {
+			r.Degraded++
+		} else {
+			r.Exact++
+		}
+	}
+	r.Outcomes = append(r.Outcomes, out)
 }
 
 // applyFault injects one scheduled event into the deployment network.

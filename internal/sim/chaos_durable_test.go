@@ -65,6 +65,7 @@ func TestChaosFingerprintInvariantUnderDurableRecovery(t *testing.T) {
 		if err := d.InsertCorpus(c); err != nil {
 			t.Fatal(err)
 		}
+		sched.PrefixEvery = 4 // pin the prefix class in the fingerprint too
 		rep, err := ReplayChaos(d, nil, queries, sched)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestPrefixSmoke runs the prefix cost study end to end on a small
+// fleet and checks its invariants: both strategies agree on every
+// answer set, the multicast never costs more than the fan-out, and on
+// multi-dimension prefixes the exclusion masks save messages overall
+// (the overlap the naive fan-out pays for twice). Wired into
+// `make prefix-smoke`.
+func TestPrefixSmoke(t *testing.T) {
+	c := testCorpus(t, 600)
+	prefixes := PrefixStudyPrefixes(c, 3, 6)
+	prefixes = append(prefixes, PrefixStudyPrefixes(c, 2, 2)...)
+	if len(prefixes) < 4 {
+		t.Fatalf("corpus yielded only %d study prefixes", len(prefixes))
+	}
+
+	res, err := PrefixStudy(c, prefixes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("study produced no points")
+	}
+	var sumMulti, sumNaive, multiDim int
+	for _, p := range res.Points {
+		if !p.Identical {
+			t.Errorf("prefix %q: multicast and fan-out answer sets diverge", p.Prefix)
+		}
+		if p.NodesMulti > p.NodesNaive || p.MsgsMulti > p.MsgsNaive {
+			t.Errorf("prefix %q: multicast (%d nodes, %d msgs) costs more than fan-out (%d nodes, %d msgs)",
+				p.Prefix, p.NodesMulti, p.MsgsMulti, p.NodesNaive, p.MsgsNaive)
+		}
+		if p.Dims > 1 {
+			multiDim++
+			if p.MsgsMulti >= p.MsgsNaive {
+				t.Errorf("prefix %q over %d dims: no message saving (%d vs %d)",
+					p.Prefix, p.Dims, p.MsgsMulti, p.MsgsNaive)
+			}
+		}
+		sumMulti += p.MsgsMulti
+		sumNaive += p.MsgsNaive
+	}
+	if multiDim == 0 {
+		t.Error("no study prefix spanned more than one dimension; the comparison is vacuous")
+	}
+	if sumMulti >= sumNaive {
+		t.Errorf("total messages: multicast %d >= naive fan-out %d", sumMulti, sumNaive)
+	}
+
+	if _, err := PrefixStudy(c, nil, 8); err == nil {
+		t.Error("empty prefix list accepted")
+	}
+	if _, err := PrefixStudy(c, []string{"zzzzzzz-no-such"}, 8); err == nil {
+		t.Error("vocabulary-free prefix list accepted")
+	}
+}

@@ -36,6 +36,18 @@ func FuzzWireDecode(f *testing.F) {
 	seed(func(w *wire.Writer) {
 		_, _ = appendResponseFrame(w, 3, nil, errTest)
 	})
+	// Query-class shaped payloads: a string key plus the trailing
+	// (class int, u64 dim mask) pair the core codecs appended for
+	// prefix search. Gives the fuzzer a foothold on the new tail.
+	seed(func(w *wire.Writer) {
+		_, _ = appendRequestFrame(w, 4, "", false, classQry{Key: "kw", Class: 2, Mask: 0x3ff})
+	})
+	seed(func(w *wire.Writer) {
+		_, _ = appendRequestFrame(w, 5, "127.0.0.1:1", true, classQry{})
+	})
+	seed(func(w *wire.Writer) {
+		_, _ = appendResponseFrame(w, 6, classQry{Key: "a b c", Class: 1, Mask: 1<<63 | 1}, nil)
+	})
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03, 0x00, 0x00})
 

@@ -15,16 +15,38 @@ import (
 type ping struct{ N int }
 type pong struct{ N int }
 
+// classQry mirrors the shape of the query-class message extension: a
+// string key followed by a trailing (small int, u64 bitmask) pair, the
+// exact appended-field layout the core codecs grew for prefix search.
+type classQry struct {
+	Key   string
+	Class int
+	Mask  uint64
+}
+
 func (m *ping) MarshalWire(w *wire.Writer)         { w.Int(m.N) }
 func (m *ping) UnmarshalWire(r *wire.Reader) error { m.N = r.Int(); return r.Err() }
 func (m *pong) MarshalWire(w *wire.Writer)         { w.Int(m.N) }
 func (m *pong) UnmarshalWire(r *wire.Reader) error { m.N = r.Int(); return r.Err() }
+func (m *classQry) MarshalWire(w *wire.Writer) {
+	w.String(m.Key)
+	w.Int(m.Class)
+	w.U64(m.Mask)
+}
+func (m *classQry) UnmarshalWire(r *wire.Reader) error {
+	m.Key = r.String()
+	m.Class = r.Int()
+	m.Mask = r.U64()
+	return r.Err()
+}
 
 func registerTestTypes() {
 	transport.RegisterType(ping{})
 	transport.RegisterType(pong{})
+	transport.RegisterType(classQry{})
 	wire.Register[ping](59001)
 	wire.Register[pong](59002)
+	wire.Register[classQry](59005)
 }
 
 // newGob returns a network pinned to the legacy gob client protocol.

@@ -92,6 +92,9 @@ type (
 	// InstanceCacheStats is one index instance's slice of a
 	// CacheSnapshot.
 	InstanceCacheStats = core.InstanceCacheStats
+	// DecomposedResult is the intersection answer of a decomposed-index
+	// search, with aggregate cost and weakest-family quality signals.
+	DecomposedResult = core.DecomposedResult
 )
 
 // DefaultResilience returns the recommended production resilience

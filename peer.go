@@ -471,6 +471,30 @@ func (p *Peer) Search(ctx context.Context, k Set, threshold int, opts SearchOpti
 	return p.index.SupersetSearch(ctx, k, threshold, opts)
 }
 
+// PrefixSearch returns up to threshold objects whose keyword sets
+// contain at least one keyword starting with prefix (pass All for
+// every match). The query multicasts one SBT branch per hypercube
+// dimension; use PrefixSearchMasked with Hasher().PrefixMask to
+// constrain the multicast to the dimensions a known vocabulary can
+// hash to.
+func (p *Peer) PrefixSearch(ctx context.Context, prefix string, threshold int, opts SearchOptions) (Result, error) {
+	return p.index.PrefixSearch(ctx, prefix, threshold, opts)
+}
+
+// PrefixSearchMasked is PrefixSearch constrained to the SBT branches
+// rooted at the dimensions set in mask (zero means all dimensions).
+// It always queries the primary replica.
+func (p *Peer) PrefixSearchMasked(ctx context.Context, prefix string, mask uint64, threshold int, opts SearchOptions) (Result, error) {
+	return p.index.Primary().PrefixSearchMasked(ctx, prefix, mask, threshold, opts)
+}
+
+// Hasher returns the primary index instance's keyword hasher — the
+// deployment-wide (dimension, seed) pair. Use its PrefixMask with a
+// known vocabulary to constrain PrefixSearchMasked.
+func (p *Peer) Hasher() keyword.Hasher {
+	return p.index.Primary().Hasher()
+}
+
 // Refine narrows a previously searched base query to a superset query
 // refined ⊇ base without re-traversing: the base root's owner derives
 // the refined answer from its cached complete result (Lemma 3.3).

@@ -102,7 +102,8 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 // wire mode, publishes a corpus on the first peer BEFORE the others
 // join (so the joins pull real migration chunks over the wire), runs a
 // fixed query suite — pin, superset top-down, superset parallel-batch,
-// cursor paging — and returns a canonical fingerprint of every answer
+// prefix multicast, cursor paging — and returns a canonical
+// fingerprint of every answer
 // plus the telemetry registry for wire-level assertions.
 func runTCPWireCluster(t *testing.T, mode string) (string, *telemetry.Registry) {
 	t.Helper()
@@ -183,6 +184,19 @@ func runTCPWireCluster(t *testing.T, mode string) (string, *telemetry.Registry) 
 			record(fmt.Sprintf("superset-%v", order), q.String(), ids)
 		}
 	}
+	// Prefix multicasts over the same wire mode — still inside the
+	// migration window the joins opened, so double-reads cover them.
+	for _, pfx := range []string{"b", "chu", "u1", "nomatch"} {
+		res, err := peers[1].PrefixSearch(ctx, pfx, All, SearchOptions{NoCache: true})
+		if err != nil {
+			t.Fatalf("%s: prefix %q: %v", mode, pfx, err)
+		}
+		ids := make([]string, 0, len(res.Matches))
+		for _, m := range res.Matches {
+			ids = append(ids, m.ObjectID)
+		}
+		record("prefix", pfx, ids)
+	}
 	cur, err := peers[2].SearchCursor(NewKeywordSet("churn"), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -214,8 +228,11 @@ func TestTCPWireModeMatrix(t *testing.T) {
 		fp, reg := runTCPWireCluster(t, mode)
 		fps[mode] = fp
 		handled := reg.CounterVec("transport_tcp_handled_total", "type")
+		// Pin queries ride msgTQuery (ClassPin) since the query classes
+		// were unified; msgPinQuery remains wire-decodable for old
+		// clients but no current client emits it.
 		for _, typ := range []string{
-			"core.msgPinQuery", "core.msgTQuery", "core.msgSubQueryBatch",
+			"core.msgTQuery", "core.msgSubQueryBatch",
 			"core.msgMigrateChunk", "core.msgMigrateCommit",
 		} {
 			if handled.With(typ).Value() == 0 {
